@@ -1,0 +1,551 @@
+package twinsearch
+
+// Benchmarks mirroring the paper's evaluation, one family per figure
+// (see DESIGN.md §4 for the mapping and EXPERIMENTS.md for recorded
+// paper-vs-measured shapes).
+//
+// These benches run on reduced dataset sizes with in-memory
+// verification so `go test -bench=.` finishes in minutes; the
+// full-shape reproduction with the paper's disk-resident setup is
+// `go run ./cmd/tsbench` (which also prints the per-figure tables).
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"twinsearch/internal/core"
+	"twinsearch/internal/datasets"
+	"twinsearch/internal/harness"
+	"twinsearch/internal/isax"
+	"twinsearch/internal/kvindex"
+	"twinsearch/internal/series"
+	"twinsearch/internal/sweepline"
+)
+
+// Bench-scale stand-ins: same generators as the harness, shorter runs.
+const (
+	benchInsectLen = 20000
+	benchEEGLen    = 40000
+	benchQueries   = 10
+)
+
+type benchSetup struct {
+	name string
+	data []float64
+	eps  []float64 // the dataset's Table 1 normalized grid
+	def  float64   // default threshold
+}
+
+var benchSetups = []benchSetup{
+	{"Insect", datasets.InsectN(1, benchInsectLen), harness.InsectEpsNorm, harness.InsectDefaultEpsNorm},
+	{"EEG", datasets.EEGN(2, benchEEGLen), harness.EEGEpsNorm, harness.EEGDefaultEpsNorm},
+}
+
+// engine caches keyed by (dataset, mode, method, l) so builds don't
+// repeat across sub-benchmarks. Benchmarks run sequentially.
+var (
+	extCache = map[string]*series.Extractor{}
+	tsCache  = map[string]*core.Index{}
+	isxCache = map[string]*isax.Index{}
+	kvCache  = map[string]*kvindex.Index{}
+)
+
+func benchExt(ds benchSetup, mode series.NormMode) *series.Extractor {
+	key := fmt.Sprintf("%s/%d", ds.name, mode)
+	if e, ok := extCache[key]; ok {
+		return e
+	}
+	e := series.NewExtractor(ds.data, mode)
+	extCache[key] = e
+	return e
+}
+
+func benchTS(b *testing.B, ds benchSetup, mode series.NormMode, l int) *core.Index {
+	key := fmt.Sprintf("%s/%d/%d", ds.name, mode, l)
+	if ix, ok := tsCache[key]; ok {
+		return ix
+	}
+	ix, err := core.Build(benchExt(ds, mode), core.Config{L: l})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tsCache[key] = ix
+	return ix
+}
+
+func benchISAX(b *testing.B, ds benchSetup, mode series.NormMode, l int) *isax.Index {
+	key := fmt.Sprintf("%s/%d/%d", ds.name, mode, l)
+	if ix, ok := isxCache[key]; ok {
+		return ix
+	}
+	ix, err := isax.Build(benchExt(ds, mode), isax.Config{L: l, Segments: harness.DefaultM})
+	if err != nil {
+		b.Fatal(err)
+	}
+	isxCache[key] = ix
+	return ix
+}
+
+func benchKV(b *testing.B, ds benchSetup, mode series.NormMode, l int) *kvindex.Index {
+	key := fmt.Sprintf("%s/%d/%d", ds.name, mode, l)
+	if ix, ok := kvCache[key]; ok {
+		return ix
+	}
+	ix, err := kvindex.Build(benchExt(ds, mode), kvindex.Config{L: l})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kvCache[key] = ix
+	return ix
+}
+
+func benchWorkload(ds benchSetup, ext *series.Extractor, l int) [][]float64 {
+	raw := datasets.Queries(ds.data, 7, benchQueries, l)
+	out := make([][]float64, len(raw))
+	for i, q := range raw {
+		out[i] = ext.TransformQuery(q)
+	}
+	return out
+}
+
+// runQueries drives one searcher over the workload; the reported value
+// is ns per query (each b.N iteration runs the whole workload).
+func runQueries(b *testing.B, search func(q []float64, eps float64) int, qs [][]float64, eps float64) {
+	b.Helper()
+	var total int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			total += search(q, eps)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/float64(b.N)/float64(len(qs)), "results/query")
+}
+
+// --- Figure 4: query time vs ε, global z-normalization -----------------
+
+func BenchmarkFig4QueryVsEps(b *testing.B) {
+	for _, ds := range benchSetups {
+		ext := benchExt(ds, series.NormGlobal)
+		qs := benchWorkload(ds, ext, harness.DefaultL)
+		for _, eps := range ds.eps {
+			eps := eps
+			b.Run(fmt.Sprintf("%s/Sweepline/eps=%g", ds.name, eps), func(b *testing.B) {
+				sw := sweepline.New(ext)
+				runQueries(b, func(q []float64, e float64) int { return len(sw.Search(q, e)) }, qs, eps)
+			})
+			b.Run(fmt.Sprintf("%s/KV-Index/eps=%g", ds.name, eps), func(b *testing.B) {
+				ix := benchKV(b, ds, series.NormGlobal, harness.DefaultL)
+				runQueries(b, func(q []float64, e float64) int { return len(ix.Search(q, e)) }, qs, eps)
+			})
+			b.Run(fmt.Sprintf("%s/iSAX/eps=%g", ds.name, eps), func(b *testing.B) {
+				ix := benchISAX(b, ds, series.NormGlobal, harness.DefaultL)
+				runQueries(b, func(q []float64, e float64) int { return len(ix.Search(q, e)) }, qs, eps)
+			})
+			b.Run(fmt.Sprintf("%s/TS-Index/eps=%g", ds.name, eps), func(b *testing.B) {
+				ix := benchTS(b, ds, series.NormGlobal, harness.DefaultL)
+				runQueries(b, func(q []float64, e float64) int { return len(ix.Search(q, e)) }, qs, eps)
+			})
+		}
+	}
+}
+
+// --- Figure 5: query time vs subsequence length ℓ ----------------------
+
+func BenchmarkFig5QueryVsLength(b *testing.B) {
+	for _, ds := range benchSetups {
+		ext := benchExt(ds, series.NormGlobal)
+		for _, l := range harness.LengthGrid {
+			l := l
+			qs := benchWorkload(ds, ext, l)
+			b.Run(fmt.Sprintf("%s/Sweepline/l=%d", ds.name, l), func(b *testing.B) {
+				sw := sweepline.New(ext)
+				runQueries(b, func(q []float64, e float64) int { return len(sw.Search(q, e)) }, qs, ds.def)
+			})
+			b.Run(fmt.Sprintf("%s/KV-Index/l=%d", ds.name, l), func(b *testing.B) {
+				ix := benchKV(b, ds, series.NormGlobal, l)
+				runQueries(b, func(q []float64, e float64) int { return len(ix.Search(q, e)) }, qs, ds.def)
+			})
+			b.Run(fmt.Sprintf("%s/iSAX/l=%d", ds.name, l), func(b *testing.B) {
+				ix := benchISAX(b, ds, series.NormGlobal, l)
+				runQueries(b, func(q []float64, e float64) int { return len(ix.Search(q, e)) }, qs, ds.def)
+			})
+			b.Run(fmt.Sprintf("%s/TS-Index/l=%d", ds.name, l), func(b *testing.B) {
+				ix := benchTS(b, ds, series.NormGlobal, l)
+				runQueries(b, func(q []float64, e float64) int { return len(ix.Search(q, e)) }, qs, ds.def)
+			})
+		}
+	}
+}
+
+// --- Figure 6: per-subsequence normalization (KV-Index inapplicable) ---
+
+func BenchmarkFig6PerSubsequenceNorm(b *testing.B) {
+	for _, ds := range benchSetups {
+		ext := benchExt(ds, series.NormPerSubsequence)
+		qs := benchWorkload(ds, ext, harness.DefaultL)
+		for _, eps := range ds.eps {
+			eps := eps
+			b.Run(fmt.Sprintf("%s/iSAX/eps=%g", ds.name, eps), func(b *testing.B) {
+				ix := benchISAX(b, ds, series.NormPerSubsequence, harness.DefaultL)
+				runQueries(b, func(q []float64, e float64) int { return len(ix.Search(q, e)) }, qs, eps)
+			})
+			b.Run(fmt.Sprintf("%s/TS-Index/eps=%g", ds.name, eps), func(b *testing.B) {
+				ix := benchTS(b, ds, series.NormPerSubsequence, harness.DefaultL)
+				runQueries(b, func(q []float64, e float64) int { return len(ix.Search(q, e)) }, qs, eps)
+			})
+		}
+	}
+}
+
+// --- Figure 7: raw (non-normalized) data -------------------------------
+
+func BenchmarkFig7RawData(b *testing.B) {
+	for _, ds := range benchSetups {
+		ext := benchExt(ds, series.NormNone)
+		qs := benchWorkload(ds, ext, harness.DefaultL)
+		_, std := series.MeanStd(ds.data)
+		eps := ds.def * std // σ-scaled default (see harness.RawEps)
+		b.Run(ds.name+"/Sweepline", func(b *testing.B) {
+			sw := sweepline.New(ext)
+			runQueries(b, func(q []float64, e float64) int { return len(sw.Search(q, e)) }, qs, eps)
+		})
+		b.Run(ds.name+"/KV-Index", func(b *testing.B) {
+			ix := benchKV(b, ds, series.NormNone, harness.DefaultL)
+			runQueries(b, func(q []float64, e float64) int { return len(ix.Search(q, e)) }, qs, eps)
+		})
+		b.Run(ds.name+"/iSAX", func(b *testing.B) {
+			ix := benchISAX(b, ds, series.NormNone, harness.DefaultL)
+			runQueries(b, func(q []float64, e float64) int { return len(ix.Search(q, e)) }, qs, eps)
+		})
+		b.Run(ds.name+"/TS-Index", func(b *testing.B) {
+			ix := benchTS(b, ds, series.NormNone, harness.DefaultL)
+			runQueries(b, func(q []float64, e float64) int { return len(ix.Search(q, e)) }, qs, eps)
+		})
+	}
+}
+
+// --- Figure 8a/8b: index memory footprint and construction time --------
+
+func BenchmarkFig8aMemory(b *testing.B) {
+	for _, ds := range benchSetups {
+		ext := benchExt(ds, series.NormGlobal)
+		b.Run(ds.name, func(b *testing.B) {
+			// One representative iteration; the metric of interest is
+			// bytes, not time.
+			kv, err := kvindex.Build(ext, kvindex.Config{L: harness.DefaultL})
+			if err != nil {
+				b.Fatal(err)
+			}
+			isx, err := isax.Build(ext, isax.Config{L: harness.DefaultL, Segments: harness.DefaultM})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts, err := core.Build(ext, core.Config{L: harness.DefaultL})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(kv.MemoryBytes()+kv.AuxiliaryBytes()), "kv-bytes")
+			b.ReportMetric(float64(isx.MemoryBytes()), "isax-bytes")
+			b.ReportMetric(float64(ts.MemoryBytes()), "tsindex-bytes")
+			b.ReportMetric(float64(ts.MemoryBytes())/float64(isx.MemoryBytes()), "ts/isax-ratio")
+		})
+	}
+}
+
+func BenchmarkFig8bBuild(b *testing.B) {
+	for _, ds := range benchSetups {
+		ext := benchExt(ds, series.NormGlobal)
+		b.Run(ds.name+"/KV-Index", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := kvindex.Build(ext, kvindex.Config{L: harness.DefaultL}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(ds.name+"/iSAX", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := isax.Build(ext, isax.Config{L: harness.DefaultL, Segments: harness.DefaultM}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(ds.name+"/TS-Index", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build(ext, core.Config{L: harness.DefaultL}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Intro experiment (§1): Chebyshev twins vs Euclidean ε√ℓ range -----
+
+func BenchmarkIntroChebyshevVsEuclidean(b *testing.B) {
+	ds := benchSetups[1] // EEG
+	ext := benchExt(ds, series.NormGlobal)
+	qs := benchWorkload(ds, ext, harness.DefaultL)
+	sw := sweepline.New(ext)
+	b.Run("Chebyshev", func(b *testing.B) {
+		runQueries(b, func(q []float64, e float64) int { return len(sw.Search(q, e)) }, qs, ds.def)
+	})
+	b.Run("Euclidean", func(b *testing.B) {
+		edEps := series.EuclideanThresholdFor(ds.def, harness.DefaultL)
+		runQueries(b, func(q []float64, e float64) int { return len(sw.SearchEuclidean(q, e)) }, qs, edEps)
+	})
+}
+
+// --- Ablations of DESIGN.md §5 design choices --------------------------
+
+// Bulk loading vs sequential insertion: construction cost and the query
+// speed of the resulting trees.
+func BenchmarkAblationBulkVsInsert(b *testing.B) {
+	ds := benchSetups[0]
+	ext := benchExt(ds, series.NormGlobal)
+	qs := benchWorkload(ds, ext, harness.DefaultL)
+	b.Run("build/insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Build(ext, core.Config{L: harness.DefaultL}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("build/bulk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BuildBulk(ext, core.Config{L: harness.DefaultL}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ins, err := core.Build(ext, core.Config{L: harness.DefaultL})
+	if err != nil {
+		b.Fatal(err)
+	}
+	blk, err := core.BuildBulk(ext, core.Config{L: harness.DefaultL})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("query/insert-built", func(b *testing.B) {
+		runQueries(b, func(q []float64, e float64) int { return len(ins.Search(q, e)) }, qs, ds.def)
+	})
+	b.Run("query/bulk-built", func(b *testing.B) {
+		runQueries(b, func(q []float64, e float64) int { return len(blk.Search(q, e)) }, qs, ds.def)
+	})
+}
+
+// Node capacity (µc, Mc): the paper fixes 10/30; this sweep shows the
+// sensitivity of query latency to fan-out.
+func BenchmarkAblationNodeCapacity(b *testing.B) {
+	ds := benchSetups[0]
+	ext := benchExt(ds, series.NormGlobal)
+	qs := benchWorkload(ds, ext, harness.DefaultL)
+	for _, caps := range []struct{ min, max int }{{5, 15}, {10, 30}, {20, 60}, {40, 120}} {
+		caps := caps
+		ix, err := core.Build(ext, core.Config{L: harness.DefaultL, MinCap: caps.min, MaxCap: caps.max})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("caps=%d-%d", caps.min, caps.max), func(b *testing.B) {
+			runQueries(b, func(q []float64, e float64) int { return len(ix.Search(q, e)) }, qs, ds.def)
+		})
+	}
+}
+
+// KV-Index exact-mean prefilter on/off.
+func BenchmarkAblationKVExactMeanFilter(b *testing.B) {
+	ds := benchSetups[0]
+	ext := benchExt(ds, series.NormGlobal)
+	qs := benchWorkload(ds, ext, harness.DefaultL)
+	for _, exact := range []bool{false, true} {
+		exact := exact
+		ix, err := kvindex.Build(ext, kvindex.Config{L: harness.DefaultL, ExactMeanFilter: exact})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("exactMean=%v", exact), func(b *testing.B) {
+			runQueries(b, func(q []float64, e float64) int { return len(ix.Search(q, e)) }, qs, ds.def)
+		})
+	}
+}
+
+// iSAX segment count m (paper Table 2 grid).
+func BenchmarkAblationISAXSegments(b *testing.B) {
+	ds := benchSetups[0]
+	ext := benchExt(ds, series.NormGlobal)
+	qs := benchWorkload(ds, ext, harness.DefaultL)
+	for _, m := range harness.SegmentGrid {
+		m := m
+		ix, err := isax.Build(ext, isax.Config{L: harness.DefaultL, Segments: m})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			runQueries(b, func(q []float64, e float64) int { return len(ix.Search(q, e)) }, qs, ds.def)
+		})
+	}
+}
+
+// Top-k extension: best-first search cost versus threshold search.
+func BenchmarkExtensionTopK(b *testing.B) {
+	ds := benchSetups[1]
+	ext := benchExt(ds, series.NormGlobal)
+	ix := benchTS(b, ds, series.NormGlobal, harness.DefaultL)
+	qs := benchWorkload(ds, ext, harness.DefaultL)
+	for _, k := range []int{1, 10, 100} {
+		k := k
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range qs {
+					if got := ix.SearchTopK(q, k); len(got) != k {
+						b.Fatalf("got %d results", len(got))
+					}
+				}
+			}
+		})
+	}
+}
+
+// Adaptive (ADS+-style) vs full iSAX build: construction cost and the
+// convergence of query latency as refinement proceeds.
+func BenchmarkAblationAdaptiveISAX(b *testing.B) {
+	ds := benchSetups[1]
+	ext := benchExt(ds, series.NormGlobal)
+	qs := benchWorkload(ds, ext, harness.DefaultL)
+	b.Run("build/full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := isax.Build(ext, isax.Config{L: harness.DefaultL, Segments: harness.DefaultM, LeafCapacity: 128}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("build/adaptive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := isax.BuildAdaptive(ext, isax.Config{L: harness.DefaultL, Segments: harness.DefaultM, LeafCapacity: 128}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("query/first-touch", func(b *testing.B) {
+		// Each iteration pays the refinement cost on a fresh index.
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ad, err := isax.BuildAdaptive(ext, isax.Config{L: harness.DefaultL, Segments: harness.DefaultM, LeafCapacity: 128})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			for _, q := range qs {
+				ad.Search(q, ds.def)
+			}
+		}
+	})
+	b.Run("query/warmed", func(b *testing.B) {
+		ad, err := isax.BuildAdaptive(ext, isax.Config{L: harness.DefaultL, Segments: harness.DefaultM, LeafCapacity: 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range qs {
+			ad.Search(q, ds.def) // warm the touched regions
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				ad.Search(q, ds.def)
+			}
+		}
+	})
+}
+
+// Parallel vs serial iSAX construction (the ParIS/MESSI direction).
+func BenchmarkAblationParallelISAXBuild(b *testing.B) {
+	ds := benchSetups[1]
+	ext := benchExt(ds, series.NormGlobal)
+	cfg := isax.Config{L: harness.DefaultL, Segments: harness.DefaultM, LeafCapacity: 256}
+	b.Run("workers=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := isax.BuildParallel(ext, cfg, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workers=4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := isax.BuildParallel(ext, cfg, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workers=max", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := isax.BuildParallel(ext, cfg, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Index persistence: serialize/reload a built TS-Index versus
+// rebuilding it from the series.
+func BenchmarkExtensionPersistence(b *testing.B) {
+	ds := benchSetups[0]
+	ext := benchExt(ds, series.NormGlobal)
+	ix := benchTS(b, ds, series.NormGlobal, harness.DefaultL)
+	var blob bytes.Buffer
+	if _, err := ix.WriteTo(&blob); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("save", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if _, err := ix.WriteTo(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Load(bytes.NewReader(blob.Bytes()), ext); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Build(ext, core.Config{L: harness.DefaultL}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(blob.Len()), "blob-bytes")
+}
+
+// Guard: the benches above assume the generators stay selective; this
+// canary fails loudly if someone retunes a generator into a regime where
+// the figures stop being meaningful (half the series matching).
+func TestBenchSelectivityCanary(t *testing.T) {
+	for _, ds := range benchSetups {
+		ext := benchExt(ds, series.NormGlobal)
+		sw := sweepline.New(ext)
+		qs := benchWorkload(ds, ext, harness.DefaultL)
+		total := 0
+		for _, q := range qs {
+			total += len(sw.Search(q, ds.def))
+		}
+		avg := float64(total) / float64(len(qs))
+		windows := float64(series.NumSubsequences(len(ds.data), harness.DefaultL))
+		if frac := avg / windows; frac > 0.10 {
+			t.Fatalf("%s: default-eps selectivity %.1f%% exceeds 10%% — generator no longer index-friendly",
+				ds.name, 100*frac)
+		}
+		if avg < 1 {
+			t.Fatalf("%s: workload queries should at least match themselves", ds.name)
+		}
+		if math.IsNaN(avg) {
+			t.Fatal("unexpected NaN")
+		}
+	}
+}

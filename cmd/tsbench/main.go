@@ -1,0 +1,87 @@
+// Command tsbench regenerates the paper's evaluation: Figures 4–8 plus
+// the §1 intro experiment, printed as aligned tables (and optionally
+// CSV), followed by a PASS/FAIL report of the paper's qualitative
+// claims.
+//
+// Usage:
+//
+//	tsbench                       # every figure at the default scale
+//	tsbench -figure 4             # one figure
+//	tsbench -full                 # paper-sized EEG (1.8M points; slow)
+//	tsbench -scale 0.1 -queries 20  # quick look
+//	tsbench -csv results.csv      # also dump machine-readable rows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"twinsearch/internal/harness"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "all", "which experiment: intro, 4, 5, 6, 7, 8, all")
+		scale   = flag.Float64("scale", 0.1, "EEG dataset scale (1 = paper's 1,801,999 points)")
+		full    = flag.Bool("full", false, "shorthand for -scale 1 (with -queries 100 this is the paper's exact setup; expect hours: the sweepline pays one random read per window per query)")
+		queries = flag.Int("queries", 30, "workload size per experiment (paper: 100)")
+		seed    = flag.Int64("seed", 1, "dataset and workload seed")
+		csvPath = flag.String("csv", "", "also write rows as CSV to this path")
+		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+		mem     = flag.Bool("mem", false, "verify candidates in memory instead of the paper's disk-resident setup")
+	)
+	flag.Parse()
+	if *full {
+		*scale = 1
+	}
+
+	r := harness.NewRunner(*scale, *seed)
+	defer r.Close()
+	r.Queries = *queries
+	r.DiskVerify = !*mem
+	if !*quiet {
+		r.Log = os.Stderr
+	}
+
+	var rows []harness.Row
+	run := func(name string, f func() []harness.Row) {
+		if *figure == "all" || *figure == name {
+			rows = append(rows, f()...)
+		}
+	}
+	run("intro", r.FigureIntro)
+	run("4", r.Figure4)
+	run("5", r.Figure5)
+	run("6", r.Figure6)
+	run("7", r.Figure7)
+	run("8", r.Figure8)
+
+	if len(rows) == 0 {
+		fmt.Fprintf(os.Stderr, "tsbench: unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+
+	harness.PrintTable(os.Stdout, rows)
+
+	report := harness.ShapeReport(rows)
+	if len(report) > 0 {
+		fmt.Println("\n== Shape report (paper's qualitative claims) ==")
+		fmt.Println(strings.Join(report, "\n"))
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(1)
+		}
+		harness.PrintCSV(f, rows)
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", len(rows), *csvPath)
+	}
+}

@@ -1,0 +1,71 @@
+// Command tsgen writes the synthetic evaluation datasets (the stand-ins
+// for the paper's Insect Movement and EEG recordings) to disk in the
+// flat binary float64 format the other tools read.
+//
+// Usage:
+//
+//	tsgen -dataset eeg -out eeg.f64 [-n 1801999] [-seed 1]
+//	tsgen -dataset insect -out insect.f64
+//	tsgen -dataset walk -out walk.f64 -n 100000
+//	tsgen -dataset sine -out sine.f64 -n 100000 -period 500 -amp 2 -noise 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twinsearch/internal/datasets"
+	"twinsearch/internal/store"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "eeg", "dataset to generate: eeg, insect, walk, sine")
+		out     = flag.String("out", "", "output path (required)")
+		n       = flag.Int("n", 0, "number of points (0 = the paper's length for eeg/insect)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		period  = flag.Float64("period", 500, "sine period in samples")
+		amp     = flag.Float64("amp", 1, "sine amplitude")
+		noise   = flag.Float64("noise", 0.1, "sine additive noise sigma")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tsgen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var data []float64
+	switch *dataset {
+	case "eeg":
+		if *n <= 0 {
+			*n = datasets.EEGLen
+		}
+		data = datasets.EEGN(*seed, *n)
+	case "insect":
+		if *n <= 0 {
+			*n = datasets.InsectLen
+		}
+		data = datasets.InsectN(*seed, *n)
+	case "walk":
+		if *n <= 0 {
+			*n = 100000
+		}
+		data = datasets.RandomWalk(*seed, *n)
+	case "sine":
+		if *n <= 0 {
+			*n = 100000
+		}
+		data = datasets.Sine(*seed, *n, *period, *amp, *noise)
+	default:
+		fmt.Fprintf(os.Stderr, "tsgen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+
+	if err := store.WriteFile(*out, data); err != nil {
+		fmt.Fprintf(os.Stderr, "tsgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d points (%s) to %s\n", len(data), *dataset, *out)
+}

@@ -1,0 +1,78 @@
+// Command tsplot draws a series file — and optionally the twins of a
+// query window — as an ASCII chart in the terminal.
+//
+// Usage:
+//
+//	tsplot -series eeg.f64                          # just the series
+//	tsplot -series eeg.f64 -qstart 5000 -l 100 -eps 0.3   # shade the twins
+//	tsplot -series eeg.f64 -from 10000 -to 30000    # zoom into a range
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twinsearch"
+	"twinsearch/internal/plot"
+	"twinsearch/internal/store"
+)
+
+func main() {
+	var (
+		seriesPath = flag.String("series", "", "series file (binary float64, required)")
+		qStart     = flag.Int("qstart", -1, "query = series window starting here (enables twin shading)")
+		l          = flag.Int("l", 100, "subsequence length")
+		eps        = flag.Float64("eps", 0.2, "Chebyshev threshold")
+		from       = flag.Int("from", 0, "plot range start")
+		to         = flag.Int("to", 0, "plot range end (0 = end of series)")
+		width      = flag.Int("width", 120, "chart width")
+		height     = flag.Int("height", 18, "chart height")
+	)
+	flag.Parse()
+	if *seriesPath == "" {
+		fmt.Fprintln(os.Stderr, "tsplot: -series is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := store.ReadFile(*seriesPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *to <= 0 || *to > len(data) {
+		*to = len(data)
+	}
+	if *from < 0 || *from >= *to {
+		fatal(fmt.Errorf("bad range [%d, %d)", *from, *to))
+	}
+
+	if *qStart < 0 {
+		fmt.Print(plot.Series(data[*from:*to], plot.Config{Width: *width, Height: *height}))
+		return
+	}
+
+	eng, err := twinsearch.Open(data, twinsearch.Options{L: *l})
+	if err != nil {
+		fatal(err)
+	}
+	q := data[*qStart : *qStart+*l]
+	matches, err := eng.Search(q, *eps)
+	if err != nil {
+		fatal(err)
+	}
+	var starts []int
+	for _, m := range matches {
+		if m.Start >= *from && m.Start+*l <= *to {
+			starts = append(starts, m.Start-*from)
+		}
+	}
+	fmt.Printf("query window [%d, %d), eps=%g → %d twins (%d in plotted range)\n\n",
+		*qStart, *qStart+*l, *eps, len(matches), len(starts))
+	fmt.Print(plot.Matches(data[*from:*to], starts, *l, plot.Config{Width: *width, Height: *height}))
+	fmt.Println("\nquery shape:", plot.Sparkline(q, 60))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tsplot: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,161 @@
+// Command tsquery builds an index over a series file and answers a twin
+// subsequence query against it.
+//
+// The query is either a window of the indexed series itself
+// (-qstart, convenient for exploration) or a separate series file
+// (-qfile) whose entire content is the query.
+//
+// Usage:
+//
+//	tsquery -series eeg.f64 -qstart 5000 -l 100 -eps 0.2
+//	tsquery -series eeg.f64 -qfile query.f64 -eps 0.2 -method isax -norm persub
+//	tsquery -series eeg.f64 -qstart 0 -l 100 -topk 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"twinsearch"
+	"twinsearch/internal/store"
+)
+
+func main() {
+	var (
+		seriesPath = flag.String("series", "", "series file (binary float64, required)")
+		qFile      = flag.String("qfile", "", "query file (binary float64); mutually exclusive with -qstart")
+		qStart     = flag.Int("qstart", -1, "query = series window starting here")
+		l          = flag.Int("l", 100, "subsequence length (ignored with -qfile)")
+		eps        = flag.Float64("eps", 0.2, "Chebyshev distance threshold")
+		topk       = flag.Int("topk", 0, "if > 0, run a top-k query instead of a threshold query (TS-Index only)")
+		method     = flag.String("method", "tsindex", "search method: tsindex, isax, kvindex, sweepline")
+		norm       = flag.String("norm", "global", "normalization: raw, global, persub")
+		maxShow    = flag.Int("show", 20, "print at most this many matches")
+		saveIndex  = flag.String("saveindex", "", "after building, persist the TS-Index here")
+		loadIndex  = flag.String("loadindex", "", "reopen a TS-Index persisted with -saveindex instead of rebuilding")
+		approx     = flag.Int("approx", 0, "if > 0, run an approximate search probing this many leaves (TS-Index only)")
+		indexLen   = flag.Int("indexlen", 0, "index at this length instead of the query length; shorter queries then use the prefix search (TS-Index only)")
+	)
+	flag.Parse()
+	if *seriesPath == "" {
+		fmt.Fprintln(os.Stderr, "tsquery: -series is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	data, err := store.ReadFile(*seriesPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var q []float64
+	switch {
+	case *qFile != "":
+		q, err = store.ReadFile(*qFile)
+		if err != nil {
+			fatal(err)
+		}
+		*l = len(q)
+	case *qStart >= 0:
+		if *qStart+*l > len(data) {
+			fatal(fmt.Errorf("query window [%d, %d) outside series of length %d", *qStart, *qStart+*l, len(data)))
+		}
+		q = append([]float64(nil), data[*qStart:*qStart+*l]...)
+	default:
+		fatal(fmt.Errorf("one of -qfile or -qstart is required"))
+	}
+
+	opt := twinsearch.Options{L: *l, NormSet: true}
+	if *indexLen > 0 {
+		if *indexLen < len(q) {
+			fatal(fmt.Errorf("-indexlen %d below query length %d", *indexLen, len(q)))
+		}
+		opt.L = *indexLen
+	}
+	switch *norm {
+	case "raw":
+		opt.Norm = twinsearch.NormNone
+	case "global":
+		opt.Norm = twinsearch.NormGlobal
+	case "persub":
+		opt.Norm = twinsearch.NormPerSubsequence
+	default:
+		fatal(fmt.Errorf("unknown norm %q", *norm))
+	}
+	switch *method {
+	case "tsindex":
+		opt.Method = twinsearch.MethodTSIndex
+	case "isax":
+		opt.Method = twinsearch.MethodISAX
+	case "kvindex":
+		opt.Method = twinsearch.MethodKVIndex
+	case "sweepline":
+		opt.Method = twinsearch.MethodSweepline
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	buildStart := time.Now()
+	var eng *twinsearch.Engine
+	if *loadIndex != "" {
+		eng, err = twinsearch.OpenSavedFile(data, *loadIndex, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("reopened index over %d subsequences (%s, %s) in %v\n",
+			eng.NumSubsequences(), eng.Method(), eng.Norm(), time.Since(buildStart).Round(time.Millisecond))
+	} else {
+		eng, err = twinsearch.Open(data, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("indexed %d subsequences of length %d with %s (%s) in %v\n",
+			eng.NumSubsequences(), eng.L(), eng.Method(), eng.Norm(), time.Since(buildStart).Round(time.Millisecond))
+	}
+	if *saveIndex != "" {
+		if err := eng.SaveIndexFile(*saveIndex); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("persisted index to %s\n", *saveIndex)
+	}
+
+	queryStart := time.Now()
+	var matches []twinsearch.Match
+	switch {
+	case *topk > 0:
+		matches, err = eng.SearchTopK(q, *topk)
+	case *approx > 0:
+		matches, err = eng.SearchApprox(q, *eps, *approx)
+	case len(q) < eng.L():
+		matches, err = eng.SearchShorter(q, *eps)
+	default:
+		matches, err = eng.Search(q, *eps)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(queryStart)
+
+	if *topk > 0 {
+		fmt.Printf("top-%d nearest in %v:\n", *topk, elapsed.Round(time.Microsecond))
+		for _, m := range matches {
+			fmt.Printf("  start=%-10d chebyshev=%.6f\n", m.Start, m.Dist)
+		}
+		return
+	}
+	fmt.Printf("%d twins at eps=%g in %v\n", len(matches), *eps, elapsed.Round(time.Microsecond))
+	for i, m := range matches {
+		if i >= *maxShow {
+			fmt.Printf("  ... %d more\n", len(matches)-*maxShow)
+			break
+		}
+		fmt.Printf("  start=%d\n", m.Start)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tsquery: %v\n", err)
+	os.Exit(1)
+}

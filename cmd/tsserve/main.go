@@ -1,0 +1,75 @@
+// Command tsserve loads a series, builds (or reopens) a TS-Index over
+// it, and serves twin subsequence search over HTTP with a JSON API.
+//
+//	tsserve -series eeg.f64 -l 100 -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/search -d '{"query":[...100 values...],"eps":0.3}'
+//	curl -s -X POST localhost:8080/topk   -d '{"query":[...],"k":5}'
+//	curl -s -X POST localhost:8080/append -d '{"values":[...]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"twinsearch"
+	"twinsearch/internal/server"
+	"twinsearch/internal/store"
+)
+
+func main() {
+	var (
+		seriesPath = flag.String("series", "", "series file (binary float64, required)")
+		l          = flag.Int("l", 100, "indexed subsequence length")
+		addr       = flag.String("addr", ":8080", "listen address")
+		norm       = flag.String("norm", "global", "normalization: raw, global, persub")
+		loadIndex  = flag.String("loadindex", "", "reopen a persisted TS-Index instead of rebuilding")
+	)
+	flag.Parse()
+	if *seriesPath == "" {
+		fmt.Fprintln(os.Stderr, "tsserve: -series is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	data, err := store.ReadFile(*seriesPath)
+	if err != nil {
+		fatal(err)
+	}
+	opt := twinsearch.Options{L: *l, NormSet: true}
+	switch *norm {
+	case "raw":
+		opt.Norm = twinsearch.NormNone
+	case "global":
+		opt.Norm = twinsearch.NormGlobal
+	case "persub":
+		opt.Norm = twinsearch.NormPerSubsequence
+	default:
+		fatal(fmt.Errorf("unknown norm %q", *norm))
+	}
+
+	start := time.Now()
+	var eng *twinsearch.Engine
+	if *loadIndex != "" {
+		eng, err = twinsearch.OpenSavedFile(data, *loadIndex, opt)
+	} else {
+		eng, err = twinsearch.Open(data, opt)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("tsserve: %d windows of length %d ready in %v; listening on %s\n",
+		eng.NumSubsequences(), eng.L(), time.Since(start).Round(time.Millisecond), *addr)
+
+	if err := http.ListenAndServe(*addr, server.New(eng)); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tsserve: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,178 @@
+package twinsearch
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+
+	"twinsearch/internal/core"
+	"twinsearch/internal/series"
+)
+
+// ErrPersistUnsupported is returned by SaveIndex for methods other than
+// TS-Index.
+var ErrPersistUnsupported = errors.New("twinsearch: index persistence requires MethodTSIndex")
+
+// SaveIndex serializes a built TS-Index so a later process can reopen it
+// against the same series without paying construction again (see
+// OpenSaved). Only MethodTSIndex engines support it.
+func (e *Engine) SaveIndex(w io.Writer) error {
+	if e.opt.Method != MethodTSIndex {
+		return ErrPersistUnsupported
+	}
+	_, err := e.ts.WriteTo(w)
+	return err
+}
+
+// SaveIndexFile is SaveIndex to a file path.
+func (e *Engine) SaveIndexFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("twinsearch: %w", err)
+	}
+	if err := e.SaveIndex(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenSaved reconstructs a TS-Index engine from a stream produced by
+// SaveIndex. data must be the same series the index was built over, and
+// opt must request MethodTSIndex with the same L and normalization; the
+// stream's recorded parameters are authoritative and validated.
+func OpenSaved(data []float64, r io.Reader, opt Options) (*Engine, error) {
+	if err := opt.fill(); err != nil {
+		return nil, err
+	}
+	if opt.Method != MethodTSIndex {
+		return nil, ErrPersistUnsupported
+	}
+	e := &Engine{opt: opt, ext: series.NewExtractor(data, opt.Norm)}
+	ix, err := core.Load(r, e.ext)
+	if err != nil {
+		return nil, err
+	}
+	if ix.L() != opt.L {
+		return nil, fmt.Errorf("twinsearch: saved index has L=%d, options request L=%d", ix.L(), opt.L)
+	}
+	e.ts = ix
+	return e, nil
+}
+
+// OpenSavedFile is OpenSaved from a file path.
+func OpenSavedFile(data []float64, path string, opt Options) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("twinsearch: %w", err)
+	}
+	defer f.Close()
+	return OpenSaved(data, f, opt)
+}
+
+// SearchShorter answers a twin query whose length is at most L using
+// the existing TS-Index (no rebuild): node bounds are truncated to the
+// query length — sound by the paper's closure property, see
+// core.SearchPrefix — and the few trailing windows that exist only at
+// the shorter length are scanned directly. Exact. Requires
+// MethodTSIndex and a normalization other than NormPerSubsequence.
+func (e *Engine) SearchShorter(q []float64, eps float64) ([]Match, error) {
+	if e.opt.Method != MethodTSIndex {
+		return nil, errors.New("twinsearch: SearchShorter requires MethodTSIndex")
+	}
+	if eps < 0 {
+		return nil, fmt.Errorf("twinsearch: negative threshold %v", eps)
+	}
+	return e.ts.SearchPrefix(e.ext.TransformQuery(q), eps)
+}
+
+// SearchApprox probes at most leafBudget nearest leaves and returns a
+// (possibly incomplete) subset of the twins, in microseconds. Requires
+// MethodTSIndex; Search is the exact counterpart.
+func (e *Engine) SearchApprox(q []float64, eps float64, leafBudget int) ([]Match, error) {
+	if e.opt.Method != MethodTSIndex {
+		return nil, errors.New("twinsearch: SearchApprox requires MethodTSIndex")
+	}
+	if len(q) != e.opt.L {
+		return nil, fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)
+	}
+	ms, _ := e.ts.SearchApprox(e.ext.TransformQuery(q), eps, leafBudget)
+	return ms, nil
+}
+
+// Append ingests new trailing values into the engine's series and
+// indexes every window the growth completes — streaming support, an
+// extension beyond the paper's static setting. Requires MethodTSIndex
+// (the only index with incremental insertion). Under NormGlobal the
+// appended values are normalized with the frozen original (mean, σ);
+// see series.Extractor.Append. Do not call concurrently with searches.
+// Under raw/per-subsequence modes the engine extends the slice passed
+// to Open (reallocating when its capacity is exhausted); callers must
+// not retain independent views past its original length.
+func (e *Engine) Append(values ...float64) error {
+	if e.opt.Method != MethodTSIndex {
+		return errors.New("twinsearch: Append requires MethodTSIndex")
+	}
+	if len(values) == 0 {
+		return nil
+	}
+	oldLen := e.ext.Len()
+	e.ext.Append(values...)
+	// Windows [oldLen-L+1, newLen-L] are newly complete.
+	first := oldLen - e.opt.L + 1
+	if first < 0 {
+		first = 0
+	}
+	for p := first; p+e.opt.L <= e.ext.Len(); p++ {
+		e.ts.Insert(p)
+	}
+	return nil
+}
+
+type BatchResult struct {
+	Query   int
+	Matches []Match
+	Err     error
+}
+
+// SearchBatch answers many queries concurrently over one engine —
+// searches are read-only, so they parallelize perfectly (the direction
+// ParIS/MESSI take iSAX, applied here at the workload level). Results
+// arrive indexed by query position. parallelism ≤ 0 selects GOMAXPROCS.
+func (e *Engine) SearchBatch(queries [][]float64, eps float64, parallelism int) []BatchResult {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(queries) {
+					return
+				}
+				ms, err := e.Search(queries[i], eps)
+				out[i] = BatchResult{Query: i, Matches: ms, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

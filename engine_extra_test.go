@@ -1,0 +1,253 @@
+package twinsearch
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"twinsearch/internal/datasets"
+)
+
+func TestSaveOpenSavedRoundTrip(t *testing.T) {
+	ts := datasets.EEGN(21, 8000)
+	eng, err := Open(ts, Options{L: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveIndex(&buf); err != nil {
+		t.Fatalf("SaveIndex: %v", err)
+	}
+	got, err := OpenSaved(ts, &buf, Options{L: 100})
+	if err != nil {
+		t.Fatalf("OpenSaved: %v", err)
+	}
+	q := append([]float64(nil), ts[2000:2100]...)
+	a, _ := eng.Search(q, 0.3)
+	b, _ := got.Search(q, 0.3)
+	if len(a) != len(b) {
+		t.Fatalf("reloaded engine disagrees: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Start != b[i].Start {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+	// Top-k works on the reloaded engine too.
+	top, err := got.SearchTopK(q, 3)
+	if err != nil || len(top) != 3 || top[0].Start != 2000 {
+		t.Fatalf("top-k on reloaded engine: %v %v", top, err)
+	}
+}
+
+func TestSaveIndexFileRoundTrip(t *testing.T) {
+	ts := datasets.RandomWalk(5, 3000)
+	eng, err := Open(ts, Options{L: 50, Norm: NormPerSubsequence, NormSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.tsix")
+	if err := eng.SaveIndexFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenSavedFile(ts, path, Options{L: 50, Norm: NormPerSubsequence, NormSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSubsequences() != eng.NumSubsequences() {
+		t.Fatal("window count differs after reload")
+	}
+}
+
+func TestSaveErrors(t *testing.T) {
+	ts := datasets.RandomWalk(1, 1000)
+	sw, _ := Open(ts, Options{L: 50, Method: MethodSweepline})
+	var buf bytes.Buffer
+	if err := sw.SaveIndex(&buf); err != ErrPersistUnsupported {
+		t.Fatalf("err = %v, want ErrPersistUnsupported", err)
+	}
+	if _, err := OpenSaved(ts, &buf, Options{L: 50, Method: MethodISAX}); err != ErrPersistUnsupported {
+		t.Fatalf("err = %v, want ErrPersistUnsupported", err)
+	}
+	eng, _ := Open(ts, Options{L: 50})
+	buf.Reset()
+	if err := eng.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong L in options.
+	if _, err := OpenSaved(ts, &buf, Options{L: 60}); err == nil {
+		t.Fatal("want L mismatch error")
+	}
+	if _, err := OpenSavedFile(ts, filepath.Join(t.TempDir(), "missing"), Options{L: 50}); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestAppendStreaming(t *testing.T) {
+	full := datasets.EEGN(77, 6000)
+	for _, norm := range []NormMode{NormNone, NormPerSubsequence} {
+		grown, err := Open(append([]float64(nil), full[:4000]...), Options{L: 100, Norm: norm, NormSet: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Stream the rest in uneven chunks.
+		for at := 4000; at < len(full); {
+			end := at + 1 + (at % 700)
+			if end > len(full) {
+				end = len(full)
+			}
+			if err := grown.Append(full[at:end]...); err != nil {
+				t.Fatal(err)
+			}
+			at = end
+		}
+		fresh, err := Open(full, Options{L: 100, Norm: norm, NormSet: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grown.NumSubsequences() != fresh.NumSubsequences() {
+			t.Fatalf("norm=%v: %d vs %d windows", norm, grown.NumSubsequences(), fresh.NumSubsequences())
+		}
+		// Queries over old and new regions agree with a fresh build.
+		for _, p := range []int{500, 3950, 5800} {
+			q := append([]float64(nil), full[p:p+100]...)
+			a, _ := grown.Search(q, 0.4)
+			b, _ := fresh.Search(q, 0.4)
+			if len(a) != len(b) {
+				t.Fatalf("norm=%v p=%d: %d vs %d results", norm, p, len(a), len(b))
+			}
+			for i := range a {
+				if a[i].Start != b[i].Start {
+					t.Fatalf("norm=%v p=%d: result %d differs", norm, p, i)
+				}
+			}
+		}
+	}
+}
+
+func TestAppendGlobalFrozenBasis(t *testing.T) {
+	// Under NormGlobal the appended region is normalized with the frozen
+	// basis, so results must match a sweepline over the SAME extractor —
+	// not necessarily a fresh rebuild (whose basis would shift).
+	full := datasets.RandomWalk(78, 3000)
+	eng, err := Open(append([]float64(nil), full[:2500]...), Options{L: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Append(full[2500:]...); err != nil {
+		t.Fatal(err)
+	}
+	if eng.SeriesLen() != 3000 {
+		t.Fatalf("SeriesLen = %d", eng.SeriesLen())
+	}
+	q := append([]float64(nil), full[2700:2800]...)
+	ms, err := eng.Search(q, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range ms {
+		if m.Start == 2700 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("query over appended region must find itself")
+	}
+}
+
+func TestAppendErrorsAndNoop(t *testing.T) {
+	ts := datasets.RandomWalk(1, 1000)
+	sw, _ := Open(ts, Options{L: 50, Method: MethodSweepline})
+	if err := sw.Append(1, 2, 3); err == nil {
+		t.Fatal("Append on sweepline must fail")
+	}
+	eng, _ := Open(ts, Options{L: 50})
+	if err := eng.Append(); err != nil {
+		t.Fatalf("empty append should be a no-op: %v", err)
+	}
+}
+
+func TestSearchShorterAndApprox(t *testing.T) {
+	ts := datasets.EEGN(31, 10000)
+	eng, err := Open(ts, Options{L: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qFull := append([]float64(nil), ts[4000:4100]...)
+	qShort := qFull[:40]
+
+	short, err := eng.SearchShorter(qShort, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swp, _ := Open(ts, Options{L: 40, Method: MethodSweepline})
+	want, _ := swp.Search(qShort, 0.3)
+	if len(short) != len(want) {
+		t.Fatalf("SearchShorter: %d vs sweepline %d", len(short), len(want))
+	}
+
+	approx, err := eng.SearchApprox(qFull, 0.3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := eng.Search(qFull, 0.3)
+	exactSet := map[int]bool{}
+	for _, m := range exact {
+		exactSet[m.Start] = true
+	}
+	for _, m := range approx {
+		if !exactSet[m.Start] {
+			t.Fatalf("approx hit %d not in exact set", m.Start)
+		}
+	}
+
+	// Unsupported combinations.
+	if _, err := swp.SearchShorter(qShort, 0.3); err == nil {
+		t.Fatal("SearchShorter on sweepline must fail")
+	}
+	if _, err := swp.SearchApprox(qShort, 0.3, 2); err == nil {
+		t.Fatal("SearchApprox on sweepline must fail")
+	}
+	if _, err := eng.SearchShorter(qShort, -1); err == nil {
+		t.Fatal("negative eps must fail")
+	}
+	if _, err := eng.SearchApprox(qShort, 0.3, 2); err == nil {
+		t.Fatal("short query to SearchApprox must fail")
+	}
+}
+
+func TestSearchBatch(t *testing.T) {
+	ts := datasets.InsectN(9, 15000)
+	eng, err := Open(ts, Options{L: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := datasets.Queries(ts, 3, 20, 100)
+	want := make([][]Match, len(queries))
+	for i, q := range queries {
+		want[i], _ = eng.Search(q, 0.5)
+	}
+	for _, par := range []int{0, 1, 4, 100} {
+		got := eng.SearchBatch(queries, 0.5, par)
+		if len(got) != len(queries) {
+			t.Fatalf("par=%d: %d results", par, len(got))
+		}
+		for i, r := range got {
+			if r.Err != nil {
+				t.Fatalf("par=%d query %d: %v", par, i, r.Err)
+			}
+			if r.Query != i || len(r.Matches) != len(want[i]) {
+				t.Fatalf("par=%d query %d: mismatch", par, i)
+			}
+		}
+	}
+	if out := eng.SearchBatch(nil, 0.5, 4); len(out) != 0 {
+		t.Fatal("empty batch should return empty results")
+	}
+	// Errors propagate per query.
+	bad := [][]float64{make([]float64, 10)}
+	if out := eng.SearchBatch(bad, 0.5, 2); out[0].Err == nil {
+		t.Fatal("bad query should carry its error")
+	}
+}

@@ -1,0 +1,100 @@
+package twinsearch_test
+
+import (
+	"fmt"
+	"math"
+
+	"twinsearch"
+)
+
+// sawtooth builds a deterministic periodic fixture: the same ramp shape
+// every period, so twin structure is predictable.
+func sawtooth(n, period int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i % period)
+	}
+	return out
+}
+
+func ExampleOpen() {
+	data := sawtooth(1000, 50)
+	eng, err := twinsearch.Open(data, twinsearch.Options{L: 50, NormSet: true}) // raw values
+	if err != nil {
+		panic(err)
+	}
+	// The window starting at 100 repeats every 50 points.
+	matches, err := eng.Search(data[100:150], 0.001)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("twins:", len(matches), "first:", matches[0].Start, "second:", matches[1].Start)
+	// Output: twins: 20 first: 0 second: 50
+}
+
+func ExampleEngine_SearchTopK() {
+	data := sawtooth(500, 40)
+	// Perturb one period slightly so ranks are distinct.
+	data[203] += 0.25
+	eng, err := twinsearch.Open(data, twinsearch.Options{L: 40, NormSet: true})
+	if err != nil {
+		panic(err)
+	}
+	top, err := eng.SearchTopK(data[80:120], 3)
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range top {
+		fmt.Printf("start=%d dist=%.2f\n", m.Start, m.Dist)
+	}
+	// Output:
+	// start=0 dist=0.00
+	// start=40 dist=0.00
+	// start=80 dist=0.00
+}
+
+func ExampleEngine_Search_normalized() {
+	// Two periods at different amplitudes: raw values differ, but
+	// per-subsequence normalization matches them by shape.
+	data := make([]float64, 400)
+	for i := range data {
+		amp := 1.0
+		if i >= 200 {
+			amp = 5.0 // same shape, 5x the amplitude
+		}
+		data[i] = amp * math.Sin(2*math.Pi*float64(i%100)/100)
+	}
+	eng, err := twinsearch.Open(data, twinsearch.Options{
+		L:    100,
+		Norm: twinsearch.NormPerSubsequence,
+	})
+	if err != nil {
+		panic(err)
+	}
+	matches, err := eng.Search(data[0:100], 0.001)
+	if err != nil {
+		panic(err)
+	}
+	aligned := 0
+	for _, m := range matches {
+		if m.Start%100 == 0 {
+			aligned++
+		}
+	}
+	fmt.Println("period-aligned shape twins:", aligned)
+	// Output: period-aligned shape twins: 4
+}
+
+func ExampleEngine_Append() {
+	data := sawtooth(300, 30)
+	eng, err := twinsearch.Open(data, twinsearch.Options{L: 30, NormSet: true})
+	if err != nil {
+		panic(err)
+	}
+	before := eng.NumSubsequences()
+	if err := eng.Append(sawtooth(60, 30)...); err != nil {
+		panic(err)
+	}
+	fmt.Println("windows:", before, "->", eng.NumSubsequences())
+	// Output: windows: 271 -> 331
+}

@@ -1,0 +1,37 @@
+// Package gen exposes the repository's deterministic synthetic time
+// series generators as public API, so examples and downstream users can
+// produce realistic workloads without the paper's proprietary
+// recordings: an EEG-like signal (amplitude-modulated band oscillations
+// with sporadic spike-wave events), an insect-telemetry-like signal (a
+// motif library of stereotyped waveform episodes), and simple fixtures.
+package gen
+
+import "twinsearch/internal/datasets"
+
+// Paper dataset lengths.
+const (
+	InsectLen = datasets.InsectLen
+	EEGLen    = datasets.EEGLen
+)
+
+// EEG generates an EEG-like series with n points at a nominal 500 Hz.
+// It is deterministic in seed.
+func EEG(seed int64, n int) []float64 { return datasets.EEGN(seed, n) }
+
+// Insect generates an insect-telemetry-like series with n points at a
+// nominal 36 Hz. It is deterministic in seed.
+func Insect(seed int64, n int) []float64 { return datasets.InsectN(seed, n) }
+
+// RandomWalk generates a Gaussian random walk.
+func RandomWalk(seed int64, n int) []float64 { return datasets.RandomWalk(seed, n) }
+
+// Sine generates amp·sin(2π·i/period) + noise·N(0,1).
+func Sine(seed int64, n int, period, amp, noise float64) []float64 {
+	return datasets.Sine(seed, n, period, amp, noise)
+}
+
+// Queries samples count query subsequences of length l from t, the way
+// the paper builds its workloads.
+func Queries(t []float64, seed int64, count, l int) [][]float64 {
+	return datasets.Queries(t, seed, count, l)
+}

@@ -1,0 +1,19 @@
+package gen
+
+import "testing"
+
+func TestWrappersDelegate(t *testing.T) {
+	if len(EEG(1, 100)) != 100 || len(Insect(1, 100)) != 100 {
+		t.Fatal("length mismatch")
+	}
+	if len(RandomWalk(1, 50)) != 50 || len(Sine(1, 50, 10, 1, 0)) != 50 {
+		t.Fatal("fixture length mismatch")
+	}
+	qs := Queries(RandomWalk(2, 1000), 3, 7, 64)
+	if len(qs) != 7 || len(qs[0]) != 64 {
+		t.Fatal("query sampling mismatch")
+	}
+	if InsectLen != 64436 || EEGLen != 1801999 {
+		t.Fatal("paper lengths changed")
+	}
+}

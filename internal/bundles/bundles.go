@@ -1,0 +1,295 @@
+// Package bundles implements local pair and bundle discovery over
+// co-evolving time series [Chatzigeorgakidis et al., SSTD 2019] — the
+// authors' precursor to twin subsequence search, which the paper's §2
+// positions against it: instead of matching a query against one series'
+// subsequences, discovery scans a COLLECTION of time-aligned series and
+// reports which members move together, where, and for how long.
+//
+// Definitions (Chebyshev throughout, matching the paper's setting):
+//
+//   - A local PAIR (i, j, [s, e)) holds when |T_i[t] − T_j[t]| ≤ ε for
+//     every t in the interval and the interval is at least δ long;
+//     reported pairs are temporally maximal (extending the interval in
+//     either direction breaks the bound).
+//
+//   - A local BUNDLE (G, [s, e)) holds when every two members of G stay
+//     within ε of each other — equivalently max(G) − min(G) ≤ ε at each
+//     t — for an interval of at least δ, with |G| ≥ µ members. Reported
+//     bundles are temporally maximal for their member set and not
+//     dominated by a reported bundle with a superset of members over
+//     the same interval.
+//
+// The sweepline runs once over timestamps, maintaining the value-sorted
+// order of members incrementally; pair candidacy changes only when
+// adjacent sorted values cross the ε gap, so the cost is
+// O(n·k log k + output) for k series of length n.
+package bundles
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pair is a maximal interval during which two series stay within ε.
+type Pair struct {
+	A, B       int // member indices, A < B
+	Start, End int // half-open interval [Start, End)
+}
+
+// Bundle is a maximal interval during which a group of ≥ µ series stay
+// pairwise within ε.
+type Bundle struct {
+	Members    []int // sorted member indices
+	Start, End int   // half-open interval [Start, End)
+}
+
+// Config parameterizes discovery.
+type Config struct {
+	Eps      float64 // pairwise value tolerance ε
+	MinLen   int     // minimum interval length δ (≥ 1)
+	MinGroup int     // minimum bundle size µ (≥ 2; bundles only)
+}
+
+func (c Config) check(k int) error {
+	if c.Eps < 0 {
+		return fmt.Errorf("bundles: negative eps %v", c.Eps)
+	}
+	if c.MinLen < 1 {
+		return fmt.Errorf("bundles: MinLen %d must be ≥ 1", c.MinLen)
+	}
+	if c.MinGroup < 2 {
+		return fmt.Errorf("bundles: MinGroup %d must be ≥ 2", c.MinGroup)
+	}
+	if k < 2 {
+		return fmt.Errorf("bundles: need at least two series, got %d", k)
+	}
+	return nil
+}
+
+// Pairs reports every temporally-maximal local pair in the collection.
+// All series must share one length. Results are ordered by (A, B,
+// Start).
+func Pairs(set [][]float64, cfg Config) ([]Pair, error) {
+	if cfg.MinGroup == 0 {
+		cfg.MinGroup = 2
+	}
+	if err := cfg.check(len(set)); err != nil {
+		return nil, err
+	}
+	n, err := commonLength(set)
+	if err != nil {
+		return nil, err
+	}
+
+	k := len(set)
+	// active[a*k+b] = start timestamp of the open run for pair (a, b),
+	// or -1 when the pair is currently violated.
+	active := make([]int, k*k)
+	for i := range active {
+		active[i] = -1
+	}
+	var out []Pair
+	closeRun := func(a, b, start, end int) {
+		if end-start >= cfg.MinLen {
+			out = append(out, Pair{A: a, B: b, Start: start, End: end})
+		}
+	}
+	for t := 0; t < n; t++ {
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				d := set[a][t] - set[b][t]
+				if d < 0 {
+					d = -d
+				}
+				idx := a*k + b
+				if d <= cfg.Eps {
+					if active[idx] < 0 {
+						active[idx] = t
+					}
+				} else if active[idx] >= 0 {
+					closeRun(a, b, active[idx], t)
+					active[idx] = -1
+				}
+			}
+		}
+	}
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			if idx := a*k + b; active[idx] >= 0 {
+				closeRun(a, b, active[idx], n)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		if out[i].B != out[j].B {
+			return out[i].B < out[j].B
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out, nil
+}
+
+// Bundles reports maximal local bundles: groups of at least MinGroup
+// series pairwise within ε over intervals of at least MinLen. For each
+// timestamp the value-sorted members decompose into candidate windows
+// (maximal runs with max−min ≤ ε); a group's run is open while the
+// group stays inside one window. Results are ordered by (Start, first
+// member); groups that are subsets of another reported group over the
+// same interval are suppressed.
+func Bundles(set [][]float64, cfg Config) ([]Bundle, error) {
+	if err := cfg.check(len(set)); err != nil {
+		return nil, err
+	}
+	n, err := commonLength(set)
+	if err != nil {
+		return nil, err
+	}
+	k := len(set)
+
+	type run struct {
+		start int
+	}
+	open := map[string]run{}      // group key → open run
+	members := map[string][]int{} // group key → member slice
+	var out []Bundle
+
+	closeRun := func(key string, start, end int) {
+		if end-start >= cfg.MinLen {
+			out = append(out, Bundle{Members: members[key], Start: start, End: end})
+		}
+	}
+
+	order := make([]int, k)
+	vals := make([]float64, k)
+	for t := 0; t < n; t++ {
+		for i := range order {
+			order[i] = i
+			vals[i] = set[i][t]
+		}
+		sort.Slice(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
+
+		// Maximal ε-windows over the sorted values: two-pointer sweep
+		// emitting each window that is not contained in a larger one.
+		seen := map[string]bool{}
+		lo := 0
+		for hi := 0; hi < k; hi++ {
+			for vals[order[hi]]-vals[order[lo]] > cfg.Eps {
+				lo++
+			}
+			// The window [lo, hi] is maximal on the right at hi; emit it
+			// only if hi is the last index or extending right would
+			// shrink the left edge (i.e. it is not a strict subset of
+			// the next window).
+			if hi == k-1 || vals[order[hi+1]]-vals[order[lo]] > cfg.Eps {
+				if hi-lo+1 >= cfg.MinGroup {
+					g := append([]int(nil), order[lo:hi+1]...)
+					sort.Ints(g)
+					key := groupKey(g)
+					seen[key] = true
+					if _, ok := open[key]; !ok {
+						open[key] = run{start: t}
+						members[key] = g
+					}
+				}
+			}
+		}
+		// Close runs whose group is no longer a maximal window.
+		for key, r := range open {
+			if !seen[key] {
+				closeRun(key, r.start, t)
+				delete(open, key)
+				delete(members, key)
+			}
+		}
+	}
+	for key, r := range open {
+		closeRun(key, r.start, n)
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		return less(out[i].Members, out[j].Members)
+	})
+	return dedupeSubsets(out), nil
+}
+
+// dedupeSubsets removes bundles whose member set is a subset of another
+// bundle covering the same (or a wider) interval.
+func dedupeSubsets(bs []Bundle) []Bundle {
+	keep := make([]bool, len(bs))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i := range bs {
+		if !keep[i] {
+			continue
+		}
+		for j := range bs {
+			if i == j || !keep[i] {
+				continue
+			}
+			if bs[j].Start <= bs[i].Start && bs[j].End >= bs[i].End &&
+				len(bs[j].Members) > len(bs[i].Members) && isSubset(bs[i].Members, bs[j].Members) {
+				keep[i] = false
+			}
+		}
+	}
+	out := bs[:0]
+	for i, b := range bs {
+		if keep[i] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func isSubset(a, b []int) bool {
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j >= len(b) || b[j] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func less(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func groupKey(g []int) string {
+	b := make([]byte, 0, len(g)*3)
+	for _, v := range g {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16))
+	}
+	return string(b)
+}
+
+func commonLength(set [][]float64) (int, error) {
+	n := len(set[0])
+	for i, s := range set {
+		if len(s) != n {
+			return 0, fmt.Errorf("bundles: series %d has length %d, expected %d", i, len(s), n)
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("bundles: empty series")
+	}
+	return n, nil
+}

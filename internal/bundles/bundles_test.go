@@ -1,0 +1,277 @@
+package bundles
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPairsSimple(t *testing.T) {
+	// Series 0 and 1 stay within 0.5 during [2, 6); series 2 never
+	// approaches either.
+	set := [][]float64{
+		{0, 0, 1.0, 1.1, 1.2, 1.1, 9, 9},
+		{5, 5, 1.2, 1.3, 1.0, 1.4, 5, 5},
+		{20, 20, 20, 20, 20, 20, 20, 20},
+	}
+	got, err := Pairs(set, Config{Eps: 0.5, MinLen: 3, MinGroup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d pairs: %v", len(got), got)
+	}
+	p := got[0]
+	if p.A != 0 || p.B != 1 || p.Start != 2 || p.End != 6 {
+		t.Fatalf("pair = %+v", p)
+	}
+}
+
+func TestPairsMinLenFilters(t *testing.T) {
+	set := [][]float64{
+		{0, 9, 0, 0, 9},
+		{0, 0, 0, 0, 0},
+	}
+	// Runs: [0,1) and [2,4) — only the second survives MinLen=2.
+	got, err := Pairs(set, Config{Eps: 0.1, MinLen: 2, MinGroup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Start != 2 || got[0].End != 4 {
+		t.Fatalf("pairs = %v", got)
+	}
+}
+
+func TestPairsRunToEnd(t *testing.T) {
+	set := [][]float64{
+		{1, 1, 1},
+		{1.1, 1.1, 1.1},
+	}
+	got, err := Pairs(set, Config{Eps: 0.2, MinLen: 3, MinGroup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].End != 3 {
+		t.Fatalf("open run must close at series end: %v", got)
+	}
+}
+
+// brutePairs recomputes pairs directly from the definition.
+func brutePairs(set [][]float64, eps float64, minLen int) []Pair {
+	var out []Pair
+	k, n := len(set), len(set[0])
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			start := -1
+			for t := 0; t <= n; t++ {
+				ok := false
+				if t < n {
+					d := set[a][t] - set[b][t]
+					if d < 0 {
+						d = -d
+					}
+					ok = d <= eps
+				}
+				if ok && start < 0 {
+					start = t
+				}
+				if !ok && start >= 0 {
+					if t-start >= minLen {
+						out = append(out, Pair{A: a, B: b, Start: start, End: t})
+					}
+					start = -1
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestPairsMatchBruteRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		k := 2 + rng.Intn(5)
+		n := 5 + rng.Intn(100)
+		set := make([][]float64, k)
+		for i := range set {
+			set[i] = make([]float64, n)
+			v := rng.NormFloat64()
+			for t := range set[i] {
+				v += rng.NormFloat64() * 0.5
+				set[i][t] = v
+			}
+		}
+		eps := rng.Float64() * 2
+		minLen := 1 + rng.Intn(5)
+		got, err := Pairs(set, Config{Eps: eps, MinLen: minLen, MinGroup: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := brutePairs(set, eps, minLen)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: %d pairs, want %d", iter, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d: pair %d = %+v, want %+v", iter, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBundlesSimple(t *testing.T) {
+	// Three series travel together during [2, 7); a fourth is far away.
+	set := [][]float64{
+		{0, 0, 1.0, 1.0, 1.0, 1.0, 1.0, 9},
+		{5, 5, 1.2, 1.2, 1.2, 1.2, 1.2, 5},
+		{9, 9, 1.4, 1.4, 1.4, 1.4, 1.4, 0},
+		{30, 30, 30, 30, 30, 30, 30, 30},
+	}
+	got, err := Bundles(set, Config{Eps: 0.5, MinLen: 3, MinGroup: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d bundles: %v", len(got), got)
+	}
+	b := got[0]
+	if b.Start != 2 || b.End != 7 || len(b.Members) != 3 {
+		t.Fatalf("bundle = %+v", b)
+	}
+	for i, m := range []int{0, 1, 2} {
+		if b.Members[i] != m {
+			t.Fatalf("members = %v", b.Members)
+		}
+	}
+}
+
+func TestBundlesPairwiseGuarantee(t *testing.T) {
+	// Chained series: 0 and 2 are 0.8 apart (> eps), so {0,1,2} is NOT a
+	// bundle even though consecutive pairs are within eps.
+	set := [][]float64{
+		{0.0, 0.0, 0.0, 0.0},
+		{0.4, 0.4, 0.4, 0.4},
+		{0.8, 0.8, 0.8, 0.8},
+	}
+	got, err := Bundles(set, Config{Eps: 0.5, MinLen: 2, MinGroup: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("chain must not form a bundle: %v", got)
+	}
+	// With MinGroup 2, the two overlapping windows appear.
+	got, err = Bundles(set, Config{Eps: 0.5, MinLen: 2, MinGroup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("expected the two maximal windows: %v", got)
+	}
+}
+
+func TestBundlesSubsetSuppression(t *testing.T) {
+	// Four together the whole time: only the 4-member bundle reports.
+	set := [][]float64{
+		{1, 1, 1, 1},
+		{1.1, 1.1, 1.1, 1.1},
+		{1.2, 1.2, 1.2, 1.2},
+		{1.3, 1.3, 1.3, 1.3},
+	}
+	got, err := Bundles(set, Config{Eps: 0.5, MinLen: 2, MinGroup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Members) != 4 {
+		t.Fatalf("want one 4-member bundle, got %v", got)
+	}
+}
+
+func TestBundlesMembershipChange(t *testing.T) {
+	// Member 2 joins later: the pair run and the triple run are separate
+	// maximal bundles.
+	set := [][]float64{
+		{1, 1, 1, 1, 1, 1},
+		{1.1, 1.1, 1.1, 1.1, 1.1, 1.1},
+		{9, 9, 9, 1.2, 1.2, 1.2},
+	}
+	got, err := Bundles(set, Config{Eps: 0.5, MinLen: 2, MinGroup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairRun, tripleRun bool
+	for _, b := range got {
+		if len(b.Members) == 2 && b.Start == 0 && b.End == 3 {
+			pairRun = true
+		}
+		if len(b.Members) == 3 && b.Start == 3 && b.End == 6 {
+			tripleRun = true
+		}
+	}
+	if !pairRun || !tripleRun {
+		t.Fatalf("membership change not tracked: %v", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ok := [][]float64{{1, 2}, {1, 2}}
+	if _, err := Pairs(ok, Config{Eps: -1, MinLen: 1, MinGroup: 2}); err == nil {
+		t.Fatal("negative eps must fail")
+	}
+	if _, err := Pairs(ok, Config{Eps: 1, MinLen: 0, MinGroup: 2}); err == nil {
+		t.Fatal("MinLen 0 must fail")
+	}
+	if _, err := Bundles(ok, Config{Eps: 1, MinLen: 1, MinGroup: 1}); err == nil {
+		t.Fatal("MinGroup 1 must fail")
+	}
+	if _, err := Pairs([][]float64{{1}}, Config{Eps: 1, MinLen: 1, MinGroup: 2}); err == nil {
+		t.Fatal("single series must fail")
+	}
+	if _, err := Pairs([][]float64{{1, 2}, {1}}, Config{Eps: 1, MinLen: 1, MinGroup: 2}); err == nil {
+		t.Fatal("ragged lengths must fail")
+	}
+	if _, err := Pairs([][]float64{{}, {}}, Config{Eps: 1, MinLen: 1, MinGroup: 2}); err == nil {
+		t.Fatal("empty series must fail")
+	}
+}
+
+func TestBundleMembersArePairwiseClose(t *testing.T) {
+	// Property on random data: every reported bundle satisfies the
+	// pairwise bound at every covered timestamp.
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 20; iter++ {
+		k := 3 + rng.Intn(4)
+		n := 20 + rng.Intn(80)
+		set := make([][]float64, k)
+		for i := range set {
+			set[i] = make([]float64, n)
+			v := rng.NormFloat64() * 2
+			for t := range set[i] {
+				v += rng.NormFloat64() * 0.3
+				set[i][t] = v
+			}
+		}
+		eps := 0.5 + rng.Float64()
+		bs, err := Bundles(set, Config{Eps: eps, MinLen: 2, MinGroup: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range bs {
+			if b.End-b.Start < 2 {
+				t.Fatalf("iter %d: interval too short: %+v", iter, b)
+			}
+			for tt := b.Start; tt < b.End; tt++ {
+				for i := 0; i < len(b.Members); i++ {
+					for j := i + 1; j < len(b.Members); j++ {
+						d := set[b.Members[i]][tt] - set[b.Members[j]][tt]
+						if d < 0 {
+							d = -d
+						}
+						if d > eps+1e-12 {
+							t.Fatalf("iter %d: bundle %+v violates eps at t=%d", iter, b, tt)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"container/heap"
+
+	"twinsearch/internal/series"
+)
+
+// SearchApprox is the iSAX-style approximate query transplanted onto
+// TS-Index: a best-first probe that visits at most leafBudget leaves in
+// order of their Eq. 2 distance to the query and verifies only their
+// candidates. With leafBudget·MaxCap candidates inspected it costs
+// microseconds instead of a full traversal, and returns a subset of the
+// exact result set — possibly missing twins that live in unvisited
+// leaves (there is no guarantee, not even for the query's own source
+// window, though the nearest-leaf ordering makes misses rare for small
+// budgets ≥ 2). Use it for interactive "show me something similar now"
+// flows, with Search as the exact fallback; the returned statistics
+// tell the caller how much was examined. leafBudget ≤ 0 means 1.
+func (ix *Index) SearchApprox(q []float64, eps float64, leafBudget int) ([]series.Match, Stats) {
+	if len(q) != ix.cfg.L {
+		panic("core: query length mismatch")
+	}
+	if leafBudget <= 0 {
+		leafBudget = 1
+	}
+	var st Stats
+	if ix.root == nil {
+		return nil, st
+	}
+
+	ver := series.NewVerifier(ix.ext, q, eps)
+	var out []series.Match
+	pq := &nodeQueue{{n: ix.root, lb: ix.root.bounds.DistSequence(q)}}
+	for pq.Len() > 0 && st.LeavesReached < leafBudget {
+		item := heap.Pop(pq).(nodeItem)
+		st.NodesVisited++
+		if item.lb > eps {
+			// Everything remaining is farther than ε; Lemma 1 says no
+			// unvisited leaf can contribute.
+			st.NodesPruned++
+			break
+		}
+		if !item.n.leaf {
+			for _, c := range item.n.children {
+				heap.Push(pq, nodeItem{n: c, lb: c.bounds.DistSequence(q)})
+			}
+			continue
+		}
+		st.LeavesReached++
+		for _, p := range item.n.positions {
+			st.Candidates++
+			if ver.Verify(int(p)) {
+				out = append(out, series.Match{Start: int(p), Dist: -1})
+			}
+		}
+	}
+	series.SortMatches(out)
+	st.Results = len(out)
+	return out, st
+}

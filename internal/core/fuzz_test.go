@@ -1,0 +1,48 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"twinsearch/internal/datasets"
+	"twinsearch/internal/series"
+)
+
+// FuzzLoad feeds arbitrary byte streams to the index deserializer; it
+// must reject garbage with an error, never panic, and never accept a
+// stream whose tree contradicts the series. Run with `go test -fuzz
+// FuzzLoad ./internal/core` for exploration; the seed corpus (a valid
+// stream plus mutations) runs as part of the normal test suite.
+func FuzzLoad(f *testing.F) {
+	ts := datasets.RandomWalk(91, 600)
+	ext := series.NewExtractor(ts, series.NormGlobal)
+	ix, err := Build(ext, Config{L: 40})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if _, err := ix.WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:10])
+	f.Add([]byte("TSIX garbage"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid.Bytes()...)
+	if len(mutated) > 100 {
+		mutated[50] ^= 0xFF
+		mutated[99] ^= 0x0F
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		got, err := Load(bytes.NewReader(stream), ext)
+		if err != nil {
+			return // rejected: fine
+		}
+		// Accepted streams must describe a consistent index.
+		if err := got.CheckInvariants(); err != nil {
+			t.Fatalf("Load accepted an inconsistent stream: %v", err)
+		}
+	})
+}

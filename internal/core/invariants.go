@@ -1,0 +1,145 @@
+package core
+
+import "fmt"
+
+// CheckInvariants validates the structural invariants the paper's
+// construction guarantees; tests call it after builds and mutation
+// sequences. It verifies:
+//
+//   - all leaves sit at the same level (§5.2: "this procedure ensures
+//     that all leaves are placed on the same level");
+//   - every non-root node holds between MinCap and MaxCap entries and
+//     the root holds at most MaxCap;
+//   - every node's MBTS encloses its children's MBTS (internal) or the
+//     exact windows of its positions (leaf);
+//   - every inserted window is reachable exactly once.
+func (ix *Index) CheckInvariants() error {
+	if ix.root == nil {
+		if ix.size != 0 {
+			return fmt.Errorf("core: empty tree with size %d", ix.size)
+		}
+		return nil
+	}
+	total := 0
+	buf := make([]float64, ix.cfg.L)
+	var walk func(n *node, depth int, isRoot bool) error
+	walk = func(n *node, depth int, isRoot bool) error {
+		if n.leaf {
+			if depth != ix.height {
+				return fmt.Errorf("core: leaf at depth %d, height %d", depth, ix.height)
+			}
+			if !isRoot && (len(n.positions) < ix.cfg.MinCap || len(n.positions) > ix.cfg.MaxCap) {
+				return fmt.Errorf("core: leaf occupancy %d outside [%d, %d]", len(n.positions), ix.cfg.MinCap, ix.cfg.MaxCap)
+			}
+			if isRoot && len(n.positions) > ix.cfg.MaxCap {
+				return fmt.Errorf("core: root leaf occupancy %d exceeds %d", len(n.positions), ix.cfg.MaxCap)
+			}
+			for _, p := range n.positions {
+				w := ix.ext.Extract(int(p), ix.cfg.L, buf)
+				if !n.bounds.ContainsSequence(w) {
+					return fmt.Errorf("core: leaf MBTS does not enclose window %d", p)
+				}
+			}
+			total += len(n.positions)
+			return nil
+		}
+		if !isRoot && (len(n.children) < ix.cfg.MinCap || len(n.children) > ix.cfg.MaxCap) {
+			return fmt.Errorf("core: internal occupancy %d outside [%d, %d]", len(n.children), ix.cfg.MinCap, ix.cfg.MaxCap)
+		}
+		if isRoot && (len(n.children) < 2 || len(n.children) > ix.cfg.MaxCap) {
+			return fmt.Errorf("core: root occupancy %d outside [2, %d]", len(n.children), ix.cfg.MaxCap)
+		}
+		for _, c := range n.children {
+			if !n.bounds.ContainsMBTS(c.bounds) {
+				return fmt.Errorf("core: parent MBTS does not enclose child at depth %d", depth)
+			}
+			if err := walk(c, depth+1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(ix.root, 1, true); err != nil {
+		return err
+	}
+	if total != ix.size {
+		return fmt.Errorf("core: %d entries reachable, %d inserted", total, ix.size)
+	}
+	return nil
+}
+
+// LeafFill returns the mean leaf occupancy, an index-quality diagnostic
+// used by the ablation benchmarks.
+func (ix *Index) LeafFill() float64 {
+	leaves, entries := 0, 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			leaves++
+			entries += len(n.positions)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(ix.root)
+	if leaves == 0 {
+		return 0
+	}
+	return float64(entries) / float64(leaves)
+}
+
+// MeanLeafWidth returns the average MBTS width across leaves, a
+// tightness diagnostic (smaller bands prune more).
+func (ix *Index) MeanLeafWidth() float64 {
+	leaves := 0
+	var sum float64
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			leaves++
+			sum += n.bounds.Width() / float64(ix.cfg.L)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(ix.root)
+	if leaves == 0 {
+		return 0
+	}
+	return sum / float64(leaves)
+}
+
+// verifyReachable is a test helper: it confirms position p is indexed.
+func (ix *Index) verifyReachable(p int) bool {
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n == nil {
+			return false
+		}
+		if n.leaf {
+			for _, q := range n.positions {
+				if int(q) == p {
+					return true
+				}
+			}
+			return false
+		}
+		for _, c := range n.children {
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(ix.root)
+}

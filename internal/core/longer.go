@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"twinsearch/internal/series"
+)
+
+// SearchLonger answers twin queries LONGER than the indexed length L
+// with the existing index: by the paper's closure property (§3.1), if
+// T[p, l] is a twin of Q (l > L), then T[p, L] is a twin of Q[0:L] —
+// so the index filters on the query's L-prefix and each surviving
+// candidate is verified over the full l values (candidates whose window
+// would run past the end of the series are rejected outright). Exact.
+//
+// Per-subsequence normalization is unsupported for the same reason as
+// SearchPrefix: the normalization of T[p, l] does not restrict to the
+// normalization of T[p, L].
+func (ix *Index) SearchLonger(q []float64, eps float64) ([]series.Match, error) {
+	l := len(q)
+	if l < ix.cfg.L {
+		return nil, fmt.Errorf("core: query length %d below indexed length %d (use SearchPrefix)", l, ix.cfg.L)
+	}
+	if ix.ext.Mode() == series.NormPerSubsequence {
+		return nil, fmt.Errorf("core: longer queries are unsupported under per-subsequence normalization")
+	}
+	if l == ix.cfg.L {
+		return ix.Search(q, eps), nil
+	}
+	if l > ix.ext.Len() {
+		return nil, nil
+	}
+
+	prefix := q[:ix.cfg.L]
+	ver := series.NewVerifier(ix.ext, q, eps)
+	last := ix.ext.Len() - l
+	var out []series.Match
+	if ix.root == nil {
+		return nil, nil
+	}
+	stack := []*node{ix.root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, ok := n.bounds.DistSequenceAbandon(prefix, eps); !ok {
+			continue
+		}
+		if !n.leaf {
+			stack = append(stack, n.children...)
+			continue
+		}
+		for _, p := range n.positions {
+			if int(p) > last {
+				continue // the full-length window would overrun the series
+			}
+			if ver.Verify(int(p)) {
+				out = append(out, series.Match{Start: int(p), Dist: -1})
+			}
+		}
+	}
+	series.SortMatches(out)
+	return out, nil
+}

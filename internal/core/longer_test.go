@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"twinsearch/internal/datasets"
+	"twinsearch/internal/series"
+	"twinsearch/internal/sweepline"
+)
+
+func TestSearchLongerMatchesSweepline(t *testing.T) {
+	for _, mode := range []series.NormMode{series.NormNone, series.NormGlobal} {
+		ts := datasets.EEGN(43, 6000)
+		ix, ext := buildOver(t, ts, mode, Config{L: 80})
+		sw := sweepline.New(ext)
+		for _, l := range []int{80, 120, 200} {
+			q := ext.ExtractCopy(2500, l)
+			for _, eps := range []float64{0.1, 0.4, 1.0} {
+				got, err := ix.SearchLonger(q, eps)
+				if err != nil {
+					t.Fatalf("mode=%v l=%d: %v", mode, l, err)
+				}
+				want := sw.Search(q, eps)
+				if len(got) != len(want) {
+					t.Fatalf("mode=%v l=%d eps=%v: %d vs %d results", mode, l, eps, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].Start != want[i].Start {
+						t.Fatalf("mode=%v l=%d: result %d differs", mode, l, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSearchLongerEdges(t *testing.T) {
+	ts := datasets.RandomWalk(44, 1000)
+	ix, ext := buildOver(t, ts, series.NormGlobal, Config{L: 100})
+	if _, err := ix.SearchLonger(make([]float64, 50), 1); err == nil {
+		t.Fatal("shorter query must be rejected")
+	}
+	// Longer than the whole series: no possible match.
+	ms, err := ix.SearchLonger(make([]float64, 1001), 1)
+	if err != nil || ms != nil {
+		t.Fatalf("over-long query: %v, %v", ms, err)
+	}
+	per, _ := buildOver(t, ts, series.NormPerSubsequence, Config{L: 100})
+	if _, err := per.SearchLonger(make([]float64, 200), 1); err == nil {
+		t.Fatal("per-subsequence mode must be rejected")
+	}
+	// Exactly series-length query: at most one candidate (start 0).
+	q := ext.ExtractCopy(0, 1000)
+	ms, err = ix.SearchLonger(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Start != 0 {
+		t.Fatalf("series-length self query: %v", ms)
+	}
+}

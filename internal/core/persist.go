@@ -1,0 +1,219 @@
+package core
+
+// Index persistence: a built TS-Index serializes to a compact binary
+// stream and reloads in milliseconds, against the same series — an
+// extension beyond the paper (whose indexes live for one experiment),
+// but table stakes for using TS-Index as an actual storage component:
+// construction is the expensive phase (tens of seconds for millions of
+// windows), queries are not.
+//
+// Format (little-endian):
+//
+//	magic "TSIX", version u16
+//	mode u8, L u32, MinCap u32, MaxCap u32
+//	size u64, height u32, seriesLen u64
+//	tree: pre-order; per node:
+//	  tag u8 (0 leaf, 1 internal)
+//	  bounds: L×f64 upper, L×f64 lower
+//	  leaf:     count u32, count×u32 positions
+//	  internal: count u32, then children recursively
+//
+// The stream does not embed the series itself; Load verifies that the
+// supplied extractor matches the recorded mode and length and that the
+// root MBTS still encloses a sample of windows, rejecting mismatched
+// data early.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"twinsearch/internal/mbts"
+	"twinsearch/internal/series"
+)
+
+const (
+	persistMagic   = "TSIX"
+	persistVersion = 1
+)
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+
+	if _, err := cw.Write([]byte(persistMagic)); err != nil {
+		return cw.n, err
+	}
+	hdr := []interface{}{
+		uint16(persistVersion),
+		uint8(ix.ext.Mode()),
+		uint32(ix.cfg.L), uint32(ix.cfg.MinCap), uint32(ix.cfg.MaxCap),
+		uint64(ix.size), uint32(ix.height), uint64(ix.ext.Len()),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return cw.n, err
+		}
+	}
+	if ix.root != nil {
+		if err := writeNode(cw, ix.root, ix.cfg.L); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+func writeNode(w io.Writer, n *node, l int) error {
+	tag := uint8(1)
+	if n.leaf {
+		tag = 0
+	}
+	if err := binary.Write(w, binary.LittleEndian, tag); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, n.bounds.Upper); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, n.bounds.Lower); err != nil {
+		return err
+	}
+	if n.leaf {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(n.positions))); err != nil {
+			return err
+		}
+		buf := make([]uint32, len(n.positions))
+		for i, p := range n.positions {
+			buf[i] = uint32(p)
+		}
+		return binary.Write(w, binary.LittleEndian, buf)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(n.children))); err != nil {
+		return err
+	}
+	for _, c := range n.children {
+		if err := writeNode(w, c, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reconstructs an index from r against ext. The extractor must
+// present the same series (length) and normalization mode the index was
+// built with.
+func Load(r io.Reader, ext *series.Extractor) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("core: load: bad magic %q", magic)
+	}
+	var (
+		version           uint16
+		mode              uint8
+		l, minCap, maxCap uint32
+		size              uint64
+		height            uint32
+		seriesLen         uint64
+	)
+	for _, v := range []interface{}{&version, &mode, &l, &minCap, &maxCap, &size, &height, &seriesLen} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("core: load header: %w", err)
+		}
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("core: load: unsupported version %d", version)
+	}
+	if series.NormMode(mode) != ext.Mode() {
+		return nil, fmt.Errorf("core: load: index built under %v, extractor is %v", series.NormMode(mode), ext.Mode())
+	}
+	if int(seriesLen) != ext.Len() {
+		return nil, fmt.Errorf("core: load: index built over %d points, series has %d", seriesLen, ext.Len())
+	}
+
+	ix, err := NewEmpty(ext, Config{L: int(l), MinCap: int(minCap), MaxCap: int(maxCap)})
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	ix.size = int(size)
+	ix.height = int(height)
+	if size > 0 {
+		count := series.NumSubsequences(ext.Len(), int(l))
+		ix.root, err = readNode(br, int(l), count)
+		if err != nil {
+			return nil, fmt.Errorf("core: load tree: %w", err)
+		}
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("core: load: reconstructed index is inconsistent with the supplied series: %w", err)
+	}
+	return ix, nil
+}
+
+func readNode(r io.Reader, l, maxPos int) (*node, error) {
+	var tag uint8
+	if err := binary.Read(r, binary.LittleEndian, &tag); err != nil {
+		return nil, err
+	}
+	if tag > 1 {
+		return nil, fmt.Errorf("corrupt node tag %d", tag)
+	}
+	b := mbts.New(l)
+	if err := binary.Read(r, binary.LittleEndian, b.Upper); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, b.Lower); err != nil {
+		return nil, err
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if count > uint32(maxPos) {
+		return nil, fmt.Errorf("corrupt node: %d entries for a series with %d windows", count, maxPos)
+	}
+	n := &node{bounds: b}
+	if tag == 0 {
+		n.leaf = true
+		buf := make([]uint32, count)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, err
+		}
+		n.positions = make([]int32, count)
+		for i, p := range buf {
+			if p >= uint32(maxPos) {
+				return nil, fmt.Errorf("corrupt position %d (max %d)", p, maxPos)
+			}
+			n.positions[i] = int32(p)
+		}
+		return n, nil
+	}
+	n.children = make([]*node, count)
+	for i := range n.children {
+		c, err := readNode(r, l, maxPos)
+		if err != nil {
+			return nil, err
+		}
+		n.children[i] = c
+	}
+	return n, nil
+}
+
+// countWriter tracks bytes written for WriteTo's contract.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

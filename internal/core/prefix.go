@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"twinsearch/internal/series"
+)
+
+// SearchPrefix answers twin queries SHORTER than the indexed length —
+// the direction ULISSE takes data-series indexing, derived here from
+// the paper's own closure property (§3.1): time-aligned subsequences of
+// twins are twins. Consequently, for a query of length l ≤ L:
+//
+//   - the first l timestamps of a node's MBTS bound the first l values
+//     of every indexed window beneath it, so the Eq. 2 distance computed
+//     over that prefix still lower-bounds d∞(Q, T[p,l]) for every
+//     indexed start p — Lemma 1 survives truncation;
+//   - indexed starts cover p ∈ [0, n−L]; the remaining starts
+//     p ∈ (n−L, n−l] exist only at the shorter length and are verified
+//     by a bounded tail scan of at most L−l windows.
+//
+// The combination is exact. Per-subsequence normalization is
+// unsupported: z-normalizing T[p,l] is not a prefix of z-normalizing
+// T[p,L], so the stored bounds do not transfer.
+func (ix *Index) SearchPrefix(q []float64, eps float64) ([]series.Match, error) {
+	l := len(q)
+	if l > ix.cfg.L {
+		return nil, fmt.Errorf("core: prefix query length %d exceeds indexed length %d", l, ix.cfg.L)
+	}
+	if l == 0 {
+		return nil, fmt.Errorf("core: empty query")
+	}
+	if ix.ext.Mode() == series.NormPerSubsequence {
+		return nil, fmt.Errorf("core: prefix queries are unsupported under per-subsequence normalization")
+	}
+	if l == ix.cfg.L {
+		return ix.Search(q, eps), nil
+	}
+
+	var out []series.Match
+	ver := series.NewVerifier(ix.ext, q, eps)
+	if ix.root != nil {
+		stack := []*node{ix.root}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			// Prefix Lemma 1 check: Eq. 2 over the first l timestamps.
+			pb := prefixBounds{n: n, l: l}
+			if !pb.within(q, eps) {
+				continue
+			}
+			if !n.leaf {
+				stack = append(stack, n.children...)
+				continue
+			}
+			for _, p := range n.positions {
+				if ver.Verify(int(p)) {
+					out = append(out, series.Match{Start: int(p), Dist: -1})
+				}
+			}
+		}
+	}
+
+	// Tail starts that only exist at the shorter length.
+	n := ix.ext.Len()
+	for p := n - ix.cfg.L + 1; p <= n-l; p++ {
+		if p < 0 {
+			continue
+		}
+		if ver.Verify(p) {
+			out = append(out, series.Match{Start: p, Dist: -1})
+		}
+	}
+	series.SortMatches(out)
+	return out, nil
+}
+
+// prefixBounds adapts a node's MBTS to prefix distance checks.
+type prefixBounds struct {
+	n *node
+	l int
+}
+
+// within reports whether the prefix Eq. 2 distance is ≤ eps, with early
+// abandoning.
+func (pb prefixBounds) within(q []float64, eps float64) bool {
+	up, lo := pb.n.bounds.Upper[:pb.l], pb.n.bounds.Lower[:pb.l]
+	for i, v := range q {
+		if v > up[i] {
+			if v-up[i] > eps {
+				return false
+			}
+		} else if v < lo[i] {
+			if lo[i]-v > eps {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"twinsearch/internal/mbts"
+	"twinsearch/internal/series"
+)
+
+// splitLeaf divides an overflowing leaf into two (§5.2): the two
+// subsequences with the largest pairwise Chebyshev distance seed the new
+// leaves, and every remaining subsequence joins the side whose MBTS
+// grows the least (with R-tree-style forced assignment so both sides
+// reach MinCap).
+func (ix *Index) splitLeaf(n *node) (*node, *node) {
+	k := len(n.positions)
+	wins := make([][]float64, k)
+	for i, p := range n.positions {
+		wins[i] = ix.ext.ExtractCopy(int(p), ix.cfg.L)
+	}
+
+	// Farthest pair by Chebyshev distance.
+	si, sj := 0, 1
+	var maxD float64 = -1
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if d := series.Chebyshev(wins[i], wins[j]); d > maxD {
+				maxD, si, sj = d, i, j
+			}
+		}
+	}
+
+	a := &node{bounds: mbts.FromSequence(wins[si]), leaf: true,
+		positions: append(make([]int32, 0, k), n.positions[si])}
+	b := &node{bounds: mbts.FromSequence(wins[sj]), leaf: true,
+		positions: append(make([]int32, 0, k), n.positions[sj])}
+
+	remaining := make([]int, 0, k-2)
+	for i := 0; i < k; i++ {
+		if i != si && i != sj {
+			remaining = append(remaining, i)
+		}
+	}
+	for idx, i := range remaining {
+		left := len(remaining) - idx
+		w := wins[i]
+		switch {
+		case ix.cfg.MinCap-len(a.positions) >= left:
+			assignLeaf(a, w, n.positions[i])
+		case ix.cfg.MinCap-len(b.positions) >= left:
+			assignLeaf(b, w, n.positions[i])
+		default:
+			if pickSide(a.bounds.WidthIncreaseSequence(w), b.bounds.WidthIncreaseSequence(w),
+				a.bounds, b.bounds, len(a.positions), len(b.positions)) {
+				assignLeaf(a, w, n.positions[i])
+			} else {
+				assignLeaf(b, w, n.positions[i])
+			}
+		}
+	}
+	return a, b
+}
+
+func assignLeaf(n *node, w []float64, p int32) {
+	n.bounds.ExpandToSequence(w)
+	n.positions = append(n.positions, p)
+}
+
+// splitInternal divides an overflowing internal node (§5.2): seeds are
+// the two children whose MBTS are farthest apart under Eq. 3; remaining
+// children join the side whose merged MBTS grows the least.
+func (ix *Index) splitInternal(n *node) (*node, *node) {
+	k := len(n.children)
+	si, sj := 0, 1
+	var maxD float64 = -1
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if d := n.children[i].bounds.DistMBTS(n.children[j].bounds); d > maxD {
+				maxD, si, sj = d, i, j
+			}
+		}
+	}
+
+	a := &node{bounds: n.children[si].bounds.Clone(),
+		children: append(make([]*node, 0, k), n.children[si])}
+	b := &node{bounds: n.children[sj].bounds.Clone(),
+		children: append(make([]*node, 0, k), n.children[sj])}
+
+	remaining := make([]*node, 0, k-2)
+	for i, c := range n.children {
+		if i != si && i != sj {
+			remaining = append(remaining, c)
+		}
+	}
+	for idx, c := range remaining {
+		left := len(remaining) - idx
+		switch {
+		case ix.cfg.MinCap-len(a.children) >= left:
+			assignInternal(a, c)
+		case ix.cfg.MinCap-len(b.children) >= left:
+			assignInternal(b, c)
+		default:
+			if pickSide(a.bounds.WidthIncreaseMBTS(c.bounds), b.bounds.WidthIncreaseMBTS(c.bounds),
+				a.bounds, b.bounds, len(a.children), len(b.children)) {
+				assignInternal(a, c)
+			} else {
+				assignInternal(b, c)
+			}
+		}
+	}
+	return a, b
+}
+
+func assignInternal(n *node, c *node) {
+	n.bounds.ExpandToMBTS(c.bounds)
+	n.children = append(n.children, c)
+}
+
+// pickSide reports whether side A should take the entry: least width
+// increase, then tighter current MBTS, then fewer entries.
+func pickSide(incA, incB float64, bA, bB *mbts.MBTS, nA, nB int) bool {
+	if incA != incB {
+		return incA < incB
+	}
+	wA, wB := bA.Width(), bB.Width()
+	if wA != wB {
+		return wA < wB
+	}
+	return nA <= nB
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"container/heap"
+
+	"twinsearch/internal/series"
+)
+
+// SearchTopK returns the k subsequences nearest to q under Chebyshev
+// distance, sorted by ascending distance with ties broken by start
+// position — a strict total order, so the result set is deterministic
+// even when more than k windows share the k-th distance.
+//
+// This is an extension beyond the paper (which studies threshold
+// queries): a best-first traversal ordered by the Eq. 2 node distance,
+// which lower-bounds the true distance of everything below a node
+// (Lemma 1), so the traversal can stop as soon as the nearest unexplored
+// node is farther than the current k-th best — the classic optimal
+// incremental NN strategy transplanted onto MBTS.
+func (ix *Index) SearchTopK(q []float64, k int) []series.Match {
+	if len(q) != ix.cfg.L {
+		panic("core: query length mismatch")
+	}
+	if k <= 0 || ix.root == nil {
+		return nil
+	}
+
+	pq := &nodeQueue{{n: ix.root, lb: ix.root.bounds.DistSequence(q)}}
+	best := &resultHeap{}
+	buf := make([]float64, ix.cfg.L)
+
+	kth := func() float64 {
+		if best.Len() < k {
+			return -1 // not full yet: nothing can be discarded
+		}
+		return (*best)[0].Dist
+	}
+
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(nodeItem)
+		if t := kth(); t >= 0 && item.lb > t {
+			break // every remaining node is at least this far
+		}
+		if !item.n.leaf {
+			for _, c := range item.n.children {
+				lb := c.bounds.DistSequence(q)
+				if t := kth(); t >= 0 && lb > t {
+					continue
+				}
+				heap.Push(pq, nodeItem{n: c, lb: lb})
+			}
+			continue
+		}
+		for _, p := range item.n.positions {
+			w := ix.ext.Extract(int(p), ix.cfg.L, buf)
+			d := series.Chebyshev(q, w)
+			m := series.Match{Start: int(p), Dist: d}
+			if best.Len() >= k {
+				// Full: admit only if strictly better than the current
+				// worst under the (dist, start) total order.
+				if !matchLess(m, (*best)[0]) {
+					continue
+				}
+				heap.Pop(best)
+			}
+			heap.Push(best, m)
+		}
+	}
+
+	out := make([]series.Match, best.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(best).(series.Match)
+	}
+	return out
+}
+
+// matchLess is the strict total order on results: by distance, then by
+// start position.
+func matchLess(a, b series.Match) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.Start < b.Start
+}
+
+// nodeItem pairs a node with its Eq. 2 lower bound for the query.
+type nodeItem struct {
+	n  *node
+	lb float64
+}
+
+// nodeQueue is a min-heap on lower bound.
+type nodeQueue []nodeItem
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].lb < q[j].lb }
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(nodeItem)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// resultHeap is a max-heap under the (dist, start) total order, holding
+// the best k matches with the worst on top.
+type resultHeap []series.Match
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return matchLess(h[j], h[i]) }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(series.Match)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

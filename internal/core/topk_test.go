@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"twinsearch/internal/datasets"
+	"twinsearch/internal/series"
+)
+
+// bruteTopK computes the exact k nearest windows by full scan.
+func bruteTopK(ext *series.Extractor, q []float64, k int) []series.Match {
+	var all []series.Match
+	buf := make([]float64, len(q))
+	for p := 0; p+len(q) <= ext.Len(); p++ {
+		w := ext.Extract(p, len(q), buf)
+		all = append(all, series.Match{Start: p, Dist: series.Chebyshev(q, w)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].Start < all[j].Start
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestTopKMatchesBrute(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ts   []float64
+		mode series.NormMode
+	}{
+		{"walk-global", datasets.RandomWalk(2, 3000), series.NormGlobal},
+		{"sine-global", datasets.Sine(4, 3000, 150, 2, 0.1), series.NormGlobal},
+		{"insect-raw", datasets.InsectN(5, 3000), series.NormNone},
+		{"eeg-persub", datasets.EEGN(6, 3000), series.NormPerSubsequence},
+	} {
+		ix, ext := buildOver(t, tc.ts, tc.mode, Config{L: 60})
+		q := ext.ExtractCopy(800, 60)
+		for _, k := range []int{1, 5, 25} {
+			got := ix.SearchTopK(q, k)
+			want := bruteTopK(ext, q, k)
+			if len(got) != len(want) {
+				t.Fatalf("%s k=%d: %d results, want %d", tc.name, k, len(got), len(want))
+			}
+			for i := range want {
+				// Distances must agree exactly; tie order is normalized
+				// by start in both implementations.
+				if got[i].Dist != want[i].Dist {
+					t.Fatalf("%s k=%d rank %d: dist %v, want %v", tc.name, k, i, got[i].Dist, want[i].Dist)
+				}
+				if got[i].Start != want[i].Start {
+					t.Fatalf("%s k=%d rank %d: start %d, want %d", tc.name, k, i, got[i].Start, want[i].Start)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKSelfNearest(t *testing.T) {
+	ts := datasets.RandomWalk(9, 2000)
+	ix, ext := buildOver(t, ts, series.NormGlobal, Config{L: 80})
+	q := ext.ExtractCopy(555, 80)
+	got := ix.SearchTopK(q, 1)
+	if len(got) != 1 || got[0].Start != 555 || got[0].Dist != 0 {
+		t.Fatalf("nearest to a window must be itself: %+v", got)
+	}
+}
+
+func TestTopKDegenerate(t *testing.T) {
+	ts := datasets.RandomWalk(1, 500)
+	ix, ext := buildOver(t, ts, series.NormGlobal, Config{L: 50})
+	q := ext.ExtractCopy(0, 50)
+	if ms := ix.SearchTopK(q, 0); ms != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if ms := ix.SearchTopK(q, -3); ms != nil {
+		t.Fatal("k<0 should return nil")
+	}
+	// k larger than the index returns everything, sorted.
+	all := ix.SearchTopK(q, 10_000)
+	if len(all) != ix.Len() {
+		t.Fatalf("k>n should return all %d, got %d", ix.Len(), len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Dist < all[i-1].Dist {
+			t.Fatal("results must be sorted by distance")
+		}
+	}
+}
+
+func TestTopKEmptyIndex(t *testing.T) {
+	ext := series.NewExtractor(datasets.RandomWalk(1, 100), series.NormGlobal)
+	ix, _ := NewEmpty(ext, Config{L: 20})
+	if ms := ix.SearchTopK(make([]float64, 20), 5); ms != nil {
+		t.Fatal("empty index should return nil")
+	}
+}
+
+func TestTopKConsistentWithThresholdSearch(t *testing.T) {
+	// The k-th distance defines a threshold; threshold search at that
+	// distance must return at least k results.
+	ts := datasets.EEGN(10, 5000)
+	ix, ext := buildOver(t, ts, series.NormGlobal, Config{L: 100})
+	q := ext.ExtractCopy(2000, 100)
+	top := ix.SearchTopK(q, 10)
+	if len(top) != 10 {
+		t.Fatalf("got %d", len(top))
+	}
+	eps := top[len(top)-1].Dist
+	ms := ix.Search(q, eps)
+	if len(ms) < 10 {
+		t.Fatalf("threshold search at k-th distance returned %d < 10", len(ms))
+	}
+}

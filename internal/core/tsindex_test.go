@@ -1,0 +1,228 @@
+package core
+
+import (
+	"testing"
+
+	"twinsearch/internal/datasets"
+	"twinsearch/internal/series"
+	"twinsearch/internal/sweepline"
+)
+
+func buildOver(t *testing.T, ts []float64, mode series.NormMode, cfg Config) (*Index, *series.Extractor) {
+	t.Helper()
+	ext := series.NewExtractor(ts, mode)
+	ix, err := Build(ext, cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	return ix, ext
+}
+
+func TestConfigValidation(t *testing.T) {
+	ext := series.NewExtractor(datasets.RandomWalk(1, 200), series.NormGlobal)
+	if _, err := Build(ext, Config{L: 0}); err == nil {
+		t.Fatal("L=0 must fail")
+	}
+	if _, err := Build(ext, Config{L: 50, MinCap: 0, MaxCap: 30}); err != nil {
+		t.Fatalf("MinCap default should apply: %v", err)
+	}
+	if _, err := Build(ext, Config{L: 50, MinCap: -2, MaxCap: 30}); err == nil {
+		t.Fatal("negative MinCap must fail")
+	}
+	if _, err := Build(ext, Config{L: 50, MinCap: 10, MaxCap: 18}); err == nil {
+		t.Fatal("MaxCap < 2·MinCap−1 must fail")
+	}
+	if _, err := Build(ext, Config{L: 50, MinCap: 10, MaxCap: 19}); err != nil {
+		t.Fatalf("MaxCap = 2·MinCap−1 must pass: %v", err)
+	}
+	if _, err := Build(ext, Config{L: 500}); err == nil {
+		t.Fatal("L > n must fail")
+	}
+}
+
+func TestMatchesSweeplineAllModes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ts   []float64
+		mode series.NormMode
+		eps  []float64
+	}{
+		{"walk-raw", datasets.RandomWalk(2, 4000), series.NormNone, []float64{0.5, 2, 5}},
+		{"walk-global", datasets.RandomWalk(2, 4000), series.NormGlobal, []float64{0.1, 0.3, 0.6}},
+		{"walk-persub", datasets.RandomWalk(2, 4000), series.NormPerSubsequence, []float64{0.2, 0.5}},
+		{"sine-global", datasets.Sine(4, 4000, 150, 2, 0.1), series.NormGlobal, []float64{0.1, 0.3}},
+		{"eeg-persub", datasets.EEGN(6, 6000), series.NormPerSubsequence, []float64{0.3, 0.8}},
+		{"insect-raw", datasets.InsectN(5, 5000), series.NormNone, []float64{1, 3}},
+	} {
+		ix, ext := buildOver(t, tc.ts, tc.mode, Config{L: 80})
+		sw := sweepline.New(ext)
+		q := ext.ExtractCopy(1000, 80)
+		for _, eps := range tc.eps {
+			got := ix.Search(q, eps)
+			want := sw.Search(q, eps)
+			if len(got) != len(want) {
+				t.Fatalf("%s eps=%v: %d matches, want %d", tc.name, eps, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Start != want[i].Start {
+					t.Fatalf("%s eps=%v: position mismatch at %d", tc.name, eps, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeGrowsInHeight(t *testing.T) {
+	ts := datasets.RandomWalk(3, 5000)
+	ix, _ := buildOver(t, ts, series.NormGlobal, Config{L: 50})
+	if ix.Height() < 3 {
+		t.Fatalf("5k windows at Mc=30 should give height ≥ 3, got %d", ix.Height())
+	}
+	if ix.Len() != series.NumSubsequences(len(ts), 50) {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if ix.NodeCount() <= ix.Len()/31 {
+		t.Fatalf("NodeCount = %d too small", ix.NodeCount())
+	}
+	if ix.L() != 50 {
+		t.Fatalf("L = %d", ix.L())
+	}
+	if ix.Extractor() == nil {
+		t.Fatal("Extractor accessor broken")
+	}
+}
+
+func TestIncrementalInsertInvariants(t *testing.T) {
+	// Invariants must hold at every prefix of the insertion sequence,
+	// not just at the end.
+	ts := datasets.InsectN(11, 800)
+	ext := series.NewExtractor(ts, series.NormGlobal)
+	ix, err := NewEmpty(ext, Config{L: 40, MinCap: 2, MaxCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := series.NumSubsequences(len(ts), 40)
+	for p := 0; p < count; p++ {
+		ix.Insert(p)
+		if p%50 == 0 || p == count-1 {
+			if err := ix.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", p+1, err)
+			}
+		}
+	}
+	for _, p := range []int{0, 1, count / 2, count - 1} {
+		if !ix.verifyReachable(p) {
+			t.Fatalf("position %d unreachable", p)
+		}
+	}
+}
+
+func TestTinyCapacitiesDeepTree(t *testing.T) {
+	ts := datasets.Sine(7, 1200, 90, 1.5, 0.2)
+	ix, ext := buildOver(t, ts, series.NormGlobal, Config{L: 30, MinCap: 2, MaxCap: 4})
+	if ix.Height() < 4 {
+		t.Fatalf("tiny caps should give a deep tree, got height %d", ix.Height())
+	}
+	q := ext.ExtractCopy(200, 30)
+	got := ix.Search(q, 0.25)
+	want := sweepline.New(ext).Search(q, 0.25)
+	if len(got) != len(want) {
+		t.Fatalf("deep tree search: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestSearchStatsFunnel(t *testing.T) {
+	ts := datasets.EEGN(8, 20000)
+	ix, ext := buildOver(t, ts, series.NormGlobal, Config{L: 100})
+	q := ext.ExtractCopy(5000, 100)
+	ms, st := ix.SearchStats(q, 0.2)
+	if st.NodesPruned == 0 {
+		t.Fatal("tight threshold should prune")
+	}
+	if st.Candidates >= ix.Len() {
+		t.Fatal("filter admitted everything")
+	}
+	if st.Results != len(ms) {
+		t.Fatal("Results counter mismatch")
+	}
+	if st.LeavesReached == 0 || st.NodesVisited == 0 {
+		t.Fatal("counters not recorded")
+	}
+}
+
+func TestEmptyIndexSearch(t *testing.T) {
+	ext := series.NewExtractor(datasets.RandomWalk(1, 100), series.NormGlobal)
+	ix, err := NewEmpty(ext, Config{L: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := ix.Search(make([]float64, 20), 1); ms != nil {
+		t.Fatal("empty index must return nil")
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryLengthPanic(t *testing.T) {
+	ix, _ := buildOver(t, datasets.RandomWalk(1, 500), series.NormGlobal, Config{L: 50})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	ix.Search(make([]float64, 49), 1)
+}
+
+func TestSelfQueryAlwaysFound(t *testing.T) {
+	ts := datasets.InsectN(7, 10000)
+	for _, mode := range []series.NormMode{series.NormNone, series.NormGlobal, series.NormPerSubsequence} {
+		ix, ext := buildOver(t, ts, mode, Config{L: 100})
+		for _, p := range []int{0, 1234, 9900} {
+			q := ext.ExtractCopy(p, 100)
+			found := false
+			for _, m := range ix.Search(q, 0) {
+				if m.Start == p {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("mode=%v: window %d not found by its own query", mode, p)
+			}
+		}
+	}
+}
+
+func TestHugeEpsilonReturnsEverything(t *testing.T) {
+	ts := datasets.RandomWalk(4, 2000)
+	ix, ext := buildOver(t, ts, series.NormGlobal, Config{L: 50})
+	q := ext.ExtractCopy(100, 50)
+	ms, st := ix.SearchStats(q, 1e9)
+	if len(ms) != ix.Len() {
+		t.Fatalf("huge eps must match everything: %d vs %d", len(ms), ix.Len())
+	}
+	if st.NodesPruned != 0 {
+		t.Fatal("nothing should be pruned at huge eps")
+	}
+}
+
+func TestDiagnostics(t *testing.T) {
+	ts := datasets.RandomWalk(5, 3000)
+	ix, _ := buildOver(t, ts, series.NormGlobal, Config{L: 50})
+	if f := ix.LeafFill(); f < float64(ix.cfg.MinCap) || f > float64(ix.cfg.MaxCap) {
+		t.Fatalf("LeafFill = %v outside capacity band", f)
+	}
+	if w := ix.MeanLeafWidth(); w <= 0 {
+		t.Fatalf("MeanLeafWidth = %v", w)
+	}
+	if ix.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes must be positive")
+	}
+	small, _ := buildOver(t, datasets.RandomWalk(5, 600), series.NormGlobal, Config{L: 50})
+	if small.MemoryBytes() >= ix.MemoryBytes() {
+		t.Fatal("memory accounting flat")
+	}
+}

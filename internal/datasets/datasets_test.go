@@ -1,0 +1,141 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"twinsearch/internal/series"
+)
+
+func TestLengths(t *testing.T) {
+	if n := len(InsectN(1, 1000)); n != 1000 {
+		t.Fatalf("InsectN length = %d", n)
+	}
+	if n := len(EEGN(1, 1000)); n != 1000 {
+		t.Fatalf("EEGN length = %d", n)
+	}
+	if InsectLen != 64436 || EEGLen != 1801999 {
+		t.Fatal("paper lengths changed")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := InsectN(7, 5000)
+	b := InsectN(7, 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("InsectN not deterministic")
+		}
+	}
+	c := EEGN(7, 5000)
+	d := EEGN(7, 5000)
+	for i := range c {
+		if c[i] != d[i] {
+			t.Fatal("EEGN not deterministic")
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := EEGN(1, 2000)
+	b := EEGN(2, 2000)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > len(a)/10 {
+		t.Fatalf("different seeds produced %d/%d identical samples", same, len(a))
+	}
+}
+
+func TestValuesFinite(t *testing.T) {
+	for name, ts := range map[string][]float64{
+		"insect": InsectN(3, 50000),
+		"eeg":    EEGN(3, 50000),
+		"walk":   RandomWalk(3, 50000),
+		"sine":   Sine(3, 50000, 200, 1, 0.1),
+	} {
+		for i, v := range ts {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s[%d] = %v", name, i, v)
+			}
+		}
+	}
+}
+
+func TestEEGHasSpikes(t *testing.T) {
+	ts := EEGN(11, 200000)
+	_, std := series.MeanStd(ts)
+	spikes := 0
+	for _, v := range ts {
+		if v > 3*std || v < -3*std {
+			spikes++
+		}
+	}
+	if spikes == 0 {
+		t.Fatal("EEG generator produced no spike excursions")
+	}
+}
+
+func TestInsectHasRegimes(t *testing.T) {
+	ts := InsectN(11, InsectLen)
+	// Split into 1000-point windows; regime switching should give a wide
+	// spread of window variances (bursty vs calm).
+	var stds []float64
+	for p := 0; p+1000 <= len(ts); p += 1000 {
+		_, std := series.MeanStd(ts[p : p+1000])
+		stds = append(stds, std)
+	}
+	lo, hi := series.MinMax(stds)
+	if hi < 3*lo {
+		t.Fatalf("insect generator lacks regime contrast: window std range [%v, %v]", lo, hi)
+	}
+}
+
+func TestSinePeriodicity(t *testing.T) {
+	ts := Sine(1, 1000, 100, 2, 0)
+	for i := 0; i+100 < len(ts); i++ {
+		if math.Abs(ts[i]-ts[i+100]) > 1e-9 {
+			t.Fatalf("noise-free sine should repeat every period (i=%d)", i)
+		}
+	}
+}
+
+func TestQueries(t *testing.T) {
+	ts := RandomWalk(5, 10000)
+	qs := Queries(ts, 99, 100, 64)
+	if len(qs) != 100 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	starts := QueryStarts(len(ts), 99, 100, 64)
+	for i, q := range qs {
+		if len(q) != 64 {
+			t.Fatalf("query %d has length %d", i, len(q))
+		}
+		p := starts[i]
+		for j := range q {
+			if q[j] != ts[p+j] {
+				t.Fatalf("query %d does not match its sampled window", i)
+			}
+		}
+	}
+	// Copies, not views.
+	ts[starts[0]] = 1e18
+	if qs[0][0] == 1e18 {
+		t.Fatal("queries must be copies")
+	}
+}
+
+func TestQueriesDegenerate(t *testing.T) {
+	if qs := Queries([]float64{1, 2}, 1, 5, 10); qs != nil {
+		t.Fatal("window longer than series should yield nil")
+	}
+	if qs := Queries(nil, 1, 5, 1); qs != nil {
+		t.Fatal("empty series should yield nil")
+	}
+	if st := QueryStarts(2, 1, 5, 10); st != nil {
+		t.Fatal("QueryStarts should mirror Queries degenerate cases")
+	}
+}

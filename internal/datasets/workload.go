@@ -1,0 +1,36 @@
+package datasets
+
+import "math/rand"
+
+// Queries samples count query subsequences of length l from t, the way
+// the paper builds its workload ("we randomly picked 100 subsequences,
+// each of length 100 points", §6.1). Queries are copies, so callers may
+// normalize them freely. Sampling is deterministic in seed.
+func Queries(t []float64, seed int64, count, l int) [][]float64 {
+	if l <= 0 || len(t) < l {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, count)
+	for i := range out {
+		p := rng.Intn(len(t) - l + 1)
+		q := make([]float64, l)
+		copy(q, t[p:p+l])
+		out[i] = q
+	}
+	return out
+}
+
+// QueryStarts returns the start offsets Queries would sample, for tests
+// that need to know where each query came from.
+func QueryStarts(n int, seed int64, count, l int) []int {
+	if l <= 0 || n < l {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, count)
+	for i := range out {
+		out[i] = rng.Intn(n - l + 1)
+	}
+	return out
+}

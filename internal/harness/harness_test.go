@@ -1,0 +1,283 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"twinsearch/internal/series"
+)
+
+// tinyRunner shrinks everything so harness tests run in seconds; the
+// disk-resident verification path has its own dedicated test.
+func tinyRunner() *Runner {
+	r := NewRunner(0.002, 42) // EEG ≈ 3.6k points
+	r.Queries = 5
+	r.DiskVerify = false
+	insect := Insect(42, 0)
+	insect.Data = insect.Data[:4000]
+	r.insect = &insect
+	return r
+}
+
+func TestDiskVerifyAgreesWithMemory(t *testing.T) {
+	mem := tinyRunner()
+	disk := tinyRunner()
+	disk.DiskVerify = true
+	defer disk.Close()
+
+	memRows := mem.Figure4()
+	diskRows := disk.Figure4()
+	if len(memRows) != len(diskRows) {
+		t.Fatalf("row count differs: %d vs %d", len(memRows), len(diskRows))
+	}
+	for i := range memRows {
+		a, b := memRows[i], diskRows[i]
+		if a.Method != b.Method || a.Param != b.Param || a.Dataset != b.Dataset {
+			t.Fatalf("row %d identity mismatch", i)
+		}
+		if a.AvgResults != b.AvgResults || a.AvgCandidates != b.AvgCandidates {
+			t.Fatalf("row %d (%s %s %s): disk results/candidates %v/%v differ from memory %v/%v",
+				i, a.Dataset, a.Method, a.Param, b.AvgResults, b.AvgCandidates, a.AvgResults, a.AvgCandidates)
+		}
+	}
+	disk.Close()
+	if len(disk.diskStores) != 0 || len(disk.diskFiles) != 0 {
+		t.Fatal("Close did not clear disk state")
+	}
+}
+
+func TestDatasetsMaterializeOnce(t *testing.T) {
+	r := tinyRunner()
+	if r.EEG() != r.EEG() {
+		t.Fatal("EEG should be cached")
+	}
+	if r.Insect() != r.Insect() {
+		t.Fatal("Insect should be cached")
+	}
+	if len(r.Datasets()) != 2 {
+		t.Fatal("want two datasets")
+	}
+}
+
+func TestFigure4ShapesAndCoverage(t *testing.T) {
+	r := tinyRunner()
+	rows := r.Figure4()
+	// 2 datasets × 4 methods × 5 thresholds.
+	if len(rows) != 2*4*5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, row := range rows {
+		if row.Figure != "4" {
+			t.Fatalf("row figure = %q", row.Figure)
+		}
+		if row.AvgQueryMs < 0 {
+			t.Fatal("negative latency")
+		}
+		seen[row.Method] = true
+		// The workload samples queries from the series itself, so every
+		// query matches at least itself.
+		if row.AvgResults < 1 {
+			t.Fatalf("%s %s %s: avg results %v < 1 (self-match missing)",
+				row.Dataset, row.Method, row.Param, row.AvgResults)
+		}
+	}
+	for _, m := range AllMethods {
+		if !seen[m.String()] {
+			t.Fatalf("method %v missing from Figure 4", m)
+		}
+	}
+}
+
+func TestFigure4ResultCountsAgreeAcrossMethods(t *testing.T) {
+	r := tinyRunner()
+	rows := r.Figure4()
+	// All methods answer the same queries: per (dataset, param) the
+	// result counts must agree exactly.
+	type key struct{ ds, param string }
+	counts := map[key]float64{}
+	for _, row := range rows {
+		k := key{row.Dataset, row.Param}
+		if prev, ok := counts[k]; ok {
+			if prev != row.AvgResults {
+				t.Fatalf("%v: %s reports %v results, earlier method reported %v",
+					k, row.Method, row.AvgResults, prev)
+			}
+		} else {
+			counts[k] = row.AvgResults
+		}
+	}
+}
+
+func TestFigure5Coverage(t *testing.T) {
+	r := tinyRunner()
+	rows := r.Figure5()
+	if len(rows) != 2*4*len(LengthGrid) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if !strings.HasPrefix(row.Param, "l=") {
+			t.Fatalf("param %q", row.Param)
+		}
+	}
+}
+
+func TestFigure6ExcludesKV(t *testing.T) {
+	r := tinyRunner()
+	rows := r.Figure6()
+	if len(rows) != 2*2*5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.Method == "KV-Index" || row.Method == "Sweepline" {
+			t.Fatalf("unexpected method %s in Figure 6", row.Method)
+		}
+	}
+}
+
+func TestFigure7RawGridRescaled(t *testing.T) {
+	r := tinyRunner()
+	rows := r.Figure7()
+	if len(rows) != 2*4*5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Raw thresholds are σ-scaled, so they must differ from the
+	// normalized grid.
+	for _, row := range rows {
+		if row.Param == "eps=0.5" && row.Dataset == "Insect" {
+			t.Fatal("raw grid was not rescaled")
+		}
+	}
+}
+
+func TestFigure8Coverage(t *testing.T) {
+	r := tinyRunner()
+	rows := r.Figure8()
+	if len(rows) != 2*3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.MemBytes <= 0 {
+			t.Fatalf("%s %s: no memory recorded", row.Dataset, row.Method)
+		}
+		if row.BuildMs < 0 {
+			t.Fatal("negative build time")
+		}
+	}
+}
+
+func TestFigureIntro(t *testing.T) {
+	r := tinyRunner()
+	rows := r.FigureIntro()
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var cheb, euc float64
+	for _, row := range rows {
+		switch row.Method {
+		case "Chebyshev":
+			cheb = row.AvgResults
+		case "Euclidean":
+			euc = row.AvgResults
+		}
+	}
+	if euc < cheb {
+		t.Fatalf("Euclidean set (%v) must be a superset of Chebyshev (%v)", euc, cheb)
+	}
+}
+
+func TestEpsGridFor(t *testing.T) {
+	d := Insect(1, 0)
+	d.Data = d.Data[:5000]
+	norm := epsGridFor(&d, series.NormGlobal)
+	if len(norm) != 5 || norm[0] != 0.5 {
+		t.Fatalf("norm grid = %v", norm)
+	}
+	raw := epsGridFor(&d, series.NormNone)
+	if len(raw) != 5 || raw[0] == norm[0] {
+		t.Fatalf("raw grid must be σ-scaled: %v", raw)
+	}
+	if defaultEpsFor(&d, series.NormGlobal) != d.DefaultEpsNorm {
+		t.Fatal("default norm eps")
+	}
+	if defaultEpsFor(&d, series.NormNone) == d.DefaultEpsNorm {
+		t.Fatal("default raw eps must be σ-scaled")
+	}
+}
+
+func TestScaledLen(t *testing.T) {
+	if scaledLen(1000000, 0) != 1000000 || scaledLen(1000000, 1) != 1000000 || scaledLen(1000000, 2) != 1000000 {
+		t.Fatal("degenerate scales must give full length")
+	}
+	if scaledLen(1000000, 0.5) != 500000 {
+		t.Fatal("scaling broken")
+	}
+	if scaledLen(100000, 0.000001) != 1000 {
+		t.Fatal("floor at 1000 points")
+	}
+}
+
+func TestPrintTableAndCSV(t *testing.T) {
+	r := tinyRunner()
+	rows := append(r.Figure8(), r.FigureIntro()...)
+	var buf bytes.Buffer
+	PrintTable(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"Figure 8", "TS-Index", "memory", "Chebyshev"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	PrintTable(&buf, nil)
+	if !strings.Contains(buf.String(), "no rows") {
+		t.Fatal("empty table should say so")
+	}
+	buf.Reset()
+	PrintCSV(&buf, rows)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(rows)+1 {
+		t.Fatalf("CSV has %d lines for %d rows", len(lines), len(rows))
+	}
+	if !strings.HasPrefix(lines[0], "figure,dataset,method") {
+		t.Fatal("CSV header missing")
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if csvEscape("plain") != "plain" {
+		t.Fatal("plain strings unchanged")
+	}
+	if csvEscape(`a,"b"`) != `"a,""b"""` {
+		t.Fatalf("got %q", csvEscape(`a,"b"`))
+	}
+}
+
+func TestShapeReport(t *testing.T) {
+	rows := []Row{
+		{Figure: "4", Dataset: "EEG", Method: "TS-Index", AvgQueryMs: 1},
+		{Figure: "4", Dataset: "EEG", Method: "iSAX", AvgQueryMs: 3},
+		{Figure: "4", Dataset: "EEG", Method: "Sweepline", AvgQueryMs: 50},
+		{Figure: "4", Dataset: "EEG", Method: "KV-Index", AvgQueryMs: 40},
+		{Figure: "8", Dataset: "EEG", Method: "KV-Index", MemBytes: 10, BuildMs: 1},
+		{Figure: "8", Dataset: "EEG", Method: "iSAX", MemBytes: 100, BuildMs: 30},
+		{Figure: "8", Dataset: "EEG", Method: "TS-Index", MemBytes: 250, BuildMs: 20},
+		{Figure: "intro", Dataset: "EEG", Method: "Chebyshev", AvgResults: 10},
+		{Figure: "intro", Dataset: "EEG", Method: "Euclidean", AvgResults: 1200},
+	}
+	report := ShapeReport(rows)
+	if len(report) == 0 {
+		t.Fatal("empty report")
+	}
+	joined := strings.Join(report, "\n")
+	if strings.Contains(joined, "FAIL") {
+		t.Fatalf("synthetic rows satisfy every claim, got:\n%s", joined)
+	}
+	// Now flip one ordering and expect a FAIL.
+	rows[0].AvgQueryMs = 10
+	report = ShapeReport(rows)
+	if !strings.Contains(strings.Join(report, "\n"), "FAIL") {
+		t.Fatal("expected a FAIL after inverting the ordering")
+	}
+}

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"twinsearch/internal/core"
+	"twinsearch/internal/isax"
+	"twinsearch/internal/kvindex"
+	"twinsearch/internal/series"
+	"twinsearch/internal/sweepline"
+)
+
+// MethodID identifies a search method in result rows.
+type MethodID int
+
+// The four compared methods, in the paper's presentation order.
+const (
+	Sweepline MethodID = iota
+	KVIndex
+	ISAX
+	TSIndex
+)
+
+// AllMethods lists every method, in presentation order.
+var AllMethods = []MethodID{Sweepline, KVIndex, ISAX, TSIndex}
+
+// String implements fmt.Stringer.
+func (m MethodID) String() string {
+	switch m {
+	case Sweepline:
+		return "Sweepline"
+	case KVIndex:
+		return "KV-Index"
+	case ISAX:
+		return "iSAX"
+	case TSIndex:
+		return "TS-Index"
+	default:
+		return fmt.Sprintf("MethodID(%d)", int(m))
+	}
+}
+
+// searcher is the minimal query interface the runner drives.
+type searcher interface {
+	// search returns (results, candidates verified).
+	search(q []float64, eps float64) (int, int)
+}
+
+// built couples a constructed method with its build cost.
+type built struct {
+	method    MethodID
+	s         searcher
+	buildTime time.Duration
+	memBytes  int
+}
+
+type sweepAdapter struct{ s *sweepline.Sweepline }
+
+func (a sweepAdapter) search(q []float64, eps float64) (int, int) {
+	ms, st := a.s.SearchStats(q, eps)
+	return len(ms), st.Candidates
+}
+
+type kvAdapter struct{ ix *kvindex.Index }
+
+func (a kvAdapter) search(q []float64, eps float64) (int, int) {
+	ms, st := a.ix.SearchStats(q, eps)
+	return len(ms), st.Candidates
+}
+
+type isaxAdapter struct{ ix *isax.Index }
+
+func (a isaxAdapter) search(q []float64, eps float64) (int, int) {
+	ms, st := a.ix.SearchStats(q, eps)
+	return len(ms), st.Candidates
+}
+
+type tsAdapter struct{ ix *core.Index }
+
+func (a tsAdapter) search(q []float64, eps float64) (int, int) {
+	ms, st := a.ix.SearchStats(q, eps)
+	return len(ms), st.Candidates
+}
+
+// buildMethod constructs one method over ext with the paper's default
+// structural parameters (§6.1) and the given ℓ and m.
+func buildMethod(m MethodID, ext *series.Extractor, l, segments int) (built, error) {
+	start := time.Now()
+	switch m {
+	case Sweepline:
+		s := sweepline.New(ext)
+		return built{method: m, s: sweepAdapter{s}, buildTime: time.Since(start)}, nil
+	case KVIndex:
+		ix, err := kvindex.Build(ext, kvindex.Config{L: l})
+		if err != nil {
+			return built{}, err
+		}
+		return built{method: m, s: kvAdapter{ix}, buildTime: time.Since(start),
+			memBytes: ix.MemoryBytes() + ix.AuxiliaryBytes()}, nil
+	case ISAX:
+		ix, err := isax.Build(ext, isax.Config{L: l, Segments: segments})
+		if err != nil {
+			return built{}, err
+		}
+		return built{method: m, s: isaxAdapter{ix}, buildTime: time.Since(start),
+			memBytes: ix.MemoryBytes()}, nil
+	case TSIndex:
+		ix, err := core.Build(ext, core.Config{L: l})
+		if err != nil {
+			return built{}, err
+		}
+		return built{method: m, s: tsAdapter{ix}, buildTime: time.Since(start),
+			memBytes: ix.MemoryBytes()}, nil
+	default:
+		return built{}, fmt.Errorf("harness: unknown method %v", m)
+	}
+}

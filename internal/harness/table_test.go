@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"twinsearch/internal/series"
+
+	"strings"
+	"testing"
+)
+
+func TestHumanBytes(t *testing.T) {
+	cases := []struct {
+		in   int
+		want string
+	}{
+		{500, "500 B"},
+		{2048, "2.00 KiB"},
+		{3 << 20, "3.00 MiB"},
+		{5 << 30, "5.00 GiB"},
+	}
+	for _, c := range cases {
+		if got := humanBytes(c.in); got != c.want {
+			t.Errorf("humanBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestShapeReportKVCheckOnlyFig4(t *testing.T) {
+	rows := []Row{
+		{Figure: "7", Dataset: "X", Method: "TS-Index", AvgQueryMs: 1},
+		{Figure: "7", Dataset: "X", Method: "iSAX", AvgQueryMs: 10},
+		{Figure: "7", Dataset: "X", Method: "KV-Index", AvgQueryMs: 5}, // faster than iSAX
+		{Figure: "7", Dataset: "X", Method: "Sweepline", AvgQueryMs: 100},
+	}
+	report := strings.Join(ShapeReport(rows), "\n")
+	if strings.Contains(report, "weakest index") {
+		t.Fatal("the KV-weakest check must not apply to Figure 7")
+	}
+	if !strings.Contains(report, "PASS  Fig 7/X: TS-Index fastest") {
+		t.Fatalf("missing fastest check:\n%s", report)
+	}
+}
+
+func TestShapeReportEmptyAndPartial(t *testing.T) {
+	if got := ShapeReport(nil); len(got) != 0 {
+		t.Fatalf("empty rows should yield empty report, got %v", got)
+	}
+	// A figure with only TS-Index rows: no comparative checks beyond
+	// "fastest" (trivially true with no competitors).
+	rows := []Row{{Figure: "4", Dataset: "Y", Method: "TS-Index", AvgQueryMs: 2}}
+	report := strings.Join(ShapeReport(rows), "\n")
+	if strings.Contains(report, "FAIL") {
+		t.Fatalf("no competitors should mean no failures:\n%s", report)
+	}
+}
+
+func TestMethodIDString(t *testing.T) {
+	if Sweepline.String() != "Sweepline" || KVIndex.String() != "KV-Index" ||
+		ISAX.String() != "iSAX" || TSIndex.String() != "TS-Index" {
+		t.Fatal("method names changed")
+	}
+	if MethodID(42).String() != "MethodID(42)" {
+		t.Fatal("fallback name changed")
+	}
+}
+
+func TestBuildMethodUnknown(t *testing.T) {
+	d := Insect(1, 0)
+	ext := series.NewExtractor(d.Data[:2000], series.NormGlobal)
+	if _, err := buildMethod(MethodID(99), ext, 100, 10); err == nil {
+		t.Fatal("unknown method must fail")
+	}
+}

@@ -1,0 +1,111 @@
+package isax
+
+import (
+	"sync"
+
+	"twinsearch/internal/paa"
+	"twinsearch/internal/series"
+)
+
+// Adaptive is an ADS+-style adaptive variant of the iSAX index
+// [Zoumpatianos, Idreos & Palpanas 2014], cited by the paper among the
+// iSAX family: construction does only the cheap work (one
+// summarization pass and the root fan-out), leaving every root child as
+// one large unsplit leaf. Leaves are refined lazily, one binary split
+// at a time, when — and only where — queries actually descend, so the
+// index "pays" for structure exactly in the regions the workload cares
+// about. Query results are identical to the fully built index at every
+// point in time.
+//
+// Adaptive refinement mutates the tree during queries, so Adaptive
+// serializes searches internally; it trades per-query concurrency for
+// a ~100× cheaper construction phase.
+type Adaptive struct {
+	mu sync.Mutex
+	ix *Index
+}
+
+// BuildAdaptive constructs the adaptive index: summarization plus root
+// partitioning only.
+func BuildAdaptive(ext *series.Extractor, cfg Config) (*Adaptive, error) {
+	// Reuse the serial builder with an unbounded leaf capacity: without
+	// splits it degenerates to exactly the cheap phase. The real
+	// capacity is restored for query-time refinement.
+	want := cfg.LeafCapacity
+	if want <= 0 {
+		want = DefaultLeafCapacity
+	}
+	cfg.LeafCapacity = 1 << 30
+	ix, err := Build(ext, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ix.cfg.LeafCapacity = want
+	return &Adaptive{ix: ix}, nil
+}
+
+// Search returns all twin subsequences of q at threshold eps, refining
+// any oversized leaf the traversal reaches before scanning it.
+func (a *Adaptive) Search(q []float64, eps float64) []series.Match {
+	ms, _ := a.SearchStats(q, eps)
+	return ms
+}
+
+// SearchStats is Search with traversal counters.
+func (a *Adaptive) SearchStats(q []float64, eps float64) ([]series.Match, Stats) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	ix := a.ix
+	if len(q) != ix.cfg.L {
+		panic("isax: query length mismatch")
+	}
+	qPAA := make([]float64, ix.cfg.Segments)
+	paa.TransformTo(qPAA, q)
+	ver := series.NewVerifier(ix.ext, q, eps)
+
+	var st Stats
+	var out []series.Match
+	stack := make([]*node, 0, 64)
+	for _, n := range ix.root {
+		stack = append(stack, n)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st.NodesVisited++
+		if n.word.PruneTwin(ix.quant, qPAA, eps) {
+			st.NodesPruned++
+			continue
+		}
+		if !n.leaf {
+			stack = append(stack, n.left, n.right)
+			continue
+		}
+		// Adaptive step: a qualifying oversized leaf is split one level
+		// and re-examined, so only query-relevant regions refine — and
+		// the refinement persists for future queries.
+		if len(n.positions) > ix.cfg.LeafCapacity && ix.splitLeafOnce(n) {
+			stack = append(stack, n.left, n.right)
+			continue
+		}
+		st.LeavesReached++
+		for _, p := range n.positions {
+			st.Candidates++
+			if ver.Verify(int(p)) {
+				out = append(out, series.Match{Start: int(p), Dist: -1})
+			}
+		}
+	}
+	series.SortMatches(out)
+	st.Results = len(out)
+	return out, st
+}
+
+// Index exposes the underlying index for inspection (node counts,
+// memory accounting). The caller must not mutate it.
+func (a *Adaptive) Index() *Index {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ix
+}

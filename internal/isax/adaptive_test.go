@@ -1,0 +1,131 @@
+package isax
+
+import (
+	"sync"
+	"testing"
+
+	"twinsearch/internal/datasets"
+	"twinsearch/internal/series"
+	"twinsearch/internal/sweepline"
+)
+
+func TestAdaptiveMatchesSweeplineAlways(t *testing.T) {
+	for _, mode := range []series.NormMode{series.NormNone, series.NormGlobal, series.NormPerSubsequence} {
+		ts := datasets.InsectN(61, 8000)
+		ext := series.NewExtractor(ts, mode)
+		ad, err := BuildAdaptive(ext, Config{L: 80, Segments: 8, LeafCapacity: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw := sweepline.New(ext)
+		// A sequence of queries: every one must be exact, including the
+		// very first (before any refinement).
+		for i, p := range []int{100, 3000, 3005, 5000, 100, 7000} {
+			q := ext.ExtractCopy(p, 80)
+			got := ad.Search(q, 0.5)
+			want := sw.Search(q, 0.5)
+			if len(got) != len(want) {
+				t.Fatalf("mode=%v query %d: %d vs %d results", mode, i, len(got), len(want))
+			}
+			for j := range want {
+				if got[j].Start != want[j].Start {
+					t.Fatalf("mode=%v query %d: result %d differs", mode, i, j)
+				}
+			}
+		}
+		if err := ad.Index().CheckInvariants(); err != nil {
+			t.Fatalf("mode=%v: invariants after refinement: %v", mode, err)
+		}
+	}
+}
+
+func TestAdaptiveRefinesOnlyOnQueries(t *testing.T) {
+	ts := datasets.EEGN(62, 20000)
+	ext := series.NewExtractor(ts, series.NormGlobal)
+	ad, err := BuildAdaptive(ext, Config{L: 100, Segments: 10, LeafCapacity: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ad.Index().NodeCount()
+
+	q := ext.ExtractCopy(5000, 100)
+	ad.Search(q, 0.3)
+	afterOne := ad.Index().NodeCount()
+	if afterOne <= before {
+		t.Fatalf("first query should refine the touched region (%d → %d nodes)", before, afterOne)
+	}
+
+	// The same query again refines nothing new (its region is built).
+	ad.Search(q, 0.3)
+	afterTwo := ad.Index().NodeCount()
+	if afterTwo != afterOne {
+		t.Fatalf("repeat query should not refine further (%d → %d nodes)", afterOne, afterTwo)
+	}
+
+	// A fully built index for comparison: the adaptive one stays far
+	// smaller after a single localized query.
+	full, err := Build(ext, Config{L: 100, Segments: 10, LeafCapacity: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterTwo >= full.NodeCount() {
+		t.Fatalf("adaptive index (%d nodes) should be lazier than the full build (%d)", afterTwo, full.NodeCount())
+	}
+}
+
+func TestAdaptiveBuildIsCheap(t *testing.T) {
+	ts := datasets.InsectN(63, 30000)
+	ext := series.NewExtractor(ts, series.NormGlobal)
+	ad, err := BuildAdaptive(ext, Config{L: 100, Segments: 10, LeafCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any query: exactly the root fan-out, no splits.
+	if got, rootChildren := ad.Index().NodeCount(), len(ad.Index().root); got != rootChildren {
+		t.Fatalf("fresh adaptive index has %d nodes but %d root children", got, rootChildren)
+	}
+}
+
+func TestAdaptiveConcurrentSearches(t *testing.T) {
+	// Concurrency is serialized internally; results must stay exact
+	// under simultaneous callers (run with -race).
+	ts := datasets.EEGN(64, 10000)
+	ext := series.NewExtractor(ts, series.NormGlobal)
+	ad, err := BuildAdaptive(ext, Config{L: 100, Segments: 10, LeafCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := sweepline.New(ext)
+	queries := make([][]float64, 6)
+	want := make([]int, len(queries))
+	for i := range queries {
+		queries[i] = ext.ExtractCopy(500+1500*i, 100)
+		want[i] = len(sw.Search(queries[i], 0.4))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 24)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, q := range queries {
+				if got := len(ad.Search(q, 0.4)); got != want[i] {
+					errs <- "mismatch"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, open := <-errs; open {
+		t.Fatal(msg)
+	}
+}
+
+func TestAdaptiveRejectsBadConfig(t *testing.T) {
+	ext := series.NewExtractor(datasets.RandomWalk(1, 100), series.NormGlobal)
+	if _, err := BuildAdaptive(ext, Config{L: 0, Segments: 5}); err == nil {
+		t.Fatal("L=0 must fail")
+	}
+}

@@ -1,0 +1,159 @@
+package isax
+
+import (
+	"runtime"
+	"sync"
+
+	"twinsearch/internal/paa"
+	"twinsearch/internal/sax"
+	"twinsearch/internal/series"
+)
+
+// BuildParallel constructs the same index Build does, using multiple
+// cores — the direction ParIS and MESSI (both cited by the paper) take
+// iSAX indexing. The root of an iSAX tree partitions entries by their
+// base-cardinality word, and subtrees under different root children
+// never interact, so construction parallelizes in two phases with no
+// locking on the hot path:
+//
+//  1. summarization: worker goroutines split the position range and
+//     compute each window's PAA and max-cardinality symbols;
+//  2. subtree building: root children are distributed across workers,
+//     each worker inserting its partitions' entries serially.
+//
+// The resulting tree is structurally identical to Build's for the same
+// input (insertion order within a partition is preserved), so queries
+// and invariants are unaffected. workers ≤ 0 selects GOMAXPROCS.
+func BuildParallel(ext *series.Extractor, cfg Config, workers int) (*Index, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	quant, count, err := prepare(ext, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := cfg.Segments
+
+	// Phase 1: per-window max-cardinality symbols, sharded by range.
+	symsMax := make([]uint8, count*m)
+	var wg sync.WaitGroup
+	chunk := (count + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > count {
+			hi = count
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			winBuf := make([]float64, cfg.L)
+			paaBuf := make([]float64, m)
+			for p := lo; p < hi; p++ {
+				win := ext.Extract(p, cfg.L, winBuf)
+				paa.TransformTo(paaBuf, win)
+				for i, v := range paaBuf {
+					symsMax[p*m+i] = quant.SymbolMax(v)
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Phase 2: partition by base word, then build partitions in
+	// parallel. Partition membership is the root-child key, so no two
+	// workers ever touch the same subtree.
+	baseBits := make([]uint8, m)
+	for i := range baseBits {
+		baseBits[i] = uint8(cfg.BaseBits)
+	}
+	partitions := map[string][]int32{}
+	var keys []string
+	for p := 0; p < count; p++ {
+		w := sax.WordFromMax(symsMax[p*m:p*m+m], baseBits)
+		k := w.Key()
+		if _, seen := partitions[k]; !seen {
+			keys = append(keys, k)
+		}
+		partitions[k] = append(partitions[k], int32(p))
+	}
+
+	ix := &Index{ext: ext, cfg: cfg, quant: quant, root: make(map[string]*node, len(keys))}
+	type result struct {
+		key   string
+		node  *node
+		nodes int
+	}
+	results := make([]result, len(keys))
+	var next int
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(keys) {
+					return
+				}
+				key := keys[i]
+				sub := &subBuilder{cfg: cfg}
+				for _, p := range partitions[key] {
+					sub.insert(p, symsMax[int(p)*m:int(p)*m+m], baseBits)
+				}
+				results[i] = result{key: key, node: sub.root, nodes: sub.nodes}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		ix.root[r.key] = r.node
+		ix.nodes += r.nodes
+	}
+	ix.size = count
+	return ix, nil
+}
+
+// subBuilder grows one root subtree with the same insert/split logic as
+// the serial index (duplicated in miniature to avoid locking ix state).
+type subBuilder struct {
+	cfg   Config
+	root  *node
+	nodes int
+}
+
+func (sb *subBuilder) insert(p int32, symsMax []uint8, baseBits []uint8) {
+	if sb.root == nil {
+		base := sax.WordFromMax(symsMax, baseBits)
+		sb.root = &node{word: base, leaf: true}
+		sb.nodes++
+	}
+	n := sb.root
+	for !n.leaf {
+		if n.left.word.MatchesMax(symsMax) {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	m := len(baseBits)
+	n.positions = append(n.positions, p)
+	n.symsMax = append(n.symsMax, symsMax...)
+	if len(n.positions) > sb.cfg.LeafCapacity {
+		sb.splitLeaf(n, m)
+	}
+}
+
+func (sb *subBuilder) splitLeaf(n *node, m int) {
+	ix := &Index{cfg: sb.cfg}
+	before := ix.nodes
+	ix.splitLeaf(n)
+	sb.nodes += ix.nodes - before
+}

@@ -1,0 +1,77 @@
+package isax
+
+import (
+	"testing"
+
+	"twinsearch/internal/datasets"
+	"twinsearch/internal/series"
+	"twinsearch/internal/sweepline"
+)
+
+func TestBuildParallelEquivalentToSerial(t *testing.T) {
+	for _, mode := range []series.NormMode{series.NormNone, series.NormGlobal, series.NormPerSubsequence} {
+		ts := datasets.InsectN(51, 8000)
+		ext := series.NewExtractor(ts, mode)
+		cfg := Config{L: 80, Segments: 8, LeafCapacity: 128}
+
+		serial, err := Build(ext, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 3, 16} {
+			par, err := BuildParallel(ext, cfg, workers)
+			if err != nil {
+				t.Fatalf("mode=%v workers=%d: %v", mode, workers, err)
+			}
+			if err := par.CheckInvariants(); err != nil {
+				t.Fatalf("mode=%v workers=%d: %v", mode, workers, err)
+			}
+			if par.Len() != serial.Len() {
+				t.Fatalf("mode=%v workers=%d: Len %d vs %d", mode, workers, par.Len(), serial.Len())
+			}
+			if par.NodeCount() != serial.NodeCount() {
+				t.Fatalf("mode=%v workers=%d: NodeCount %d vs %d (structure diverged)",
+					mode, workers, par.NodeCount(), serial.NodeCount())
+			}
+			q := ext.ExtractCopy(2000, 80)
+			for _, eps := range []float64{0.2, 0.8} {
+				a := serial.Search(q, eps)
+				b := par.Search(q, eps)
+				if len(a) != len(b) {
+					t.Fatalf("mode=%v workers=%d eps=%v: %d vs %d results", mode, workers, eps, len(a), len(b))
+				}
+				for i := range a {
+					if a[i].Start != b[i].Start {
+						t.Fatalf("mode=%v workers=%d: result %d differs", mode, workers, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBuildParallelMatchesSweepline(t *testing.T) {
+	ts := datasets.EEGN(52, 10000)
+	ext := series.NewExtractor(ts, series.NormGlobal)
+	ix, err := BuildParallel(ext, Config{L: 100, Segments: 10, LeafCapacity: 256}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := sweepline.New(ext)
+	q := ext.ExtractCopy(4000, 100)
+	got := ix.Search(q, 0.4)
+	want := sw.Search(q, 0.4)
+	if len(got) != len(want) {
+		t.Fatalf("%d vs %d results", len(got), len(want))
+	}
+}
+
+func TestBuildParallelRejectsBadConfig(t *testing.T) {
+	ext := series.NewExtractor(datasets.RandomWalk(1, 100), series.NormGlobal)
+	if _, err := BuildParallel(ext, Config{L: 0, Segments: 5}, 4); err == nil {
+		t.Fatal("L=0 must fail")
+	}
+	if _, err := BuildParallel(ext, Config{L: 200, Segments: 5}, 4); err == nil {
+		t.Fatal("L > n must fail")
+	}
+}

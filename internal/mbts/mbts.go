@@ -1,0 +1,225 @@
+// Package mbts implements Minimum Bounding Time Series
+// [Chatzigeorgakidis et al. 2017], the bounding structure at the heart of
+// the TS-Index: a pair of sequences (upper, lower) enclosing a set of
+// equal-length time series pointwise (paper Definition 2), together with
+// the two Chebyshev-flavoured distances the index needs —
+// sequence-to-MBTS (Eq. 2, used for descent and for the Lemma 1 pruning
+// test) and MBTS-to-MBTS (Eq. 3, used when splitting internal nodes).
+package mbts
+
+import "fmt"
+
+// MBTS bounds a set of sequences of equal length l: Lower[i] ≤ S[i] ≤
+// Upper[i] for every enclosed S and every timestamp i.
+type MBTS struct {
+	Upper []float64
+	Lower []float64
+}
+
+// New returns an empty MBTS of length l: Upper at -∞-like sentinel is
+// avoided by construction — an MBTS is always seeded from a first
+// sequence via FromSequence or Enclose, so New pre-allocates only.
+func New(l int) *MBTS {
+	return &MBTS{Upper: make([]float64, l), Lower: make([]float64, l)}
+}
+
+// FromSequence returns the tightest MBTS around a single sequence: both
+// bounds equal the sequence.
+func FromSequence(s []float64) *MBTS {
+	b := New(len(s))
+	copy(b.Upper, s)
+	copy(b.Lower, s)
+	return b
+}
+
+// Enclose returns the tightest MBTS around a non-empty set of sequences
+// (Definition 2 / Eq. 1).
+func Enclose(set ...[]float64) (*MBTS, error) {
+	if len(set) == 0 {
+		return nil, fmt.Errorf("mbts: Enclose needs at least one sequence")
+	}
+	b := FromSequence(set[0])
+	for _, s := range set[1:] {
+		if len(s) != b.Len() {
+			return nil, fmt.Errorf("mbts: mixed lengths %d and %d", b.Len(), len(s))
+		}
+		b.ExpandToSequence(s)
+	}
+	return b, nil
+}
+
+// Len returns the number of timestamps the MBTS spans.
+func (b *MBTS) Len() int { return len(b.Upper) }
+
+// Clone deep-copies the MBTS.
+func (b *MBTS) Clone() *MBTS {
+	c := New(b.Len())
+	copy(c.Upper, b.Upper)
+	copy(c.Lower, b.Lower)
+	return c
+}
+
+// CopyFrom overwrites b's bounds with src's.
+func (b *MBTS) CopyFrom(src *MBTS) {
+	copy(b.Upper, src.Upper)
+	copy(b.Lower, src.Lower)
+}
+
+// SetTo resets the MBTS to bound exactly the single sequence s.
+func (b *MBTS) SetTo(s []float64) {
+	copy(b.Upper, s)
+	copy(b.Lower, s)
+}
+
+// ExpandToSequence grows the bounds just enough to enclose s.
+func (b *MBTS) ExpandToSequence(s []float64) {
+	for i, v := range s {
+		if v > b.Upper[i] {
+			b.Upper[i] = v
+		}
+		if v < b.Lower[i] {
+			b.Lower[i] = v
+		}
+	}
+}
+
+// ExpandToMBTS grows the bounds just enough to enclose another MBTS.
+func (b *MBTS) ExpandToMBTS(o *MBTS) {
+	for i := range b.Upper {
+		if o.Upper[i] > b.Upper[i] {
+			b.Upper[i] = o.Upper[i]
+		}
+		if o.Lower[i] < b.Lower[i] {
+			b.Lower[i] = o.Lower[i]
+		}
+	}
+}
+
+// ContainsSequence reports whether s lies within the bounds at every
+// timestamp.
+func (b *MBTS) ContainsSequence(s []float64) bool {
+	for i, v := range s {
+		if v > b.Upper[i] || v < b.Lower[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsMBTS reports whether o lies entirely within b.
+func (b *MBTS) ContainsMBTS(o *MBTS) bool {
+	for i := range b.Upper {
+		if o.Upper[i] > b.Upper[i] || o.Lower[i] < b.Lower[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DistSequence is the paper's Eq. 2: the Chebyshev-style distance from a
+// sequence to the MBTS — the largest pointwise excursion of s outside
+// the band, 0 when s is enclosed.
+func (b *MBTS) DistSequence(s []float64) float64 {
+	var max float64
+	for i, v := range s {
+		var d float64
+		if v > b.Upper[i] {
+			d = v - b.Upper[i]
+		} else if v < b.Lower[i] {
+			d = b.Lower[i] - v
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DistSequenceAbandon computes Eq. 2 but abandons and returns
+// (0, false) as soon as the running maximum exceeds limit — the early
+// abandoning used both during query pruning (Lemma 1 check against ε)
+// and during descent (against the best distance so far). When the
+// distance is ≤ limit it returns (dist, true).
+func (b *MBTS) DistSequenceAbandon(s []float64, limit float64) (float64, bool) {
+	var max float64
+	for i, v := range s {
+		var d float64
+		if v > b.Upper[i] {
+			d = v - b.Upper[i]
+		} else if v < b.Lower[i] {
+			d = b.Lower[i] - v
+		}
+		if d > max {
+			if d > limit {
+				return 0, false
+			}
+			max = d
+		}
+	}
+	return max, true
+}
+
+// DistMBTS is the paper's Eq. 3: the separation between two MBTS — the
+// largest pointwise gap between the bands, 0 when they overlap at every
+// timestamp.
+func (b *MBTS) DistMBTS(o *MBTS) float64 {
+	var max float64
+	for i := range b.Upper {
+		var d float64
+		if b.Lower[i] > o.Upper[i] {
+			d = b.Lower[i] - o.Upper[i]
+		} else if b.Upper[i] < o.Lower[i] {
+			d = o.Lower[i] - b.Upper[i]
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Width returns the total band width Σ_i (Upper[i] − Lower[i]), the
+// measure TS-Index minimizes when assigning entries during node splits
+// (DESIGN.md §5: the R*-tree "enlargement" analogue for MBTS).
+func (b *MBTS) Width() float64 {
+	var sum float64
+	for i := range b.Upper {
+		sum += b.Upper[i] - b.Lower[i]
+	}
+	return sum
+}
+
+// WidthIncreaseSequence returns how much Width would grow if s were
+// enclosed, without modifying b.
+func (b *MBTS) WidthIncreaseSequence(s []float64) float64 {
+	var inc float64
+	for i, v := range s {
+		if v > b.Upper[i] {
+			inc += v - b.Upper[i]
+		} else if v < b.Lower[i] {
+			inc += b.Lower[i] - v
+		}
+	}
+	return inc
+}
+
+// WidthIncreaseMBTS returns how much Width would grow if o were
+// enclosed, without modifying b.
+func (b *MBTS) WidthIncreaseMBTS(o *MBTS) float64 {
+	var inc float64
+	for i := range b.Upper {
+		if o.Upper[i] > b.Upper[i] {
+			inc += o.Upper[i] - b.Upper[i]
+		}
+		if o.Lower[i] < b.Lower[i] {
+			inc += b.Lower[i] - o.Lower[i]
+		}
+	}
+	return inc
+}
+
+// MemoryBytes reports the heap bytes held by the MBTS bounds, for the
+// index memory-footprint accounting in Fig. 8a.
+func (b *MBTS) MemoryBytes() int {
+	return 16 + 8*(len(b.Upper)+len(b.Lower)) + 48 // two slice headers + struct + data
+}

@@ -1,0 +1,46 @@
+package paa
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzTransform checks the PAA invariants on arbitrary inputs: every
+// segment mean is a convex combination of the samples it covers, so it
+// must lie within [min, max] of the input (when finite), for every
+// valid segment count.
+func FuzzTransform(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 0, 127, 64, 32})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 {
+			return
+		}
+		s := make([]float64, len(raw))
+		for i, b := range raw {
+			s[i] = (float64(b) - 128) / 16
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range s {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		for m := 1; m <= len(s); m++ {
+			p := Transform(s, m)
+			if len(p) != m {
+				t.Fatalf("m=%d: got %d segments", m, len(p))
+			}
+			for seg, v := range p {
+				if v < lo-1e-9 || v > hi+1e-9 {
+					t.Fatalf("m=%d seg=%d: %v outside [%v, %v]", m, seg, v, lo, hi)
+				}
+			}
+		}
+	})
+}

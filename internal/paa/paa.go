@@ -1,0 +1,107 @@
+// Package paa implements Piecewise Aggregate Approximation
+// [Keogh et al. 2001]: a sequence of length l is split into m segments
+// along the time axis and each segment is replaced by its mean value.
+// PAA underlies the SAX representation (and hence the iSAX index) and
+// carries the per-segment mean bound that makes iSAX usable for twin
+// search: if d∞(S, S′) ≤ ε then every pair of time-aligned segment means
+// differs by at most ε.
+package paa
+
+import "fmt"
+
+// Transform returns the m-segment PAA of s. When m does not divide
+// len(s), boundary points are split fractionally between the two
+// adjacent segments (the standard PAA generalization), so the transform
+// is exact for any m ≤ len(s).
+func Transform(s []float64, m int) []float64 {
+	out := make([]float64, m)
+	TransformTo(out, s)
+	return out
+}
+
+// TransformTo writes the len(dst)-segment PAA of s into dst.
+// It panics when the segment count is invalid; use Check at boundaries.
+func TransformTo(dst, s []float64) {
+	m, l := len(dst), len(s)
+	if err := Check(l, m); err != nil {
+		panic("paa: " + err.Error())
+	}
+	if m == l {
+		copy(dst, s)
+		return
+	}
+	if l%m == 0 {
+		// Fast path: equal integer-width segments.
+		w := l / m
+		idx := 0
+		for seg := 0; seg < m; seg++ {
+			var sum float64
+			for k := 0; k < w; k++ {
+				sum += s[idx]
+				idx++
+			}
+			dst[seg] = sum / float64(w)
+		}
+		return
+	}
+	// General path: segment boundaries fall between samples; each sample
+	// i contributes to segment(s) overlapping [i, i+1) in "time units"
+	// scaled so the series spans [0, m).
+	fm, fl := float64(m), float64(l)
+	for seg := range dst {
+		dst[seg] = 0
+	}
+	for i := 0; i < l; i++ {
+		// Sample i covers [i*m/l, (i+1)*m/l).
+		start := float64(i) * fm / fl
+		end := float64(i+1) * fm / fl
+		s0 := int(start)
+		if s0 >= m {
+			s0 = m - 1
+		}
+		s1 := int(end)
+		if end == float64(s1) {
+			s1--
+		}
+		if s1 >= m {
+			s1 = m - 1
+		}
+		if s0 == s1 {
+			dst[s0] += s[i] * (end - start)
+		} else {
+			// The sample straddles the boundary between s0 and s1.
+			mid := float64(s0 + 1)
+			dst[s0] += s[i] * (mid - start)
+			dst[s1] += s[i] * (end - mid)
+		}
+	}
+	// No final division: in the scaled coordinates each segment has
+	// width exactly 1, so the per-sample overlap weights already sum to 1
+	// and dst[seg] is the weighted segment mean.
+}
+
+// Check validates a (sequence length, segment count) pair.
+func Check(l, m int) error {
+	if m <= 0 {
+		return fmt.Errorf("paa: segment count %d must be positive", m)
+	}
+	if l < m {
+		return fmt.Errorf("paa: sequence length %d shorter than %d segments", l, m)
+	}
+	return nil
+}
+
+// SegmentBounds returns the half-open sample range [lo, hi) that segment
+// seg of an l-length sequence under m segments draws weight from, for
+// callers that need to know which raw samples influence a segment.
+func SegmentBounds(l, m, seg int) (lo, hi int) {
+	lo = seg * l / m
+	hi = (seg + 1) * l / m
+	if (seg+1)*l%m != 0 {
+		hi++
+	}
+	if hi > l {
+		hi = l
+	}
+	return lo, hi
+}

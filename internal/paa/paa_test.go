@@ -1,0 +1,179 @@
+package paa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twinsearch/internal/series"
+)
+
+func TestTransformDivisible(t *testing.T) {
+	s := []float64{1, 1, 2, 2, 3, 3}
+	got := Transform(s, 3)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Transform = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTransformIdentity(t *testing.T) {
+	s := []float64{3, 1, 4, 1, 5}
+	got := Transform(s, 5)
+	for i := range s {
+		if got[i] != s[i] {
+			t.Fatalf("m == l should be identity, got %v", got)
+		}
+	}
+}
+
+func TestTransformSingleSegment(t *testing.T) {
+	s := []float64{2, 4, 6, 8}
+	got := Transform(s, 1)
+	if math.Abs(got[0]-5) > 1e-12 {
+		t.Fatalf("single segment = %v, want 5", got[0])
+	}
+}
+
+func TestTransformFractional(t *testing.T) {
+	// l=5, m=2: segment 0 covers samples 0,1 and half of 2;
+	// segment 1 covers half of 2 and samples 3,4.
+	s := []float64{10, 10, 4, 2, 2}
+	got := Transform(s, 2)
+	want0 := (10 + 10 + 4*0.5) / 2.5
+	want1 := (4*0.5 + 2 + 2) / 2.5
+	if math.Abs(got[0]-want0) > 1e-9 || math.Abs(got[1]-want1) > 1e-9 {
+		t.Fatalf("fractional PAA = %v, want [%v %v]", got, want0, want1)
+	}
+}
+
+func TestTransformConstant(t *testing.T) {
+	s := make([]float64, 17)
+	for i := range s {
+		s[i] = 3.5
+	}
+	for m := 1; m <= 17; m++ {
+		for _, v := range Transform(s, m) {
+			if math.Abs(v-3.5) > 1e-9 {
+				t.Fatalf("constant series PAA must be constant (m=%d): %v", m, v)
+			}
+		}
+	}
+}
+
+func TestTransformPreservesGlobalMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 100; iter++ {
+		l := 2 + rng.Intn(100)
+		m := 1 + rng.Intn(l)
+		s := make([]float64, l)
+		for i := range s {
+			s[i] = rng.NormFloat64() * 5
+		}
+		p := Transform(s, m)
+		// PAA segment means, weighted by equal segment widths, preserve
+		// the global mean exactly (each sample's weight totals m/l).
+		if math.Abs(series.Mean(p)-series.Mean(s)) > 1e-9 {
+			t.Fatalf("iter %d (l=%d m=%d): PAA mean %v != series mean %v",
+				iter, l, m, series.Mean(p), series.Mean(s))
+		}
+	}
+}
+
+func TestCheck(t *testing.T) {
+	if err := Check(10, 0); err == nil {
+		t.Fatal("m=0 must fail")
+	}
+	if err := Check(10, -1); err == nil {
+		t.Fatal("m<0 must fail")
+	}
+	if err := Check(3, 4); err == nil {
+		t.Fatal("l<m must fail")
+	}
+	if err := Check(4, 4); err != nil {
+		t.Fatalf("l=m must pass: %v", err)
+	}
+}
+
+func TestTransformToPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for invalid m")
+		}
+	}()
+	TransformTo(make([]float64, 5), []float64{1, 2})
+}
+
+func TestSegmentBounds(t *testing.T) {
+	// Bounds must cover [0, l) without gaps.
+	for _, c := range []struct{ l, m int }{{10, 3}, {100, 7}, {5, 5}, {64436, 10}} {
+		prevHi := 0
+		for seg := 0; seg < c.m; seg++ {
+			lo, hi := SegmentBounds(c.l, c.m, seg)
+			if lo > prevHi {
+				t.Fatalf("l=%d m=%d seg=%d: gap (lo=%d prevHi=%d)", c.l, c.m, seg, lo, prevHi)
+			}
+			if hi <= lo {
+				t.Fatalf("l=%d m=%d seg=%d: empty range", c.l, c.m, seg)
+			}
+			prevHi = hi
+		}
+		if prevHi != c.l {
+			t.Fatalf("l=%d m=%d: coverage ends at %d", c.l, c.m, prevHi)
+		}
+	}
+}
+
+// Property (paper §4.2): per-segment PAA means of twins differ by ≤ ε.
+// This is the bound that justifies the iSAX adaptation.
+func TestSegmentMeanBound(t *testing.T) {
+	f := func(raw []float64, mRaw uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		for _, v := range raw {
+			if v > 1e100 || v < -1e100 {
+				return true
+			}
+		}
+		l := len(raw) / 2
+		a, b := raw[:l], raw[l:2*l]
+		m := 1 + int(mRaw)%l
+		eps := series.Chebyshev(a, b)
+		pa, pb := Transform(a, m), Transform(b, m)
+		for i := range pa {
+			if math.Abs(pa[i]-pb[i]) > eps+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PAA of each segment stays within [min, max] of the samples it
+// draws from (it is a convex combination).
+func TestSegmentMeanWithinRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 200; iter++ {
+		l := 2 + rng.Intn(60)
+		m := 1 + rng.Intn(l)
+		s := make([]float64, l)
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		p := Transform(s, m)
+		for seg := 0; seg < m; seg++ {
+			lo, hi := SegmentBounds(l, m, seg)
+			mn, mx := series.MinMax(s[lo:hi])
+			if p[seg] < mn-1e-9 || p[seg] > mx+1e-9 {
+				t.Fatalf("iter %d seg %d: PAA %v outside sample range [%v, %v]", iter, seg, p[seg], mn, mx)
+			}
+		}
+	}
+}

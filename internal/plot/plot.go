@@ -1,0 +1,180 @@
+// Package plot renders time series and twin-search results as ASCII
+// charts for terminal inspection — the quickest way to eyeball what a
+// query matched without leaving the CLI.
+//
+// Rendering downsamples the series into one column per character cell,
+// drawing the min..max envelope of the samples each column covers, so
+// spikes survive downsampling (the detail twin search cares about).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Config controls chart geometry.
+type Config struct {
+	Width  int // columns (default 100)
+	Height int // rows (default 16)
+}
+
+func (c *Config) fill() {
+	if c.Width <= 0 {
+		c.Width = 100
+	}
+	if c.Height <= 0 {
+		c.Height = 16
+	}
+}
+
+// Series renders t as an envelope chart.
+func Series(t []float64, cfg Config) string {
+	return Matches(t, nil, 0, cfg)
+}
+
+// Matches renders t with the windows [p, p+l) for every p in starts
+// highlighted. Highlighted columns use '█' for the envelope; plain
+// columns use '│' (single cell) or '┃' spans.
+func Matches(t []float64, starts []int, l int, cfg Config) string {
+	cfg.fill()
+	n := len(t)
+	if n == 0 {
+		return "(empty series)\n"
+	}
+	w, h := cfg.Width, cfg.Height
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range t {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	trueLo, trueHi := lo, hi
+	if hi == lo {
+		hi = lo + 1 // avoid division by zero; footer keeps real values
+	}
+
+	// Column membership of matches.
+	hot := make([]bool, w)
+	for _, p := range starts {
+		c0 := p * w / n
+		c1 := (p + l - 1) * w / n
+		for c := c0; c <= c1 && c < w; c++ {
+			if c >= 0 {
+				hot[c] = true
+			}
+		}
+	}
+
+	// Per-column envelope.
+	colLo := make([]int, w) // row indices, 0 = top
+	colHi := make([]int, w)
+	for c := 0; c < w; c++ {
+		s0 := c * n / w
+		s1 := (c + 1) * n / w
+		if s1 <= s0 {
+			s1 = s0 + 1
+		}
+		if s1 > n {
+			s1 = n
+		}
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for _, v := range t[s0:s1] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		// Value → row (inverted: row 0 is the top of the chart).
+		toRow := func(v float64) int {
+			r := int(math.Round((hi - v) / (hi - lo) * float64(h-1)))
+			if r < 0 {
+				r = 0
+			}
+			if r >= h {
+				r = h - 1
+			}
+			return r
+		}
+		colLo[c] = toRow(mx) // top row of the span
+		colHi[c] = toRow(mn) // bottom row of the span
+	}
+
+	var sb strings.Builder
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			inSpan := r >= colLo[c] && r <= colHi[c]
+			switch {
+			case inSpan && hot[c]:
+				sb.WriteRune('█')
+			case inSpan:
+				sb.WriteRune('┃')
+			default:
+				sb.WriteRune(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "min=%.4g max=%.4g n=%d", trueLo, trueHi, n)
+	if len(starts) > 0 {
+		fmt.Fprintf(&sb, " matches=%d (l=%d, shaded)", len(starts), l)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// Sparkline renders t as a single-row sparkline using eighth-block
+// characters, useful for match previews.
+func Sparkline(t []float64, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	n := len(t)
+	if n == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range t {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	if width > n {
+		width = n
+	}
+	var sb strings.Builder
+	for c := 0; c < width; c++ {
+		s0 := c * n / width
+		s1 := (c + 1) * n / width
+		if s1 <= s0 {
+			s1 = s0 + 1
+		}
+		var sum float64
+		for _, v := range t[s0:s1] {
+			sum += v
+		}
+		mean := sum / float64(s1-s0)
+		idx := int((mean - lo) / (hi - lo) * float64(len(blocks)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(blocks) {
+			idx = len(blocks) - 1
+		}
+		sb.WriteRune(blocks[idx])
+	}
+	return sb.String()
+}

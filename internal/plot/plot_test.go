@@ -1,0 +1,100 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"twinsearch/internal/datasets"
+)
+
+func TestSeriesGeometry(t *testing.T) {
+	ts := datasets.Sine(1, 1000, 100, 1, 0)
+	out := Series(ts, Config{Width: 80, Height: 12})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 13 { // 12 chart rows + footer
+		t.Fatalf("got %d lines", len(lines))
+	}
+	for i := 0; i < 12; i++ {
+		if n := len([]rune(lines[i])); n != 80 {
+			t.Fatalf("row %d has %d cells", i, n)
+		}
+	}
+	if !strings.Contains(lines[12], "n=1000") {
+		t.Fatalf("footer missing: %q", lines[12])
+	}
+	// A full-range sine must touch top and bottom rows.
+	if !strings.Contains(lines[0], "┃") || !strings.Contains(lines[11], "┃") {
+		t.Fatal("sine should span the full chart height")
+	}
+}
+
+func TestSeriesDefaultsAndEmpty(t *testing.T) {
+	if out := Series(nil, Config{}); !strings.Contains(out, "empty") {
+		t.Fatalf("empty series output: %q", out)
+	}
+	out := Series([]float64{1, 2, 3}, Config{})
+	if len(strings.Split(out, "\n")) < 17 {
+		t.Fatal("default height not applied")
+	}
+}
+
+func TestSeriesConstant(t *testing.T) {
+	out := Series([]float64{5, 5, 5, 5}, Config{Width: 10, Height: 5})
+	if !strings.Contains(out, "min=5 max=5") {
+		t.Fatalf("constant footer: %q", out)
+	}
+}
+
+func TestMatchesHighlight(t *testing.T) {
+	ts := datasets.Sine(2, 1000, 100, 1, 0)
+	out := Matches(ts, []int{500}, 100, Config{Width: 100, Height: 10})
+	if !strings.Contains(out, "█") {
+		t.Fatal("match window should be shaded")
+	}
+	if !strings.Contains(out, "matches=1") {
+		t.Fatal("footer should count matches")
+	}
+	// Shading must cover roughly columns 50..60 and not column 10.
+	lines := strings.Split(out, "\n")
+	for _, line := range lines[:10] {
+		runes := []rune(line)
+		if len(runes) == 100 && runes[10] == '█' {
+			t.Fatal("shading leaked outside the match window")
+		}
+	}
+}
+
+func TestMatchesEdgeWindows(t *testing.T) {
+	ts := datasets.RandomWalk(3, 200)
+	// Matches at the extreme ends must not panic or leak out of range.
+	out := Matches(ts, []int{0, 150}, 50, Config{Width: 40, Height: 8})
+	if !strings.Contains(out, "matches=2") {
+		t.Fatal("both matches should be recorded")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	ts := datasets.Sine(4, 400, 100, 1, 0)
+	s := Sparkline(ts, 40)
+	if got := len([]rune(s)); got != 40 {
+		t.Fatalf("sparkline width %d", got)
+	}
+	// Column means smooth the extremes; require a wide block spread
+	// rather than the absolute endpoints.
+	distinct := map[rune]bool{}
+	for _, r := range s {
+		distinct[r] = true
+	}
+	if len(distinct) < 4 {
+		t.Fatalf("sparkline should span several block levels: %q", s)
+	}
+	if Sparkline(nil, 10) != "" {
+		t.Fatal("empty input should give empty sparkline")
+	}
+	if got := len([]rune(Sparkline([]float64{1, 2}, 10))); got != 2 {
+		t.Fatalf("width must clamp to n, got %d", got)
+	}
+	if got := len([]rune(Sparkline(ts, 0))); got != 60 {
+		t.Fatalf("default width, got %d", got)
+	}
+}

@@ -1,0 +1,147 @@
+// Package sax implements the Symbolic Aggregate approXimation
+// [Lin et al. 2007] and the multi-resolution iSAX symbols
+// [Shieh & Keogh 2008] used by the iSAX index: a PAA segment mean is
+// quantized against Gaussian breakpoints into a symbol whose cardinality
+// can vary per segment (1..8 bits here, i.e. cardinality 2..256).
+//
+// Every symbol denotes a half-open value interval [lo, hi); that interval
+// is what the twin-search adaptation of iSAX prunes with (paper §4.2):
+// a node can contain a twin of Q only if, for every segment, the query's
+// segment mean ±ε intersects the node symbol's interval.
+//
+// Breakpoints assume z-normalized values by default; for raw data they
+// are rescaled by the sample mean/σ of the indexed series (the paper's
+// "adjusting the breakpoints accordingly").
+package sax
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MaxBits is the maximum per-segment cardinality exponent: symbols are
+// stored in a byte, so cardinality tops out at 256, the iSAX default.
+const MaxBits = 8
+
+// MaxCardinality is 2^MaxBits.
+const MaxCardinality = 1 << MaxBits
+
+// Quantizer converts values to symbols and symbols to value intervals at
+// any cardinality 2^bits, bits ∈ [1, MaxBits]. The zero value is not
+// usable; construct with NewQuantizer or Standard.
+//
+// Breakpoints at lower cardinalities are exact subsets of the
+// MaxCardinality table (quantile j/2^b equals quantile j·2^(8−b)/256), so
+// a symbol can be downgraded to b bits by shifting right 8−b bits — the
+// property iSAX node splits rely on.
+type Quantizer struct {
+	mean, std float64
+	// bp[b] holds the 2^b − 1 breakpoints for cardinality 2^b.
+	bp [MaxBits + 1][]float64
+}
+
+// Standard returns the quantizer for z-normalized data (N(0,1)
+// breakpoints).
+func Standard() *Quantizer { return NewQuantizer(0, 1) }
+
+// NewQuantizer returns a quantizer whose breakpoints are Gaussian
+// quantiles rescaled to mean + std·z, for indexing raw (non-normalized)
+// values. std must be positive.
+func NewQuantizer(mean, std float64) *Quantizer {
+	if std <= 0 {
+		panic(fmt.Sprintf("sax: non-positive std %v", std))
+	}
+	q := &Quantizer{mean: mean, std: std}
+	for b := 1; b <= MaxBits; b++ {
+		card := 1 << b
+		bps := make([]float64, card-1)
+		for j := 1; j < card; j++ {
+			p := float64(j) / float64(card)
+			bps[j-1] = mean + std*math.Sqrt2*math.Erfinv(2*p-1)
+		}
+		q.bp[b] = bps
+	}
+	return q
+}
+
+// Mean returns the location parameter the breakpoints are centred on.
+func (q *Quantizer) Mean() float64 { return q.mean }
+
+// Std returns the scale parameter of the breakpoints.
+func (q *Quantizer) Std() float64 { return q.std }
+
+// Breakpoints returns the breakpoint slice for the given bit width.
+// Callers must not modify it.
+func (q *Quantizer) Breakpoints(bits int) []float64 {
+	q.checkBits(bits)
+	return q.bp[bits]
+}
+
+// Symbol quantizes v at cardinality 2^bits: the result s satisfies
+// bp[s−1] ≤ v < bp[s] with bp[−1] = −∞ and bp[2^bits−1] = +∞.
+func (q *Quantizer) Symbol(v float64, bits int) uint8 {
+	q.checkBits(bits)
+	bps := q.bp[bits]
+	// SearchFloat64s returns the first index with bps[i] >= v; symbols
+	// use half-open intervals [lo, hi), so a value equal to a breakpoint
+	// belongs to the higher symbol.
+	i := sort.SearchFloat64s(bps, v)
+	if i < len(bps) && bps[i] == v {
+		i++
+	}
+	return uint8(i)
+}
+
+// SymbolMax quantizes v at the maximum cardinality.
+func (q *Quantizer) SymbolMax(v float64) uint8 { return q.Symbol(v, MaxBits) }
+
+// Downgrade converts a MaxBits symbol to its bits-wide prefix symbol.
+func Downgrade(symMax uint8, bits int) uint8 {
+	return symMax >> (MaxBits - bits)
+}
+
+// Range returns the half-open value interval [lo, hi) denoted by symbol
+// sym at cardinality 2^bits; the extreme symbols extend to ±∞.
+func (q *Quantizer) Range(sym uint8, bits int) (lo, hi float64) {
+	q.checkBits(bits)
+	bps := q.bp[bits]
+	card := 1 << bits
+	if int(sym) >= card {
+		panic(fmt.Sprintf("sax: symbol %d out of range for %d bits", sym, bits))
+	}
+	lo, hi = math.Inf(-1), math.Inf(1)
+	if sym > 0 {
+		lo = bps[sym-1]
+	}
+	if int(sym) < card-1 {
+		hi = bps[sym]
+	}
+	return lo, hi
+}
+
+func (q *Quantizer) checkBits(bits int) {
+	if bits < 1 || bits > MaxBits {
+		panic(fmt.Sprintf("sax: bits %d outside [1, %d]", bits, MaxBits))
+	}
+}
+
+// FitQuantizer estimates (mean, std) from data and returns the rescaled
+// quantizer; it falls back to Standard for degenerate (constant) data.
+func FitQuantizer(data []float64) *Quantizer {
+	var sum, sum2 float64
+	for _, v := range data {
+		sum += v
+		sum2 += v * v
+	}
+	n := float64(len(data))
+	if len(data) == 0 {
+		return Standard()
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if variance <= 0 {
+		return Standard()
+	}
+	return NewQuantizer(mean, math.Sqrt(variance))
+}

@@ -1,0 +1,175 @@
+package sax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBreakpointsCardinality4(t *testing.T) {
+	// Classic SAX table for cardinality 4: {-0.6745, 0, 0.6745}.
+	bps := Standard().Breakpoints(2)
+	want := []float64{-0.6744897501960817, 0, 0.6744897501960817}
+	if len(bps) != 3 {
+		t.Fatalf("got %d breakpoints", len(bps))
+	}
+	for i := range want {
+		if math.Abs(bps[i]-want[i]) > 1e-9 {
+			t.Fatalf("bp[%d] = %v, want %v", i, bps[i], want[i])
+		}
+	}
+}
+
+func TestBreakpointsMonotone(t *testing.T) {
+	q := Standard()
+	for b := 1; b <= MaxBits; b++ {
+		bps := q.Breakpoints(b)
+		if len(bps) != (1<<b)-1 {
+			t.Fatalf("bits=%d: %d breakpoints", b, len(bps))
+		}
+		for i := 1; i < len(bps); i++ {
+			if bps[i] <= bps[i-1] {
+				t.Fatalf("bits=%d: breakpoints not strictly increasing at %d", b, i)
+			}
+		}
+	}
+}
+
+func TestBreakpointSubsetProperty(t *testing.T) {
+	// The cardinality-2^b breakpoints must appear verbatim inside the
+	// MaxBits table; this is what makes Downgrade a bit shift.
+	q := Standard()
+	full := q.Breakpoints(MaxBits)
+	for b := 1; b < MaxBits; b++ {
+		stride := 1 << (MaxBits - b)
+		for j, bp := range q.Breakpoints(b) {
+			if full[(j+1)*stride-1] != bp {
+				t.Fatalf("bits=%d bp[%d] not in full table", b, j)
+			}
+		}
+	}
+}
+
+func TestSymbolBasics(t *testing.T) {
+	q := Standard()
+	if s := q.Symbol(-10, 2); s != 0 {
+		t.Fatalf("far-left symbol = %d", s)
+	}
+	if s := q.Symbol(10, 2); s != 3 {
+		t.Fatalf("far-right symbol = %d", s)
+	}
+	if s := q.Symbol(0.1, 2); s != 2 {
+		t.Fatalf("slightly positive = %d, want 2", s)
+	}
+	if s := q.Symbol(-0.1, 2); s != 1 {
+		t.Fatalf("slightly negative = %d, want 1", s)
+	}
+	// A value exactly on a breakpoint belongs to the upper symbol
+	// (half-open intervals).
+	if s := q.Symbol(0, 2); s != 2 {
+		t.Fatalf("boundary value = %d, want 2", s)
+	}
+}
+
+func TestSymbolRangeRoundTrip(t *testing.T) {
+	q := Standard()
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 2000; iter++ {
+		v := rng.NormFloat64() * 2
+		bits := 1 + rng.Intn(MaxBits)
+		s := q.Symbol(v, bits)
+		lo, hi := q.Range(s, bits)
+		if v < lo || v >= hi {
+			t.Fatalf("v=%v bits=%d: symbol %d range [%v,%v) excludes v", v, bits, s, lo, hi)
+		}
+	}
+}
+
+func TestRangeEdges(t *testing.T) {
+	q := Standard()
+	lo, hi := q.Range(0, 3)
+	if !math.IsInf(lo, -1) || math.IsInf(hi, 0) {
+		t.Fatalf("lowest symbol range = [%v, %v)", lo, hi)
+	}
+	lo, hi = q.Range(7, 3)
+	if math.IsInf(lo, 0) || !math.IsInf(hi, 1) {
+		t.Fatalf("highest symbol range = [%v, %v)", lo, hi)
+	}
+}
+
+func TestDowngradeConsistency(t *testing.T) {
+	q := Standard()
+	f := func(v float64, bitsRaw uint8) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		bits := 1 + int(bitsRaw)%MaxBits
+		return Downgrade(q.SymbolMax(v), bits) == q.Symbol(v, bits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRescaledQuantizer(t *testing.T) {
+	q := NewQuantizer(100, 10)
+	if q.Mean() != 100 || q.Std() != 10 {
+		t.Fatal("params not stored")
+	}
+	// Symbol of mean+std·z under rescaled == symbol of z under standard.
+	std := Standard()
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 500; iter++ {
+		z := rng.NormFloat64() * 2
+		bits := 1 + rng.Intn(MaxBits)
+		if q.Symbol(100+10*z, bits) != std.Symbol(z, bits) {
+			t.Fatalf("rescaled symbol mismatch at z=%v bits=%d", z, bits)
+		}
+	}
+}
+
+func TestNewQuantizerPanicsOnBadStd(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewQuantizer(0, 0)
+}
+
+func TestFitQuantizer(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := make([]float64, 10000)
+	for i := range data {
+		data[i] = 50 + 5*rng.NormFloat64()
+	}
+	q := FitQuantizer(data)
+	if math.Abs(q.Mean()-50) > 0.5 || math.Abs(q.Std()-5) > 0.5 {
+		t.Fatalf("fit = (%v, %v), want ≈(50, 5)", q.Mean(), q.Std())
+	}
+	if q := FitQuantizer(nil); q.Mean() != 0 || q.Std() != 1 {
+		t.Fatal("empty data should fall back to standard")
+	}
+	if q := FitQuantizer([]float64{3, 3, 3}); q.Std() != 1 {
+		t.Fatal("constant data should fall back to standard")
+	}
+}
+
+func TestSymbolPanicsOnBadBits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Standard().Symbol(0, 9)
+}
+
+func TestRangePanicsOnBadSymbol(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Standard().Range(4, 2)
+}

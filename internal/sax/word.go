@@ -1,0 +1,115 @@
+package sax
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Word is an iSAX word: one symbol per PAA segment, each at its own
+// cardinality. Words label iSAX tree nodes; all entries under a node
+// share the node's word as a prefix (in the bit-prefix sense).
+type Word struct {
+	Syms []uint8 // symbol values, Syms[i] < 2^Bits[i]
+	Bits []uint8 // per-segment cardinality exponents, in [1, MaxBits]
+}
+
+// NewWord builds the word for the given PAA vector with every segment at
+// the same cardinality 2^bits.
+func NewWord(q *Quantizer, paa []float64, bits int) Word {
+	w := Word{Syms: make([]uint8, len(paa)), Bits: make([]uint8, len(paa))}
+	for i, v := range paa {
+		w.Syms[i] = q.Symbol(v, bits)
+		w.Bits[i] = uint8(bits)
+	}
+	return w
+}
+
+// WordFromMax assembles a word from MaxBits symbols downgraded to the
+// given per-segment bit widths.
+func WordFromMax(symsMax []uint8, bits []uint8) Word {
+	w := Word{Syms: make([]uint8, len(symsMax)), Bits: make([]uint8, len(symsMax))}
+	for i, s := range symsMax {
+		w.Syms[i] = Downgrade(s, int(bits[i]))
+		w.Bits[i] = bits[i]
+	}
+	return w
+}
+
+// Len returns the number of segments.
+func (w Word) Len() int { return len(w.Syms) }
+
+// Clone deep-copies the word.
+func (w Word) Clone() Word {
+	c := Word{Syms: make([]uint8, len(w.Syms)), Bits: make([]uint8, len(w.Bits))}
+	copy(c.Syms, w.Syms)
+	copy(c.Bits, w.Bits)
+	return c
+}
+
+// Key returns a compact string key identifying the word, usable as a map
+// key (root fan-out in the iSAX index).
+func (w Word) Key() string {
+	b := make([]byte, 0, 2*len(w.Syms))
+	for i := range w.Syms {
+		b = append(b, w.Syms[i], w.Bits[i])
+	}
+	return string(b)
+}
+
+// String renders the word as sym^card per segment, e.g. "3^4 0^2".
+func (w Word) String() string {
+	var sb strings.Builder
+	for i := range w.Syms {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d^%d", w.Syms[i], 1<<w.Bits[i])
+	}
+	return sb.String()
+}
+
+// MatchesMax reports whether a sequence whose MaxBits symbols are symsMax
+// belongs under this word (every segment downgrades to the word's
+// symbol).
+func (w Word) MatchesMax(symsMax []uint8) bool {
+	for i, s := range symsMax {
+		if Downgrade(s, int(w.Bits[i])) != w.Syms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SplitChildren returns the two refinements of the word obtained by
+// adding one bit of cardinality to segment seg (the iSAX binary split):
+// the child words are identical to w except Syms[seg] gains a 0 or 1
+// low-order bit.
+func (w Word) SplitChildren(seg int) (left, right Word) {
+	if int(w.Bits[seg]) >= MaxBits {
+		panic(fmt.Sprintf("sax: segment %d already at max cardinality", seg))
+	}
+	left = w.Clone()
+	right = w.Clone()
+	left.Bits[seg]++
+	right.Bits[seg]++
+	left.Syms[seg] = w.Syms[seg] << 1
+	right.Syms[seg] = w.Syms[seg]<<1 | 1
+	return left, right
+}
+
+// PruneTwin reports whether a node labelled by this word can be pruned
+// for a twin query with per-segment PAA means qPAA and threshold eps
+// (paper §4.2): the node survives only if every segment's symbol interval
+// intersects [qPAA[i]−eps, qPAA[i]+eps]. Using the query's exact segment
+// means instead of its own SAX symbols is never looser (no false
+// dismissals — the true mean lies inside its symbol's interval) and
+// usually tighter.
+func (w Word) PruneTwin(q *Quantizer, qPAA []float64, eps float64) bool {
+	for i := range w.Syms {
+		lo, hi := q.Range(w.Syms[i], int(w.Bits[i]))
+		if qPAA[i]+eps < lo || qPAA[i]-eps >= hi {
+			return true
+		}
+	}
+	return false
+}

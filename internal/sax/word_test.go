@@ -1,0 +1,150 @@
+package sax
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewWord(t *testing.T) {
+	q := Standard()
+	w := NewWord(q, []float64{-2, 0.1, 2}, 2)
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	if w.Syms[0] != 0 || w.Syms[1] != 2 || w.Syms[2] != 3 {
+		t.Fatalf("Syms = %v", w.Syms)
+	}
+	for _, b := range w.Bits {
+		if b != 2 {
+			t.Fatalf("Bits = %v", w.Bits)
+		}
+	}
+}
+
+func TestWordKeyAndString(t *testing.T) {
+	q := Standard()
+	w1 := NewWord(q, []float64{-2, 2}, 1)
+	w2 := NewWord(q, []float64{-2, 2}, 1)
+	w3 := NewWord(q, []float64{2, 2}, 1)
+	if w1.Key() != w2.Key() {
+		t.Fatal("equal words must share a key")
+	}
+	if w1.Key() == w3.Key() {
+		t.Fatal("different words must differ in key")
+	}
+	if w1.String() != "0^2 1^2" {
+		t.Fatalf("String = %q", w1.String())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := Standard()
+	w := NewWord(q, []float64{0, 0}, 2)
+	c := w.Clone()
+	c.Syms[0] = 3
+	c.Bits[1] = 5
+	if w.Syms[0] == 3 || w.Bits[1] == 5 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestSplitChildren(t *testing.T) {
+	q := Standard()
+	w := NewWord(q, []float64{0.1, -0.1}, 1) // syms = [1, 0] at 1 bit
+	left, right := w.SplitChildren(0)
+	if left.Bits[0] != 2 || right.Bits[0] != 2 {
+		t.Fatalf("children bits = %d, %d", left.Bits[0], right.Bits[0])
+	}
+	if left.Syms[0] != 2 || right.Syms[0] != 3 {
+		t.Fatalf("children syms = %d, %d", left.Syms[0], right.Syms[0])
+	}
+	// Untouched segment unchanged.
+	if left.Syms[1] != w.Syms[1] || left.Bits[1] != w.Bits[1] {
+		t.Fatal("split must not touch other segments")
+	}
+}
+
+func TestSplitChildrenPanicsAtMax(t *testing.T) {
+	w := Word{Syms: []uint8{0}, Bits: []uint8{MaxBits}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	w.SplitChildren(0)
+}
+
+func TestMatchesMaxAfterSplit(t *testing.T) {
+	// Every max-cardinality symbol matching the parent must match exactly
+	// one of the two children.
+	q := Standard()
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 500; iter++ {
+		paa := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		symsMax := make([]uint8, len(paa))
+		for i, v := range paa {
+			symsMax[i] = q.SymbolMax(v)
+		}
+		parent := WordFromMax(symsMax, []uint8{1, 2, 3})
+		if !parent.MatchesMax(symsMax) {
+			t.Fatal("WordFromMax must match its own source symbols")
+		}
+		seg := rng.Intn(3)
+		left, right := parent.SplitChildren(seg)
+		inLeft := left.MatchesMax(symsMax)
+		inRight := right.MatchesMax(symsMax)
+		if inLeft == inRight {
+			t.Fatalf("iter %d: symbol must fall in exactly one child (left=%v right=%v)", iter, inLeft, inRight)
+		}
+	}
+}
+
+func TestWordFromMax(t *testing.T) {
+	syms := []uint8{0b10110011, 0b01000000}
+	w := WordFromMax(syms, []uint8{3, 1})
+	if w.Syms[0] != 0b101 || w.Syms[1] != 0 {
+		t.Fatalf("Syms = %v", w.Syms)
+	}
+}
+
+func TestPruneTwinSoundness(t *testing.T) {
+	// If a sequence's PAA falls under the word and a query is within ε of
+	// the sequence per segment, PruneTwin must not prune.
+	q := Standard()
+	rng := rand.New(rand.NewSource(33))
+	for iter := 0; iter < 1000; iter++ {
+		m := 2 + rng.Intn(6)
+		paa := make([]float64, m)
+		symsMax := make([]uint8, m)
+		bits := make([]uint8, m)
+		for i := range paa {
+			paa[i] = rng.NormFloat64()
+			symsMax[i] = q.SymbolMax(paa[i])
+			bits[i] = uint8(1 + rng.Intn(MaxBits))
+		}
+		w := WordFromMax(symsMax, bits)
+		eps := rng.Float64()
+		qPAA := make([]float64, m)
+		for i := range qPAA {
+			// Query segment mean within ε of the member's mean — a twin
+			// of the member could produce exactly this.
+			qPAA[i] = paa[i] + (rng.Float64()*2-1)*eps
+		}
+		if w.PruneTwin(q, qPAA, eps) {
+			t.Fatalf("iter %d: pruned a node that contains a potential twin", iter)
+		}
+	}
+}
+
+func TestPruneTwinCuts(t *testing.T) {
+	q := Standard()
+	// Word at high cardinality around PAA value 0; query far away with
+	// tiny ε must prune.
+	w := NewWord(q, []float64{0, 0}, MaxBits)
+	if !w.PruneTwin(q, []float64{5, 0}, 0.01) {
+		t.Fatal("distant query should prune")
+	}
+	if w.PruneTwin(q, []float64{0, 0}, 0.01) {
+		t.Fatal("near query should not prune")
+	}
+}

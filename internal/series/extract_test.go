@@ -1,0 +1,241 @@
+package series
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomSeries(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]float64, n)
+	v := 0.0
+	for i := range ts {
+		v += rng.NormFloat64()
+		ts[i] = v
+	}
+	return ts
+}
+
+func TestNormModeString(t *testing.T) {
+	if NormNone.String() != "raw" ||
+		NormGlobal.String() != "z-norm(series)" ||
+		NormPerSubsequence.String() != "z-norm(subsequence)" {
+		t.Fatal("unexpected NormMode strings")
+	}
+	if NormMode(9).String() != "NormMode(9)" {
+		t.Fatal("unexpected fallback string")
+	}
+}
+
+func TestExtractorRaw(t *testing.T) {
+	ts := []float64{1, 2, 3, 4}
+	e := NewExtractor(ts, NormNone)
+	w := e.Extract(1, 2, nil)
+	if w[0] != 2 || w[1] != 3 {
+		t.Fatalf("Extract = %v", w)
+	}
+	if e.Len() != 4 || e.Mode() != NormNone {
+		t.Fatal("Len/Mode wrong")
+	}
+}
+
+func TestExtractorGlobal(t *testing.T) {
+	ts := randomSeries(1, 300)
+	e := NewExtractor(ts, NormGlobal)
+	mean, std := MeanStd(e.Data())
+	if !almostEqual(mean, 0, 1e-9) || !almostEqual(std, 1, 1e-9) {
+		t.Fatalf("global norm data mean/std = %v, %v", mean, std)
+	}
+	// Input untouched.
+	if ts[0] == e.Data()[0] && ts[1] == e.Data()[1] && ts[2] == e.Data()[2] {
+		t.Fatal("global normalization appears to be identity")
+	}
+	// Extraction is a view of the normalized data.
+	w := e.Extract(10, 5, nil)
+	for i := range w {
+		if w[i] != e.Data()[10+i] {
+			t.Fatal("global extract should be a view")
+		}
+	}
+}
+
+func TestExtractorPerSubsequence(t *testing.T) {
+	ts := randomSeries(2, 300)
+	e := NewExtractor(ts, NormPerSubsequence)
+	buf := make([]float64, 0, 64)
+	for p := 0; p+50 <= len(ts); p += 17 {
+		got := e.Extract(p, 50, buf)
+		want := ZNormalize(ts[p : p+50])
+		for i := range want {
+			if !almostEqual(got[i], want[i], 1e-8) {
+				t.Fatalf("per-sub extract mismatch at p=%d i=%d: %v vs %v", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestExtractorPerSubConstantWindow(t *testing.T) {
+	ts := []float64{3, 3, 3, 3, 7}
+	e := NewExtractor(ts, NormPerSubsequence)
+	w := e.Extract(0, 4, nil)
+	for _, v := range w {
+		if v != 0 {
+			t.Fatalf("constant window should normalize to zeros, got %v", w)
+		}
+	}
+}
+
+func TestExtractCopy(t *testing.T) {
+	ts := []float64{1, 2, 3, 4}
+	e := NewExtractor(ts, NormNone)
+	c := e.ExtractCopy(1, 2)
+	ts[1] = 99
+	if c[0] != 2 {
+		t.Fatal("ExtractCopy must copy")
+	}
+}
+
+func TestExtractPanicsOutOfBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewExtractor([]float64{1, 2}, NormNone).Extract(1, 5, nil)
+}
+
+func TestTransformQuery(t *testing.T) {
+	q := []float64{1, 2, 3}
+	eRaw := NewExtractor([]float64{1, 2, 3, 4}, NormNone)
+	got := eRaw.TransformQuery(q)
+	for i := range q {
+		if got[i] != q[i] {
+			t.Fatal("raw mode should copy query unchanged")
+		}
+	}
+	got[0] = 99
+	if q[0] == 99 {
+		t.Fatal("TransformQuery must not alias input")
+	}
+	ePer := NewExtractor([]float64{1, 2, 3, 4}, NormPerSubsequence)
+	z := ePer.TransformQuery(q)
+	mean, _ := MeanStd(z)
+	if !almostEqual(mean, 0, 1e-12) {
+		t.Fatal("per-sub mode should z-normalize the query")
+	}
+}
+
+func TestTransformQueryGlobalMatchesExtract(t *testing.T) {
+	ts := randomSeries(8, 400)
+	e := NewExtractor(ts, NormGlobal)
+	gm, gs := e.GlobalParams()
+	if gs <= 0 {
+		t.Fatalf("GlobalParams = %v, %v", gm, gs)
+	}
+	for _, p := range []int{0, 57, 300} {
+		got := e.TransformQuery(ts[p : p+50])
+		want := e.ExtractCopy(p, 50)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("p=%d i=%d: transform %v != extract %v", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTransformQueryConstantGlobalSeries(t *testing.T) {
+	e := NewExtractor([]float64{5, 5, 5, 5}, NormGlobal)
+	out := e.TransformQuery([]float64{1, 2})
+	if out[0] != 0 || out[1] != 0 {
+		t.Fatalf("constant series should map queries to zeros, got %v", out)
+	}
+}
+
+func TestWithinAtAgainstExtract(t *testing.T) {
+	ts := randomSeries(3, 400)
+	for _, mode := range []NormMode{NormNone, NormGlobal, NormPerSubsequence} {
+		e := NewExtractor(ts, mode)
+		q := e.ExtractCopy(37, 40)
+		for p := 0; p+40 <= len(ts); p += 11 {
+			w := e.Extract(p, 40, nil)
+			want := Chebyshev(q, w) <= 0.8
+			if got := e.WithinAt(q, p, 0.8); got != want {
+				t.Fatalf("mode=%v p=%d: WithinAt=%v want %v", mode, p, got, want)
+			}
+		}
+	}
+}
+
+func TestWithinAtConstantWindow(t *testing.T) {
+	ts := []float64{5, 5, 5, 1, 9}
+	e := NewExtractor(ts, NormPerSubsequence)
+	q := []float64{0, 0, 0}
+	if !e.WithinAt(q, 0, 0.01) {
+		t.Fatal("zero query should match constant window under per-sub norm")
+	}
+	q2 := []float64{0, 0.5, 0}
+	if e.WithinAt(q2, 0, 0.4) {
+		t.Fatal("query exceeding eps against zeros should not match")
+	}
+}
+
+func TestVerifierMatchesWithinAt(t *testing.T) {
+	ts := randomSeries(4, 500)
+	for _, mode := range []NormMode{NormNone, NormGlobal, NormPerSubsequence} {
+		e := NewExtractor(ts, mode)
+		q := e.ExtractCopy(100, 60)
+		ver := NewVerifier(e, q, 0.5)
+		for p := 0; p+60 <= len(ts); p += 7 {
+			want := e.WithinAt(q, p, 0.5)
+			if got := ver.Verify(p); got != want {
+				t.Fatalf("mode=%v p=%d: Verify=%v want %v", mode, p, got, want)
+			}
+		}
+		cands, ops := ver.Stats()
+		if cands == 0 || ops == 0 {
+			t.Fatal("verifier stats not recorded")
+		}
+		ver.Reset()
+		cands, ops = ver.Stats()
+		if cands != 0 || ops != 0 {
+			t.Fatal("Reset did not clear stats")
+		}
+	}
+}
+
+func TestVerifierSelfMatch(t *testing.T) {
+	ts := randomSeries(5, 200)
+	e := NewExtractor(ts, NormGlobal)
+	q := e.ExtractCopy(50, 30)
+	ver := NewVerifier(e, q, 0)
+	if !ver.Verify(50) {
+		t.Fatal("query must match its own source window at eps=0")
+	}
+}
+
+func TestVerifierPerSubConstantWindow(t *testing.T) {
+	ts := []float64{2, 2, 2, 2, 9, -4}
+	e := NewExtractor(ts, NormPerSubsequence)
+	q := []float64{0, 0, 0, 0}
+	ver := NewVerifier(e, q, 0.1)
+	if !ver.Verify(0) {
+		t.Fatal("zero query should verify against constant window")
+	}
+	q2 := []float64{1, 0, 0, 0}
+	ver2 := NewVerifier(e, q2, 0.5)
+	if ver2.Verify(0) {
+		t.Fatal("non-zero query should fail against constant window at eps=0.5")
+	}
+}
+
+func TestSortMatches(t *testing.T) {
+	ms := []Match{{Start: 5}, {Start: 1}, {Start: 3}}
+	SortMatches(ms)
+	if ms[0].Start != 1 || ms[1].Start != 3 || ms[2].Start != 5 {
+		t.Fatalf("SortMatches = %v", ms)
+	}
+	starts := MatchStarts(ms)
+	if starts[0] != 1 || starts[2] != 5 {
+		t.Fatalf("MatchStarts = %v", starts)
+	}
+}

@@ -1,0 +1,187 @@
+// Package server exposes a loaded twin-search engine over HTTP with a
+// small JSON API — the shape in which a monitoring or exploration
+// service would actually consume the index:
+//
+//	GET  /healthz               → {"status":"ok", ...engine info}
+//	POST /search                → {"query":[...], "eps":0.3}
+//	POST /topk                  → {"query":[...], "k":5}
+//	POST /append                → {"values":[...]}   (TS-Index only)
+//	GET  /subsequence?start=N   → the indexed window, normalized
+//
+// Search runs concurrently (the underlying engines are read-safe);
+// Append is serialized against searches by the handler's RW-mutex.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"twinsearch"
+)
+
+// Handler is an http.Handler serving one engine.
+type Handler struct {
+	mu  sync.RWMutex
+	eng *twinsearch.Engine
+	mux *http.ServeMux
+}
+
+// New wraps an engine.
+func New(eng *twinsearch.Engine) *Handler {
+	h := &Handler{eng: eng, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/healthz", h.health)
+	h.mux.HandleFunc("/search", h.search)
+	h.mux.HandleFunc("/topk", h.topk)
+	h.mux.HandleFunc("/append", h.append)
+	h.mux.HandleFunc("/subsequence", h.subsequence)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":       "ok",
+		"method":       h.eng.Method().String(),
+		"norm":         h.eng.Norm().String(),
+		"l":            h.eng.L(),
+		"series_len":   h.eng.SeriesLen(),
+		"windows":      h.eng.NumSubsequences(),
+		"memory_bytes": h.eng.MemoryBytes(),
+	})
+}
+
+type searchRequest struct {
+	Query []float64 `json:"query"`
+	Eps   float64   `json:"eps"`
+}
+
+type matchBody struct {
+	Start int      `json:"start"`
+	Dist  *float64 `json:"dist,omitempty"` // only when computed
+}
+
+type searchResponse struct {
+	Count   int         `json:"count"`
+	Matches []matchBody `json:"matches"`
+}
+
+func toBody(ms []twinsearch.Match) searchResponse {
+	out := searchResponse{Count: len(ms), Matches: make([]matchBody, len(ms))}
+	for i, m := range ms {
+		out.Matches[i] = matchBody{Start: m.Start}
+		if m.Dist >= 0 {
+			d := m.Dist
+			out.Matches[i].Dist = &d
+		}
+	}
+	return out
+}
+
+func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	h.mu.RLock()
+	ms, err := h.eng.Search(req.Query, req.Eps)
+	h.mu.RUnlock()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toBody(ms))
+}
+
+type topkRequest struct {
+	Query []float64 `json:"query"`
+	K     int       `json:"k"`
+}
+
+func (h *Handler) topk(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req topkRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	h.mu.RLock()
+	ms, err := h.eng.SearchTopK(req.Query, req.K)
+	h.mu.RUnlock()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toBody(ms))
+}
+
+type appendRequest struct {
+	Values []float64 `json:"values"`
+}
+
+func (h *Handler) append(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req appendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	h.mu.Lock()
+	err := h.eng.Append(req.Values...)
+	n := h.eng.SeriesLen()
+	h.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"series_len": n})
+}
+
+func (h *Handler) subsequence(w http.ResponseWriter, r *http.Request) {
+	start, err := strconv.Atoi(r.URL.Query().Get("start"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad start: %w", err))
+		return
+	}
+	h.mu.RLock()
+	sub, err := h.eng.Subsequence(start)
+	h.mu.RUnlock()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"start": start, "values": sub})
+}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+)
+
+func TestTopKEndpointErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// Wrong method.
+	resp, err := http.Get(srv.URL + "/topk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /topk: status %d", resp.StatusCode)
+	}
+	// Malformed body.
+	mal, err := http.Post(srv.URL+"/topk", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mal.Body.Close()
+	if mal.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed /topk: status %d", mal.StatusCode)
+	}
+	// Bad query length.
+	bad, _ := postJSON(t, srv.URL+"/topk", map[string]interface{}{"query": []float64{1}, "k": 2})
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short query /topk: status %d", bad.StatusCode)
+	}
+}
+
+func TestAppendEndpointErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/append")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /append: status %d", resp.StatusCode)
+	}
+	mal, err := http.Post(srv.URL+"/append", "application/json", bytes.NewReader([]byte("nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mal.Body.Close()
+	if mal.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed /append: status %d", mal.StatusCode)
+	}
+}
+
+func TestSubsequenceOutOfRange(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/subsequence?start=999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range start: status %d", resp.StatusCode)
+	}
+}
+
+func TestAppendRejectedForNonTSIndex(t *testing.T) {
+	// A sweepline-backed handler: /append must surface the engine error.
+	srv := newMethodServer(t, "sweepline")
+	resp, _ := postJSON(t, srv+"/append", map[string]interface{}{"values": []float64{1}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("append on sweepline: status %d", resp.StatusCode)
+	}
+}

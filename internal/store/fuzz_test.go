@@ -1,0 +1,48 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzReadFile feeds arbitrary bytes through the series-file reader:
+// any 8-byte-multiple must round-trip value-for-value; any other length
+// must be rejected; nothing may panic.
+func FuzzReadFile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(make([]byte, 8))
+	f.Add(make([]byte, 24))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // NaN bits
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.f64")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		data, err := ReadFile(path)
+		if len(raw)%8 != 0 {
+			if err == nil {
+				t.Fatalf("accepted %d-byte file", len(raw))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("rejected valid %d-byte file: %v", len(raw), err)
+		}
+		if len(data) != len(raw)/8 {
+			t.Fatalf("%d values from %d bytes", len(data), len(raw))
+		}
+		// Disk store agrees with the bulk reader.
+		d, err := OpenDisk(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		if d.Len() != len(data) {
+			t.Fatalf("Disk.Len %d vs %d", d.Len(), len(data))
+		}
+	})
+}

@@ -1,0 +1,176 @@
+// Package store provides the storage substrate the paper's evaluation
+// describes: the index structure lives in memory while the input time
+// series resides on disk, and leaf hits are resolved by random-access
+// reads of the original file. An in-memory store with the same interface
+// removes I/O from shape comparisons when desired.
+//
+// The on-disk format is a flat stream of little-endian IEEE-754 float64
+// values, one per timestamp, with no header; the length is the file size
+// divided by 8.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// ErrCorrupt is returned when a series file's size is not a multiple of
+// the 8-byte sample width.
+var ErrCorrupt = errors.New("store: file size is not a multiple of 8 bytes")
+
+// ErrBounds is returned when a requested window lies outside the series.
+var ErrBounds = errors.New("store: read out of bounds")
+
+// Store is random access to a time series. Positions are 0-based.
+type Store interface {
+	// Len returns the number of timestamps.
+	Len() int
+	// ReadAt fills dst with the l=len(dst) values starting at position p.
+	ReadAt(dst []float64, p int) error
+	// Close releases any underlying resources.
+	Close() error
+}
+
+// Mem is an in-memory Store backed by a slice.
+type Mem struct {
+	data []float64
+}
+
+// NewMem wraps data in a Store without copying.
+func NewMem(data []float64) *Mem { return &Mem{data: data} }
+
+// Len implements Store.
+func (m *Mem) Len() int { return len(m.data) }
+
+// ReadAt implements Store.
+func (m *Mem) ReadAt(dst []float64, p int) error {
+	if p < 0 || p+len(dst) > len(m.data) {
+		return fmt.Errorf("%w: start=%d len=%d series=%d", ErrBounds, p, len(dst), len(m.data))
+	}
+	copy(dst, m.data[p:])
+	return nil
+}
+
+// Close implements Store.
+func (m *Mem) Close() error { return nil }
+
+// Values returns the underlying slice; callers must not modify it.
+func (m *Mem) Values() []float64 { return m.data }
+
+// Disk is a Store over a binary float64 file, reading windows with
+// pread-style random access exactly as the paper's query path does when a
+// qualifying leaf is reached.
+type Disk struct {
+	f   *os.File
+	n   int
+	buf []byte // scratch for ReadAt, grown on demand
+}
+
+// OpenDisk opens path as a series file.
+func OpenDisk(path string) (*Disk, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: stat: %w", err)
+	}
+	if info.Size()%8 != 0 {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s has %d bytes", ErrCorrupt, path, info.Size())
+	}
+	return &Disk{f: f, n: int(info.Size() / 8)}, nil
+}
+
+// Len implements Store.
+func (d *Disk) Len() int { return d.n }
+
+// ReadAt implements Store.
+func (d *Disk) ReadAt(dst []float64, p int) error {
+	if p < 0 || p+len(dst) > d.n {
+		return fmt.Errorf("%w: start=%d len=%d series=%d", ErrBounds, p, len(dst), d.n)
+	}
+	nb := len(dst) * 8
+	if cap(d.buf) < nb {
+		d.buf = make([]byte, nb)
+	}
+	buf := d.buf[:nb]
+	if _, err := d.f.ReadAt(buf, int64(p)*8); err != nil {
+		return fmt.Errorf("store: read: %w", err)
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return nil
+}
+
+// Close implements Store.
+func (d *Disk) Close() error { return d.f.Close() }
+
+// WriteFile writes a series to path in the on-disk format.
+func WriteFile(path string, data []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: create: %w", err)
+	}
+	if err := Write(f, data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Write streams a series to w in the on-disk format.
+func Write(w io.Writer, data []float64) error {
+	const chunk = 8192
+	buf := make([]byte, 0, chunk*8)
+	for i, v := range data {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		buf = append(buf, b[:]...)
+		if len(buf) == cap(buf) || i == len(data)-1 {
+			if _, err := w.Write(buf); err != nil {
+				return fmt.Errorf("store: write: %w", err)
+			}
+			buf = buf[:0]
+		}
+	}
+	return nil
+}
+
+// ReadFile loads an entire series file into memory.
+func ReadFile(path string) ([]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: read file: %w", err)
+	}
+	if len(raw)%8 != 0 {
+		return nil, fmt.Errorf("%w: %s has %d bytes", ErrCorrupt, path, len(raw))
+	}
+	out := make([]float64, len(raw)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return out, nil
+}
+
+// Load materializes any Store into memory. It is the bridge used by the
+// harness: indexes are always built from an in-memory pass over the
+// series (a single sequential read), while query-time leaf verification
+// may go back to the Store.
+func Load(s Store) ([]float64, error) {
+	out := make([]float64, s.Len())
+	if s.Len() == 0 {
+		return out, nil
+	}
+	if err := s.ReadAt(out, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,174 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tempSeries(t *testing.T, n int) ([]float64, string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 100
+	}
+	path := filepath.Join(t.TempDir(), "series.f64")
+	if err := WriteFile(path, data); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return data, path
+}
+
+func TestMemStore(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5}
+	m := NewMem(data)
+	if m.Len() != 5 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	dst := make([]float64, 3)
+	if err := m.ReadAt(dst, 1); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if dst[0] != 2 || dst[2] != 4 {
+		t.Fatalf("ReadAt = %v", dst)
+	}
+	if err := m.ReadAt(dst, 3); err == nil {
+		t.Fatal("want bounds error")
+	}
+	if err := m.ReadAt(dst, -1); err == nil {
+		t.Fatal("want bounds error for negative start")
+	}
+	if m.Values()[0] != 1 {
+		t.Fatal("Values mismatch")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	data, path := tempSeries(t, 1000)
+	d, err := OpenDisk(path)
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	defer d.Close()
+	if d.Len() != len(data) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(data))
+	}
+	dst := make([]float64, 100)
+	for _, p := range []int{0, 1, 450, 900} {
+		if err := d.ReadAt(dst, p); err != nil {
+			t.Fatalf("ReadAt(%d): %v", p, err)
+		}
+		for i := range dst {
+			if dst[i] != data[p+i] {
+				t.Fatalf("value mismatch at %d+%d", p, i)
+			}
+		}
+	}
+	if err := d.ReadAt(dst, 950); err == nil {
+		t.Fatal("want bounds error")
+	}
+}
+
+func TestDiskSpecialValues(t *testing.T) {
+	data := []float64{0, -0, math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64, math.NaN()}
+	path := filepath.Join(t.TempDir(), "special.f64")
+	if err := WriteFile(path, data); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	for i := range data {
+		if math.Float64bits(got[i]) != math.Float64bits(data[i]) {
+			t.Fatalf("bit mismatch at %d", i)
+		}
+	}
+}
+
+func TestCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.f64")
+	if err := os.WriteFile(path, []byte("12345"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(path); err == nil {
+		t.Fatal("OpenDisk should reject truncated file")
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("ReadFile should reject truncated file")
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := OpenDisk(filepath.Join(t.TempDir(), "nope.f64")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestWriteStream(t *testing.T) {
+	data := make([]float64, 10000)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if buf.Len() != len(data)*8 {
+		t.Fatalf("wrote %d bytes, want %d", buf.Len(), len(data)*8)
+	}
+}
+
+func TestWriteFileUnwritable(t *testing.T) {
+	if err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "x.f64"), []float64{1}); err == nil {
+		t.Fatal("want error for unwritable path")
+	}
+}
+
+func TestWriteEmptySeries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.f64")
+	if err := WriteFile(path, nil); err != nil {
+		t.Fatalf("empty series should write fine: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v, %v", got, err)
+	}
+	d, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestLoad(t *testing.T) {
+	data, path := tempSeries(t, 256)
+	d, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	got, err := Load(d)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("Load mismatch at %d", i)
+		}
+	}
+	empty, err := Load(NewMem(nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("Load(empty) = %v, %v", empty, err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package twinsearch is a Go implementation of twin subsequence search
+// in time series — finding every subsequence of a long series whose
+// Chebyshev (L∞) distance to a query sequence is at most ε — after
+// "Twin Subsequence Search in Time Series" (EDBT 2021).
+//
+// The package exposes four interchangeable search methods behind one
+// Engine type:
+//
+//   - MethodTSIndex (default): the paper's contribution, a
+//     height-balanced tree whose nodes carry Minimum Bounding Time
+//     Series. Fastest under every condition the paper evaluates.
+//   - MethodISAX: the iSAX tree adapted to twin search via per-segment
+//     mean bounds.
+//   - MethodKVIndex: an inverted index over subsequence means
+//     (inapplicable under per-subsequence normalization).
+//   - MethodSweepline: the exact index-free scan, useful as ground
+//     truth and for one-off queries that don't amortize an index build.
+//
+// Basic use:
+//
+//	eng, err := twinsearch.Open(data, twinsearch.Options{L: 100})
+//	if err != nil { ... }
+//	matches, err := eng.Search(query, 0.3)
+//
+// Queries are given in the raw value space of the input series; the
+// engine applies the configured normalization to data and query
+// consistently.
+package twinsearch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"twinsearch/internal/core"
+	"twinsearch/internal/isax"
+	"twinsearch/internal/kvindex"
+	"twinsearch/internal/series"
+	"twinsearch/internal/store"
+	"twinsearch/internal/sweepline"
+)
+
+// NormMode selects how values are normalized before indexing and search;
+// see the paper §3.1 and the constants below.
+type NormMode = series.NormMode
+
+// Normalization modes.
+const (
+	// NormNone indexes raw values.
+	NormNone = series.NormNone
+	// NormGlobal z-normalizes the whole series once (paper default).
+	NormGlobal = series.NormGlobal
+	// NormPerSubsequence z-normalizes every window independently.
+	NormPerSubsequence = series.NormPerSubsequence
+)
+
+// Match is a search hit: the 0-based start of the twin subsequence and,
+// when the method computes it (SearchTopK), its Chebyshev distance
+// (otherwise -1).
+type Match = series.Match
+
+// Method selects the search implementation.
+type Method int
+
+// Search methods.
+const (
+	MethodTSIndex Method = iota
+	MethodISAX
+	MethodKVIndex
+	MethodSweepline
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodTSIndex:
+		return "TS-Index"
+	case MethodISAX:
+		return "iSAX"
+	case MethodKVIndex:
+		return "KV-Index"
+	case MethodSweepline:
+		return "Sweepline"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ErrTopKUnsupported is returned by SearchTopK for methods other than
+// TS-Index.
+var ErrTopKUnsupported = errors.New("twinsearch: top-k search requires MethodTSIndex")
+
+// Options configures an Engine. The zero value of every field selects a
+// sensible default; only L is mandatory.
+type Options struct {
+	// L is the subsequence length the engine indexes and queries
+	// (paper default 100). Required.
+	L int
+	// Method selects the search implementation (default MethodTSIndex).
+	Method Method
+	// Norm selects the normalization mode (default NormGlobal, the
+	// paper's default setting).
+	Norm NormMode
+	// NormSet forces Norm to be honored even when it is the zero value;
+	// set it when you explicitly want NormNone. (NormNone is the
+	// NormMode zero value, so Options{Norm: NormNone} alone is
+	// indistinguishable from "use the default".)
+	NormSet bool
+
+	// TS-Index knobs (MethodTSIndex).
+	MinCap, MaxCap int  // node capacities µc, Mc (defaults 10, 30)
+	BulkLoad       bool // bottom-up construction instead of insertion
+
+	// iSAX knobs (MethodISAX).
+	Segments     int // PAA segments m (default 10)
+	LeafCapacity int // leaf capacity (default 10,000)
+
+	// KV-Index knobs (MethodKVIndex).
+	KeyCount        int  // mean buckets (default 256)
+	ExactMeanFilter bool // O(1) exact-mean prefilter before verification
+}
+
+func (o *Options) fill() error {
+	if o.L <= 0 {
+		return fmt.Errorf("twinsearch: Options.L = %d; a positive subsequence length is required", o.L)
+	}
+	if !o.NormSet && o.Norm == NormNone {
+		o.Norm = NormGlobal
+	}
+	if o.Segments == 0 {
+		o.Segments = 10
+	}
+	return nil
+}
+
+// Engine holds a built index (or scan state) over one time series and
+// answers twin queries against it.
+type Engine struct {
+	opt Options
+	ext *series.Extractor
+
+	sweep *sweepline.Sweepline
+	kv    *kvindex.Index
+	isx   *isax.Index
+	ts    *core.Index
+}
+
+// Open builds an engine over data according to opt. The slice is not
+// copied for raw/per-subsequence modes and must not be modified
+// afterwards. Every value must be finite: a NaN would poison the
+// early-abandoning comparisons (NaN > ε is false, so a NaN window would
+// silently match everything), so non-finite input is rejected here.
+func Open(data []float64, opt Options) (*Engine, error) {
+	if err := opt.fill(); err != nil {
+		return nil, err
+	}
+	if len(data) < opt.L {
+		return nil, fmt.Errorf("twinsearch: series length %d shorter than L=%d", len(data), opt.L)
+	}
+	for i, v := range data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("twinsearch: non-finite value %v at position %d; clean or impute missing samples first", v, i)
+		}
+	}
+	e := &Engine{opt: opt, ext: series.NewExtractor(data, opt.Norm)}
+	var err error
+	switch opt.Method {
+	case MethodSweepline:
+		e.sweep = sweepline.New(e.ext)
+	case MethodKVIndex:
+		e.kv, err = kvindex.Build(e.ext, kvindex.Config{
+			L: opt.L, KeyCount: opt.KeyCount, ExactMeanFilter: opt.ExactMeanFilter,
+		})
+	case MethodISAX:
+		e.isx, err = isax.Build(e.ext, isax.Config{
+			L: opt.L, Segments: opt.Segments, LeafCapacity: opt.LeafCapacity,
+		})
+	case MethodTSIndex:
+		cfg := core.Config{L: opt.L, MinCap: opt.MinCap, MaxCap: opt.MaxCap}
+		if opt.BulkLoad {
+			e.ts, err = core.BuildBulk(e.ext, cfg)
+		} else {
+			e.ts, err = core.Build(e.ext, cfg)
+		}
+	default:
+		err = fmt.Errorf("twinsearch: unknown method %v", opt.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// OpenFile builds an engine over a series stored in the flat binary
+// float64 format written by store.WriteFile / cmd/tsgen.
+func OpenFile(path string, opt Options) (*Engine, error) {
+	data, err := store.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Open(data, opt)
+}
+
+// Search returns all subsequences whose Chebyshev distance to q is at
+// most eps, ordered by start position. q is in the raw value space of
+// the input series and must have length L with finite values.
+func (e *Engine) Search(q []float64, eps float64) ([]Match, error) {
+	if len(q) != e.opt.L {
+		return nil, fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)
+	}
+	if eps < 0 || math.IsNaN(eps) {
+		return nil, fmt.Errorf("twinsearch: invalid threshold %v", eps)
+	}
+	for i, v := range q {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("twinsearch: non-finite query value %v at position %d", v, i)
+		}
+	}
+	return e.SearchPrepared(e.ext.TransformQuery(q), eps)
+}
+
+// SearchPrepared is Search for queries already expressed in the engine's
+// normalized value space (e.g. returned by PrepareQuery, or sampled from
+// the normalized series). Most callers want Search.
+func (e *Engine) SearchPrepared(q []float64, eps float64) ([]Match, error) {
+	if len(q) != e.opt.L {
+		return nil, fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)
+	}
+	switch e.opt.Method {
+	case MethodSweepline:
+		return e.sweep.Search(q, eps), nil
+	case MethodKVIndex:
+		return e.kv.Search(q, eps), nil
+	case MethodISAX:
+		return e.isx.Search(q, eps), nil
+	default:
+		return e.ts.Search(q, eps), nil
+	}
+}
+
+// PrepareQuery maps a raw-space query into the engine's normalized value
+// space (identity under NormNone).
+func (e *Engine) PrepareQuery(q []float64) []float64 {
+	return e.ext.TransformQuery(q)
+}
+
+// SearchTopK returns the k nearest subsequences to q under Chebyshev
+// distance (ascending), with exact distances filled in. Only TS-Index
+// supports it.
+func (e *Engine) SearchTopK(q []float64, k int) ([]Match, error) {
+	if e.opt.Method != MethodTSIndex {
+		return nil, ErrTopKUnsupported
+	}
+	if len(q) != e.opt.L {
+		return nil, fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)
+	}
+	return e.ts.SearchTopK(e.ext.TransformQuery(q), k), nil
+}
+
+// Subsequence returns a copy of the indexed (normalized) window at
+// position p — useful for inspecting matches in the engine's value
+// space.
+func (e *Engine) Subsequence(p int) ([]float64, error) {
+	if p < 0 || p+e.opt.L > e.ext.Len() {
+		return nil, fmt.Errorf("twinsearch: position %d out of range", p)
+	}
+	return e.ext.ExtractCopy(p, e.opt.L), nil
+}
+
+// Method returns the engine's search method.
+func (e *Engine) Method() Method { return e.opt.Method }
+
+// Norm returns the engine's normalization mode.
+func (e *Engine) Norm() NormMode { return e.opt.Norm }
+
+// L returns the configured subsequence length.
+func (e *Engine) L() int { return e.opt.L }
+
+// SeriesLen returns the number of timestamps in the indexed series.
+func (e *Engine) SeriesLen() int { return e.ext.Len() }
+
+// NumSubsequences returns how many windows the engine indexes.
+func (e *Engine) NumSubsequences() int {
+	return series.NumSubsequences(e.ext.Len(), e.opt.L)
+}
+
+// MemoryBytes estimates the heap footprint of the index structure
+// (0 for the sweepline, which has none).
+func (e *Engine) MemoryBytes() int {
+	switch e.opt.Method {
+	case MethodKVIndex:
+		return e.kv.MemoryBytes() + e.kv.AuxiliaryBytes()
+	case MethodISAX:
+		return e.isx.MemoryBytes()
+	case MethodTSIndex:
+		return e.ts.MemoryBytes()
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,248 @@
+package twinsearch
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"twinsearch/internal/datasets"
+	"twinsearch/internal/store"
+)
+
+var allMethods = []Method{MethodTSIndex, MethodISAX, MethodKVIndex, MethodSweepline}
+
+func TestOpenValidation(t *testing.T) {
+	data := datasets.RandomWalk(1, 500)
+	if _, err := Open(data, Options{}); err == nil {
+		t.Fatal("missing L must fail")
+	}
+	if _, err := Open(data[:10], Options{L: 100}); err == nil {
+		t.Fatal("short series must fail")
+	}
+	if _, err := Open(data, Options{L: 100, Method: Method(42)}); err == nil {
+		t.Fatal("unknown method must fail")
+	}
+	if _, err := Open(data, Options{L: 100, Method: MethodKVIndex, Norm: NormPerSubsequence, NormSet: true}); err == nil {
+		t.Fatal("KV-Index under per-subsequence norm must fail")
+	}
+}
+
+func TestDefaultNormalization(t *testing.T) {
+	eng, err := Open(datasets.RandomWalk(1, 500), Options{L: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Norm() != NormGlobal {
+		t.Fatalf("default norm = %v, want NormGlobal", eng.Norm())
+	}
+	engRaw, err := Open(datasets.RandomWalk(1, 500), Options{L: 50, NormSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engRaw.Norm() != NormNone {
+		t.Fatalf("NormSet norm = %v, want NormNone", engRaw.Norm())
+	}
+}
+
+func TestAllMethodsAgree(t *testing.T) {
+	ts := datasets.EEGN(3, 8000)
+	q := append([]float64(nil), ts[2000:2100]...)
+	for _, norm := range []NormMode{NormNone, NormGlobal, NormPerSubsequence} {
+		var golden []Match
+		for _, m := range allMethods {
+			if m == MethodKVIndex && norm == NormPerSubsequence {
+				continue
+			}
+			eng, err := Open(ts, Options{L: 100, Method: m, Norm: norm, NormSet: true})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", m, norm, err)
+			}
+			ms, err := eng.Search(q, 0.4)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", m, norm, err)
+			}
+			if golden == nil || m == MethodSweepline {
+				if golden == nil {
+					golden = ms
+					continue
+				}
+			}
+			if len(ms) != len(golden) {
+				t.Fatalf("%v/%v: %d matches, golden %d", m, norm, len(ms), len(golden))
+			}
+			for i := range golden {
+				if ms[i].Start != golden[i].Start {
+					t.Fatalf("%v/%v: mismatch at rank %d", m, norm, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	eng, err := Open(datasets.RandomWalk(1, 1000), Options{L: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Search(make([]float64, 50), 0.1); err == nil {
+		t.Fatal("wrong query length must fail")
+	}
+	if _, err := eng.Search(make([]float64, 100), -1); err == nil {
+		t.Fatal("negative eps must fail")
+	}
+	if _, err := eng.Search(make([]float64, 100), math.NaN()); err == nil {
+		t.Fatal("NaN eps must fail")
+	}
+	q := make([]float64, 100)
+	q[40] = math.NaN()
+	if _, err := eng.Search(q, 0.1); err == nil {
+		t.Fatal("NaN query must fail")
+	}
+	q[40] = math.Inf(1)
+	if _, err := eng.Search(q, 0.1); err == nil {
+		t.Fatal("Inf query must fail")
+	}
+	if _, err := eng.SearchPrepared(make([]float64, 99), 0.1); err == nil {
+		t.Fatal("wrong prepared length must fail")
+	}
+}
+
+func TestOpenRejectsNonFiniteData(t *testing.T) {
+	data := datasets.RandomWalk(2, 500)
+	data[123] = math.NaN()
+	if _, err := Open(data, Options{L: 50}); err == nil {
+		t.Fatal("NaN data must fail")
+	}
+	data[123] = math.Inf(-1)
+	if _, err := Open(data, Options{L: 50}); err == nil {
+		t.Fatal("Inf data must fail")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	ts := datasets.InsectN(5, 5000)
+	eng, err := Open(ts, Options{L: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := append([]float64(nil), ts[700:800]...)
+	top, err := eng.SearchTopK(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 5 {
+		t.Fatalf("got %d", len(top))
+	}
+	if top[0].Start != 700 || top[0].Dist != 0 {
+		t.Fatalf("nearest must be the source window: %+v", top[0])
+	}
+	swp, _ := Open(ts, Options{L: 100, Method: MethodSweepline})
+	if _, err := swp.SearchTopK(q, 5); err != ErrTopKUnsupported {
+		t.Fatalf("err = %v, want ErrTopKUnsupported", err)
+	}
+	if _, err := eng.SearchTopK(make([]float64, 3), 5); err == nil {
+		t.Fatal("wrong top-k query length must fail")
+	}
+}
+
+func TestBulkLoadOption(t *testing.T) {
+	ts := datasets.RandomWalk(7, 4000)
+	q := append([]float64(nil), ts[1000:1100]...)
+	a, err := Open(ts, Options{L: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(ts, Options{L: 100, BulkLoad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, _ := a.Search(q, 0.3)
+	mb, _ := b.Search(q, 0.3)
+	if len(ma) != len(mb) {
+		t.Fatalf("bulk vs insert result mismatch: %d vs %d", len(ma), len(mb))
+	}
+}
+
+func TestAccessorsAndMemory(t *testing.T) {
+	ts := datasets.RandomWalk(9, 2000)
+	for _, m := range allMethods {
+		eng, err := Open(ts, Options{L: 100, Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eng.Method() != m || eng.L() != 100 || eng.SeriesLen() != 2000 {
+			t.Fatalf("%v: accessor mismatch", m)
+		}
+		if eng.NumSubsequences() != 1901 {
+			t.Fatalf("%v: NumSubsequences = %d", m, eng.NumSubsequences())
+		}
+		if m == MethodSweepline {
+			if eng.MemoryBytes() != 0 {
+				t.Fatalf("sweepline has no index memory")
+			}
+		} else if eng.MemoryBytes() <= 0 {
+			t.Fatalf("%v: MemoryBytes = %d", m, eng.MemoryBytes())
+		}
+		sub, err := eng.Subsequence(5)
+		if err != nil || len(sub) != 100 {
+			t.Fatalf("%v: Subsequence: %v", m, err)
+		}
+		if _, err := eng.Subsequence(-1); err == nil {
+			t.Fatalf("%v: negative position must fail", m)
+		}
+		if _, err := eng.Subsequence(1999); err == nil {
+			t.Fatalf("%v: overflowing position must fail", m)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodTSIndex.String() != "TS-Index" || MethodISAX.String() != "iSAX" ||
+		MethodKVIndex.String() != "KV-Index" || MethodSweepline.String() != "Sweepline" {
+		t.Fatal("method names changed")
+	}
+	if Method(9).String() != "Method(9)" {
+		t.Fatal("fallback name changed")
+	}
+}
+
+func TestOpenFile(t *testing.T) {
+	ts := datasets.RandomWalk(11, 1500)
+	path := filepath.Join(t.TempDir(), "series.f64")
+	if err := store.WriteFile(path, ts); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := OpenFile(path, Options{L: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := append([]float64(nil), ts[300:400]...)
+	ms, err := eng.Search(q, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range ms {
+		if m.Start == 300 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("self match missing after file round trip")
+	}
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "missing.f64"), Options{L: 10}); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestPrepareQueryRoundTrip(t *testing.T) {
+	ts := datasets.RandomWalk(13, 1000)
+	eng, _ := Open(ts, Options{L: 50})
+	raw := append([]float64(nil), ts[100:150]...)
+	prepared := eng.PrepareQuery(raw)
+	a, _ := eng.Search(raw, 0.25)
+	b, _ := eng.SearchPrepared(prepared, 0.25)
+	if len(a) != len(b) {
+		t.Fatalf("prepared search disagrees: %d vs %d", len(a), len(b))
+	}
+}
