@@ -21,6 +21,7 @@ import (
 	"twinsearch/internal/isax"
 	"twinsearch/internal/kvindex"
 	"twinsearch/internal/series"
+	"twinsearch/internal/shard"
 	"twinsearch/internal/sweepline"
 )
 
@@ -458,6 +459,62 @@ func BenchmarkAblationAdaptiveISAX(b *testing.B) {
 			}
 		}
 	})
+}
+
+// Sharded TS-Index construction: the shard count is the parallelism of
+// the build (one goroutine per shard), so on a multi-core machine the
+// higher-shard sub-benchmarks should beat shards=1 roughly linearly
+// until memory bandwidth intervenes; shards=1 is the unchanged
+// single-index baseline for reference.
+func BenchmarkShardedBuild(b *testing.B) {
+	ds := benchSetups[1]
+	ext := benchExt(ds, series.NormGlobal)
+	for _, p := range []int{1, 2, 4, 0} {
+		p := p
+		name := fmt.Sprintf("shards=%d", p)
+		if p == 0 {
+			name = "shards=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := shard.Build(ext, shard.Config{
+					Config: core.Config{L: harness.DefaultL}, Shards: p,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Sharded TS-Index search: each query fans out across the shards in
+// parallel and merges. Per-query work is small, so the win over
+// shards=1 shows mainly at loose thresholds (more candidates per
+// shard); at tight thresholds the goroutine fan-out overhead is the
+// visible cost.
+func BenchmarkShardedSearch(b *testing.B) {
+	ds := benchSetups[1]
+	ext := benchExt(ds, series.NormGlobal)
+	qs := benchWorkload(ds, ext, harness.DefaultL)
+	for _, p := range []int{1, 2, 4, 0} {
+		p := p
+		ix, err := shard.Build(ext, shard.Config{
+			Config: core.Config{L: harness.DefaultL}, Shards: p,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		name := fmt.Sprintf("shards=%d", p)
+		if p == 0 {
+			name = "shards=max"
+		}
+		for _, eps := range []float64{ds.def, ds.eps[len(ds.eps)-1]} {
+			eps := eps
+			b.Run(fmt.Sprintf("%s/eps=%g", name, eps), func(b *testing.B) {
+				runQueries(b, func(q []float64, e float64) int { return len(ix.Search(q, e)) }, qs, eps)
+			})
+		}
+	}
 }
 
 // Parallel vs serial iSAX construction (the ParIS/MESSI direction).

@@ -7,6 +7,7 @@
 //
 //	tsbench                       # every figure at the default scale
 //	tsbench -figure 4             # one figure
+//	tsbench -figure shard         # sharded TS-Index build/query scaling
 //	tsbench -full                 # paper-sized EEG (1.8M points; slow)
 //	tsbench -scale 0.1 -queries 20  # quick look
 //	tsbench -csv results.csv      # also dump machine-readable rows
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "which experiment: intro, 4, 5, 6, 7, 8, all")
+		figure  = flag.String("figure", "all", "which experiment: intro, 4, 5, 6, 7, 8, shard, all")
 		scale   = flag.Float64("scale", 0.1, "EEG dataset scale (1 = paper's 1,801,999 points)")
 		full    = flag.Bool("full", false, "shorthand for -scale 1 (with -queries 100 this is the paper's exact setup; expect hours: the sweepline pays one random read per window per query)")
 		queries = flag.Int("queries", 30, "workload size per experiment (paper: 100)")
@@ -57,6 +58,7 @@ func main() {
 	run("6", r.Figure6)
 	run("7", r.Figure7)
 	run("8", r.Figure8)
+	run("shard", r.FigureShard)
 
 	if len(rows) == 0 {
 		fmt.Fprintf(os.Stderr, "tsbench: unknown figure %q\n", *figure)

@@ -37,6 +37,7 @@ func main() {
 		loadIndex  = flag.String("loadindex", "", "reopen a TS-Index persisted with -saveindex instead of rebuilding")
 		approx     = flag.Int("approx", 0, "if > 0, run an approximate search probing this many leaves (TS-Index only)")
 		indexLen   = flag.Int("indexlen", 0, "index at this length instead of the query length; shorter queries then use the prefix search (TS-Index only)")
+		shards     = flag.Int("shards", 0, "index partitions built and searched in parallel (0 = one index, -1 = one per CPU; TS-Index only)")
 	)
 	flag.Parse()
 	if *seriesPath == "" {
@@ -67,7 +68,7 @@ func main() {
 		fatal(fmt.Errorf("one of -qfile or -qstart is required"))
 	}
 
-	opt := twinsearch.Options{L: *l, NormSet: true}
+	opt := twinsearch.Options{L: *l, NormSet: true, Shards: *shards}
 	if *indexLen > 0 {
 		if *indexLen < len(q) {
 			fatal(fmt.Errorf("-indexlen %d below query length %d", *indexLen, len(q)))

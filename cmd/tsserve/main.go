@@ -27,6 +27,7 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		norm       = flag.String("norm", "global", "normalization: raw, global, persub")
 		loadIndex  = flag.String("loadindex", "", "reopen a persisted TS-Index instead of rebuilding")
+		shards     = flag.Int("shards", 0, "index partitions built and searched in parallel (0 = one index, -1 = one per CPU)")
 	)
 	flag.Parse()
 	if *seriesPath == "" {
@@ -39,7 +40,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := twinsearch.Options{L: *l, NormSet: true}
+	opt := twinsearch.Options{L: *l, NormSet: true, Shards: *shards}
 	switch *norm {
 	case "raw":
 		opt.Norm = twinsearch.NormNone
@@ -61,8 +62,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("tsserve: %d windows of length %d ready in %v; listening on %s\n",
-		eng.NumSubsequences(), eng.L(), time.Since(start).Round(time.Millisecond), *addr)
+	fmt.Printf("tsserve: %d windows of length %d in %d shard(s) ready in %v; listening on %s\n",
+		eng.NumSubsequences(), eng.L(), eng.Shards(), time.Since(start).Round(time.Millisecond), *addr)
 
 	if err := http.ListenAndServe(*addr, server.New(eng)); err != nil {
 		fatal(err)

@@ -1,6 +1,8 @@
 package twinsearch
 
 import (
+	"math"
+	"strings"
 	"testing"
 
 	"twinsearch/internal/datasets"
@@ -106,9 +108,74 @@ func TestCollectionBatch(t *testing.T) {
 			t.Fatalf("query %d: batch %d vs direct %d", qi, len(ms), len(want))
 		}
 	}
-	// Error propagation: a malformed query surfaces with context.
-	if _, err := c.SearchBatch([][]float64{{1, 2}}, 0.3, 1); err == nil {
+	// Error propagation: a malformed query surfaces with member and
+	// query context, and no partial result set is returned.
+	out, err := c.SearchBatch([][]float64{queries[0], {1, 2}}, 0.3, 1)
+	if err == nil {
 		t.Fatal("short query must fail")
+	}
+	if out != nil {
+		t.Fatal("failed batch must not return partial results")
+	}
+	if !strings.Contains(err.Error(), "member 0") || !strings.Contains(err.Error(), "query 1") {
+		t.Fatalf("error %q lacks member/query context", err)
+	}
+	// A NaN threshold is rejected per query, not silently matched
+	// against everything (the NaN validation regression).
+	if _, err := c.SearchBatch(queries, math.NaN(), 1); err == nil {
+		t.Fatal("NaN threshold must fail")
+	}
+}
+
+// TestCollectionSharded lifts the sharded engine into collections: the
+// option applies per member and answers match the unsharded collection.
+func TestCollectionSharded(t *testing.T) {
+	set := [][]float64{
+		datasets.EEGN(101, 4000),
+		datasets.EEGN(102, 5000),
+	}
+	plain, err := OpenCollection(set, Options{L: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := OpenCollection(set, Options{L: 100, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sharded.Len(); i++ {
+		if sharded.Engine(i).Shards() != 3 {
+			t.Fatalf("member %d has %d shards", i, sharded.Engine(i).Shards())
+		}
+	}
+	q := append([]float64(nil), set[1][2000:2100]...)
+	want, err := plain.Search(q, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.Search(q, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sharded collection: %d vs %d matches", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	wantK, err := plain.SearchTopK(q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotK, err := sharded.SearchTopK(q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantK {
+		if gotK[i] != wantK[i] {
+			t.Fatalf("top-k %d: %+v vs %+v", i, gotK[i], wantK[i])
+		}
 	}
 }
 

@@ -1,15 +1,18 @@
 package twinsearch
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"sync"
 
 	"twinsearch/internal/core"
 	"twinsearch/internal/series"
+	"twinsearch/internal/shard"
 )
 
 // ErrPersistUnsupported is returned by SaveIndex for methods other than
@@ -18,10 +21,16 @@ var ErrPersistUnsupported = errors.New("twinsearch: index persistence requires M
 
 // SaveIndex serializes a built TS-Index so a later process can reopen it
 // against the same series without paying construction again (see
-// OpenSaved). Only MethodTSIndex engines support it.
+// OpenSaved). Only MethodTSIndex engines support it. Sharded engines
+// write a sharded stream (shard count, range boundaries, one per-shard
+// index stream each); OpenSaved accepts both formats.
 func (e *Engine) SaveIndex(w io.Writer) error {
 	if e.opt.Method != MethodTSIndex {
 		return ErrPersistUnsupported
+	}
+	if e.sh != nil {
+		_, err := e.sh.WriteTo(w)
+		return err
 	}
 	_, err := e.ts.WriteTo(w)
 	return err
@@ -43,7 +52,10 @@ func (e *Engine) SaveIndexFile(path string) error {
 // OpenSaved reconstructs a TS-Index engine from a stream produced by
 // SaveIndex. data must be the same series the index was built over, and
 // opt must request MethodTSIndex with the same L and normalization; the
-// stream's recorded parameters are authoritative and validated.
+// stream's recorded parameters are authoritative and validated. The
+// stream format decides whether the engine comes back sharded — a
+// sharded save reopens sharded (with its saved partition) regardless of
+// opt.Shards, and a single-index save reopens unsharded.
 func OpenSaved(data []float64, r io.Reader, opt Options) (*Engine, error) {
 	if err := opt.fill(); err != nil {
 		return nil, err
@@ -52,7 +64,24 @@ func OpenSaved(data []float64, r io.Reader, opt Options) (*Engine, error) {
 		return nil, ErrPersistUnsupported
 	}
 	e := &Engine{opt: opt, ext: series.NewExtractor(data, opt.Norm)}
-	ix, err := core.Load(r, e.ext)
+
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(len(shard.Magic))
+	if err != nil {
+		return nil, fmt.Errorf("twinsearch: reading saved index: %w", err)
+	}
+	if string(magic) == shard.Magic {
+		sh, err := shard.Load(br, e.ext)
+		if err != nil {
+			return nil, err
+		}
+		if sh.L() != opt.L {
+			return nil, fmt.Errorf("twinsearch: saved index has L=%d, options request L=%d", sh.L(), opt.L)
+		}
+		e.sh = sh
+		return e, nil
+	}
+	ix, err := core.Load(br, e.ext)
 	if err != nil {
 		return nil, err
 	}
@@ -83,8 +112,13 @@ func (e *Engine) SearchShorter(q []float64, eps float64) ([]Match, error) {
 	if e.opt.Method != MethodTSIndex {
 		return nil, errors.New("twinsearch: SearchShorter requires MethodTSIndex")
 	}
-	if eps < 0 {
-		return nil, fmt.Errorf("twinsearch: negative threshold %v", eps)
+	// NaN slips past a plain eps < 0 check (NaN < 0 is false) and would
+	// poison the early-abandoning comparisons; validate like Search.
+	if eps < 0 || math.IsNaN(eps) {
+		return nil, fmt.Errorf("twinsearch: invalid threshold %v", eps)
+	}
+	if e.sh != nil {
+		return e.sh.SearchPrefix(e.ext.TransformQuery(q), eps)
 	}
 	return e.ts.SearchPrefix(e.ext.TransformQuery(q), eps)
 }
@@ -96,8 +130,15 @@ func (e *Engine) SearchApprox(q []float64, eps float64, leafBudget int) ([]Match
 	if e.opt.Method != MethodTSIndex {
 		return nil, errors.New("twinsearch: SearchApprox requires MethodTSIndex")
 	}
+	if eps < 0 || math.IsNaN(eps) {
+		return nil, fmt.Errorf("twinsearch: invalid threshold %v", eps)
+	}
 	if len(q) != e.opt.L {
 		return nil, fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)
+	}
+	if e.sh != nil {
+		ms, _ := e.sh.SearchApprox(e.ext.TransformQuery(q), eps, leafBudget)
+		return ms, nil
 	}
 	ms, _ := e.ts.SearchApprox(e.ext.TransformQuery(q), eps, leafBudget)
 	return ms, nil
@@ -127,7 +168,11 @@ func (e *Engine) Append(values ...float64) error {
 		first = 0
 	}
 	for p := first; p+e.opt.L <= e.ext.Len(); p++ {
-		e.ts.Insert(p)
+		if e.sh != nil {
+			e.sh.Insert(p)
+		} else {
+			e.ts.Insert(p)
+		}
 	}
 	return nil
 }

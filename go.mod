@@ -1,0 +1,3 @@
+module twinsearch
+
+go 1.24

@@ -21,36 +21,48 @@ import (
 // benchmark (BenchmarkAblationBulkVsInsert) compares construction time
 // and query speed of the two.
 func BuildBulk(ext *series.Extractor, cfg Config) (*Index, error) {
+	count := series.NumSubsequences(ext.Len(), cfg.L)
+	return BuildBulkRange(ext, cfg, 0, count)
+}
+
+// BuildBulkRange bulk-loads a TS-Index over only the windows starting in
+// [lo, hi) — the bulk counterpart of BuildRange, used by internal/shard
+// to build each shard bottom-up.
+func BuildBulkRange(ext *series.Extractor, cfg Config, lo, hi int) (*Index, error) {
 	ix, err := NewEmpty(ext, cfg)
 	if err != nil {
 		return nil, err
 	}
 	cfg = ix.cfg // NewEmpty validated and filled in the defaults
-	count := series.NumSubsequences(ext.Len(), cfg.L)
-	if count == 0 {
+	total := series.NumSubsequences(ext.Len(), cfg.L)
+	if total == 0 {
 		return nil, fmt.Errorf("core: series length %d shorter than subsequence length %d", ext.Len(), cfg.L)
 	}
+	if lo < 0 || hi > total || lo >= hi {
+		return nil, fmt.Errorf("core: position range [%d, %d) invalid for %d windows", lo, hi, total)
+	}
+	count := hi - lo
 
 	// Order windows by mean. Per-subsequence normalization forces every
 	// mean to zero; fall back to ordering by the first normalized value,
 	// which is equally cheap and still groups look-alike windows.
 	order := make([]int32, count)
 	for i := range order {
-		order[i] = int32(i)
+		order[i] = int32(lo + i)
 	}
 	keys := make([]float64, count)
 	if ext.Mode() == series.NormPerSubsequence {
 		buf := make([]float64, cfg.L)
-		for p := 0; p < count; p++ {
-			keys[p] = ext.Extract(p, cfg.L, buf)[0]
+		for i := 0; i < count; i++ {
+			keys[i] = ext.Extract(lo+i, cfg.L, buf)[0]
 		}
 	} else {
 		rolling := series.NewRolling(ext.Data())
-		for p := 0; p < count; p++ {
-			keys[p] = rolling.Mean(p, cfg.L)
+		for i := 0; i < count; i++ {
+			keys[i] = rolling.Mean(lo+i, cfg.L)
 		}
 	}
-	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]-int32(lo)] < keys[order[b]-int32(lo)] })
 
 	// Pack leaves.
 	buf := make([]float64, cfg.L)

@@ -23,6 +23,43 @@ import (
 // unsupported: z-normalizing T[p,l] is not a prefix of z-normalizing
 // T[p,L], so the stored bounds do not transfer.
 func (ix *Index) SearchPrefix(q []float64, eps float64) ([]series.Match, error) {
+	out, err := ix.SearchPrefixTree(q, eps)
+	if err != nil {
+		return nil, err
+	}
+	// Tail starts are generated ascending and all exceed every indexed
+	// start, so appending them keeps the result sorted.
+	return ScanPrefixTail(ix.ext, ix.cfg.L, q, eps, out), nil
+}
+
+// ScanPrefixTail verifies the windows that exist only at the shorter
+// query length — starts in (n−L, n−len(q)], empty when len(q) == L —
+// appending matches to out in ascending start order. Shared by
+// Index.SearchPrefix and the sharded fan-out (which must run it once,
+// not once per shard).
+func ScanPrefixTail(ext *series.Extractor, indexedL int, q []float64, eps float64, out []series.Match) []series.Match {
+	if len(q) >= indexedL {
+		return out
+	}
+	ver := series.NewVerifier(ext, q, eps)
+	n := ext.Len()
+	for p := n - indexedL + 1; p <= n-len(q); p++ {
+		if p < 0 {
+			continue
+		}
+		if ver.Verify(p) {
+			out = append(out, series.Match{Start: p, Dist: -1})
+		}
+	}
+	return out
+}
+
+// SearchPrefixTree is the tree-traversal half of SearchPrefix: it
+// reports prefix twins among the INDEXED starts only, leaving the tail
+// starts that exist solely at the shorter length to the caller.
+// internal/shard fans this across shards and runs the tail scan once;
+// most callers want SearchPrefix.
+func (ix *Index) SearchPrefixTree(q []float64, eps float64) ([]series.Match, error) {
 	l := len(q)
 	if l > ix.cfg.L {
 		return nil, fmt.Errorf("core: prefix query length %d exceeds indexed length %d", l, ix.cfg.L)
@@ -58,17 +95,6 @@ func (ix *Index) SearchPrefix(q []float64, eps float64) ([]series.Match, error) 
 					out = append(out, series.Match{Start: int(p), Dist: -1})
 				}
 			}
-		}
-	}
-
-	// Tail starts that only exist at the shorter length.
-	n := ix.ext.Len()
-	for p := n - ix.cfg.L + 1; p <= n-l; p++ {
-		if p < 0 {
-			continue
-		}
-		if ver.Verify(p) {
-			out = append(out, series.Match{Start: p, Dist: -1})
 		}
 	}
 	series.SortMatches(out)

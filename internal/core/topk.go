@@ -2,9 +2,49 @@ package core
 
 import (
 	"container/heap"
+	"math"
+	"sync/atomic"
 
 	"twinsearch/internal/series"
 )
+
+// SharedBound is a monotonically tightening upper bound on the global
+// k-th best distance, shared by concurrent top-k traversals over
+// different shards of one position space (internal/shard). Each
+// traversal publishes its local k-th distance once its result heap
+// fills — any k real candidates bound the global k-th from above — and
+// every traversal prunes nodes whose Eq. 2 lower bound strictly exceeds
+// the shared value. Pruning is only ever on strict inequality, so the
+// merged top-k is deterministic regardless of publication timing.
+type SharedBound struct {
+	bits atomic.Uint64
+}
+
+// NewSharedBound returns a bound initialized to +Inf (nothing prunable).
+func NewSharedBound() *SharedBound {
+	b := &SharedBound{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+// Load returns the current bound.
+func (b *SharedBound) Load() float64 {
+	return math.Float64frombits(b.bits.Load())
+}
+
+// Tighten lowers the bound to d when d is smaller; larger values are
+// ignored (the bound never loosens).
+func (b *SharedBound) Tighten(d float64) {
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) <= d {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(d)) {
+			return
+		}
+	}
+}
 
 // SearchTopK returns the k subsequences nearest to q under Chebyshev
 // distance, sorted by ascending distance with ties broken by start
@@ -18,6 +58,17 @@ import (
 // node is farther than the current k-th best — the classic optimal
 // incremental NN strategy transplanted onto MBTS.
 func (ix *Index) SearchTopK(q []float64, k int) []series.Match {
+	return ix.SearchTopKShared(q, k, nil)
+}
+
+// SearchTopKShared is SearchTopK with an optional cross-traversal
+// pruning bound (see SharedBound); internal/shard passes one bound to
+// every shard of a fanned-out query so each traversal benefits from the
+// candidates the others have already admitted. A nil bound reduces to
+// the plain single-index traversal. When shared pruning fires, the
+// local result may omit matches that cannot survive the global k-way
+// merge; the merged top-k is unaffected.
+func (ix *Index) SearchTopKShared(q []float64, k int, shared *SharedBound) []series.Match {
 	if len(q) != ix.cfg.L {
 		panic("core: query length mismatch")
 	}
@@ -30,10 +81,17 @@ func (ix *Index) SearchTopK(q []float64, k int) []series.Match {
 	buf := make([]float64, ix.cfg.L)
 
 	kth := func() float64 {
-		if best.Len() < k {
-			return -1 // not full yet: nothing can be discarded
+		t := math.Inf(1)
+		if shared != nil {
+			t = shared.Load()
 		}
-		return (*best)[0].Dist
+		if best.Len() >= k && (*best)[0].Dist < t {
+			t = (*best)[0].Dist
+		}
+		if math.IsInf(t, 1) {
+			return -1 // nothing can be discarded yet
+		}
+		return t
 	}
 
 	for pq.Len() > 0 {
@@ -64,6 +122,9 @@ func (ix *Index) SearchTopK(q []float64, k int) []series.Match {
 				heap.Pop(best)
 			}
 			heap.Push(best, m)
+			if shared != nil && best.Len() >= k {
+				shared.Tighten((*best)[0].Dist)
+			}
 		}
 	}
 

@@ -89,15 +89,28 @@ type Stats struct {
 // Build constructs a TS-Index over all ℓ-length windows of the
 // extractor's series by sequential insertion (§5.2).
 func Build(ext *series.Extractor, cfg Config) (*Index, error) {
+	count := series.NumSubsequences(ext.Len(), cfg.L)
+	return BuildRange(ext, cfg, 0, count)
+}
+
+// BuildRange constructs a TS-Index over only the windows starting in
+// [lo, hi) by sequential insertion — the per-shard build primitive used
+// by internal/shard, where each shard owns one contiguous slice of the
+// position space (the data-partitioning scheme of ParIS/MESSI applied
+// to TS-Index).
+func BuildRange(ext *series.Extractor, cfg Config, lo, hi int) (*Index, error) {
 	ix, err := NewEmpty(ext, cfg)
 	if err != nil {
 		return nil, err
 	}
-	count := series.NumSubsequences(ext.Len(), cfg.L)
+	count := series.NumSubsequences(ext.Len(), ix.cfg.L)
 	if count == 0 {
-		return nil, fmt.Errorf("core: series length %d shorter than subsequence length %d", ext.Len(), cfg.L)
+		return nil, fmt.Errorf("core: series length %d shorter than subsequence length %d", ext.Len(), ix.cfg.L)
 	}
-	for p := 0; p < count; p++ {
+	if lo < 0 || hi > count || lo >= hi {
+		return nil, fmt.Errorf("core: position range [%d, %d) invalid for %d windows", lo, hi, count)
+	}
+	for p := lo; p < hi; p++ {
 		ix.Insert(p)
 	}
 	return ix, nil

@@ -8,6 +8,7 @@ import (
 	"twinsearch/internal/isax"
 	"twinsearch/internal/kvindex"
 	"twinsearch/internal/series"
+	"twinsearch/internal/shard"
 	"twinsearch/internal/sweepline"
 )
 
@@ -81,6 +82,25 @@ type tsAdapter struct{ ix *core.Index }
 func (a tsAdapter) search(q []float64, eps float64) (int, int) {
 	ms, st := a.ix.SearchStats(q, eps)
 	return len(ms), st.Candidates
+}
+
+type shardAdapter struct{ ix *shard.Index }
+
+func (a shardAdapter) search(q []float64, eps float64) (int, int) {
+	ms, st := a.ix.SearchStats(q, eps)
+	return len(ms), st.Candidates
+}
+
+// buildSharded constructs the sharded TS-Index with the given partition
+// count (≤ 0 = one shard per CPU), timing construction like buildMethod.
+func buildSharded(ext *series.Extractor, l, shards int) (built, error) {
+	start := time.Now()
+	ix, err := shard.Build(ext, shard.Config{Config: core.Config{L: l}, Shards: shards})
+	if err != nil {
+		return built{}, err
+	}
+	return built{method: TSIndex, s: shardAdapter{ix}, buildTime: time.Since(start),
+		memBytes: ix.MemoryBytes()}, nil
 }
 
 // buildMethod constructs one method over ext with the paper's default

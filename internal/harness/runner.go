@@ -301,6 +301,39 @@ func (r *Runner) Figure8() []Row {
 	return rows
 }
 
+// FigureShard — beyond the paper: TS-Index construction and query time
+// versus shard count (the ParIS/MESSI data-partitioning direction).
+// Shard count 1 is the unchanged single-index baseline; "auto" is one
+// shard per CPU. Results are identical across rows — only the time
+// changes — so AvgResults doubles as a built-in parity check.
+func (r *Runner) FigureShard() []Row {
+	var rows []Row
+	for _, d := range r.Datasets() {
+		r.logf("Shard experiment: %s", d.Name)
+		ext := r.extractor(d, series.NormGlobal)
+		queries := r.workload(d, ext, DefaultL)
+		for _, p := range []int{1, 2, 4, 0} {
+			b, err := buildSharded(ext, DefaultL, p)
+			if err != nil {
+				r.logf("  shards=%d: skipped (%v)", p, err)
+				continue
+			}
+			label := fmt.Sprintf("shards=%d", p)
+			if p <= 0 {
+				label = "shards=auto"
+			}
+			r.logf("  %s built in %v", label, b.buildTime.Round(time.Millisecond))
+			avgMs, avgRes, avgCands := measure(b, queries, d.DefaultEpsNorm)
+			rows = append(rows, Row{
+				Figure: "shard", Dataset: d.Name, Method: "TS-Index", Param: label,
+				AvgQueryMs: avgMs, AvgResults: avgRes, AvgCandidates: avgCands,
+				BuildMs: b.buildTime.Seconds() * 1000, MemBytes: b.memBytes,
+			})
+		}
+	}
+	return rows
+}
+
 // FigureIntro — the paper's §1 indicative experiment: on EEG, count
 // twin results at ε versus Euclidean-range results at the no-false-
 // negative threshold ε·√ℓ. The paper reports 1,034 vs 127,887 (≈124×)

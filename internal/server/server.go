@@ -70,6 +70,7 @@ func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
 		"series_len":   h.eng.SeriesLen(),
 		"windows":      h.eng.NumSubsequences(),
 		"memory_bytes": h.eng.MemoryBytes(),
+		"shards":       h.eng.Shards(),
 	})
 }
 

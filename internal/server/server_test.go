@@ -245,3 +245,59 @@ func TestConcurrentSearchAndAppend(t *testing.T) {
 	}()
 	wg.Wait()
 }
+
+// TestShardedServer serves a sharded engine and checks the health
+// report names the partition and search answers match an unsharded
+// server's.
+func TestShardedServer(t *testing.T) {
+	ts := datasets.EEGN(81, 5000)
+	single, err := twinsearch.Open(ts, twinsearch.Options{L: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := twinsearch.Open(ts, twinsearch.Options{L: 100, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvSingle := httptest.NewServer(New(single))
+	t.Cleanup(srvSingle.Close)
+	srvSharded := httptest.NewServer(New(sharded))
+	t.Cleanup(srvSharded.Close)
+
+	resp, err := http.Get(srvSharded.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["shards"].(float64) != 4 {
+		t.Fatalf("healthz shards = %v, want 4", health["shards"])
+	}
+
+	for _, path := range []string{"/search", "/topk"} {
+		req := map[string]interface{}{"query": ts[1000:1100]}
+		if path == "/search" {
+			req["eps"] = 0.3
+		} else {
+			req["k"] = 5
+		}
+		respA, rawA := postJSON(t, srvSingle.URL+path, req)
+		respB, rawB := postJSON(t, srvSharded.URL+path, req)
+		if respA.StatusCode != http.StatusOK || respB.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d / %d", path, respA.StatusCode, respB.StatusCode)
+		}
+		if !bytes.Equal(rawA, rawB) {
+			t.Fatalf("%s: sharded response differs:\n%s\nvs\n%s", path, rawB, rawA)
+		}
+	}
+
+	resp2, _ := postJSON(t, srvSharded.URL+"/append", map[string]interface{}{
+		"values": []float64{1, 2, 3},
+	})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("append on sharded engine: status %d", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,139 @@
+package shard
+
+// Sharded index persistence: a small header naming the partition,
+// followed by each shard's self-delimiting core.Index stream. Like the
+// single-index format, the series itself is not embedded; Load
+// revalidates each shard stream against the supplied extractor.
+//
+// Format (little-endian):
+//
+//	magic "TSSH", version u16
+//	shardCount u32
+//	(shardCount+1) × u64 range boundaries
+//	shardCount × core.Index streams (see core/persist.go)
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"twinsearch/internal/core"
+	"twinsearch/internal/series"
+)
+
+// Magic is the stream prefix identifying a sharded index; callers that
+// accept both formats sniff it to dispatch (see twinsearch.OpenSaved).
+const Magic = "TSSH"
+
+const persistVersion = 1
+
+// maxShards bounds the header's shard count on load; real shard counts
+// are a small multiple of the core count, so anything enormous is a
+// corrupt or hostile stream, rejected before allocation.
+const maxShards = 1 << 20
+
+// WriteTo serializes the sharded index. It implements io.WriterTo.
+func (s *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	if _, err := bw.Write([]byte(Magic)); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(persistVersion)); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(s.shards))); err != nil {
+		return cw.n, err
+	}
+	for _, b := range s.starts {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(b)); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	for i, ix := range s.shards {
+		if _, err := ix.WriteTo(cw); err != nil {
+			return cw.n, fmt.Errorf("shard: writing shard %d: %w", i, err)
+		}
+	}
+	return cw.n, nil
+}
+
+// Load reconstructs a sharded index from a stream produced by WriteTo.
+// The extractor must present the same series and normalization the
+// index was built with; every shard stream is validated exactly as
+// core.Load validates a single index.
+func Load(r io.Reader, ext *series.Extractor) (*Index, error) {
+	// One buffered reader shared down into core.Load (which reuses an
+	// existing *bufio.Reader of sufficient size instead of re-wrapping,
+	// so shard streams are consumed exactly, not over-read).
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("shard: load: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("shard: load: bad magic %q", magic)
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("shard: load header: %w", err)
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("shard: load: unsupported version %d", version)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("shard: load header: %w", err)
+	}
+	if count == 0 || count > maxShards {
+		return nil, fmt.Errorf("shard: load: implausible shard count %d", count)
+	}
+	starts := make([]int, count+1)
+	for i := range starts {
+		var b uint64
+		if err := binary.Read(br, binary.LittleEndian, &b); err != nil {
+			return nil, fmt.Errorf("shard: load boundaries: %w", err)
+		}
+		starts[i] = int(b)
+	}
+
+	shards := make([]*core.Index, count)
+	l := 0
+	for i := range shards {
+		ix, err := core.Load(br, ext)
+		if err != nil {
+			return nil, fmt.Errorf("shard: loading shard %d: %w", i, err)
+		}
+		if i == 0 {
+			l = ix.L()
+		} else if ix.L() != l {
+			return nil, fmt.Errorf("shard: shard %d has L=%d, shard 0 has L=%d", i, ix.L(), l)
+		}
+		shards[i] = ix
+	}
+
+	s := &Index{ext: ext, l: l, shards: shards, starts: starts}
+	if err := s.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("shard: load: %w", err)
+	}
+	return s, nil
+}
+
+// countWriter tracks bytes written for WriteTo's contract.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,346 @@
+// Package shard implements a sharded parallel TS-Index: the window
+// position space [0, N−ℓ] is split into P contiguous ranges, one
+// core.Index is built per range concurrently, and queries fan out
+// across the shards in parallel — the data-partitioning strategy
+// ParIS/MESSI apply to iSAX, transplanted onto the paper's TS-Index.
+//
+// Sharding changes the tree shapes (each shard packs only its own
+// windows) but never the answer set: range searches concatenate
+// per-shard results in position order, and top-k runs a k-way merge
+// under the (distance, start) total order with a cross-shard pruning
+// bound (core.SharedBound), so results are identical to a single index
+// over the full series.
+package shard
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"twinsearch/internal/core"
+	"twinsearch/internal/series"
+)
+
+// Config parameterizes a sharded build.
+type Config struct {
+	// Config is the per-shard TS-Index configuration.
+	core.Config
+	// Shards is the number of partitions; ≤ 0 selects GOMAXPROCS. The
+	// effective count never exceeds the number of windows.
+	Shards int
+	// BulkLoad selects bottom-up construction for every shard.
+	BulkLoad bool
+}
+
+// Index is a sharded TS-Index over one series.
+type Index struct {
+	ext    *series.Extractor
+	l      int
+	shards []*core.Index
+	// starts has len(shards)+1 entries; shard i owns window positions
+	// [starts[i], starts[i+1]).
+	starts []int
+}
+
+// Build partitions the position space and constructs every shard
+// concurrently. With Shards resolving to 1 the result is a single
+// core.Index behind the fan-out API — bit-identical answers either way.
+func Build(ext *series.Extractor, cfg Config) (*Index, error) {
+	if cfg.L <= 0 {
+		return nil, fmt.Errorf("shard: invalid subsequence length %d", cfg.L)
+	}
+	count := series.NumSubsequences(ext.Len(), cfg.L)
+	if count == 0 {
+		return nil, fmt.Errorf("shard: series length %d shorter than subsequence length %d", ext.Len(), cfg.L)
+	}
+	p := cfg.Shards
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > count {
+		p = count
+	}
+
+	starts := make([]int, p+1)
+	for i := range starts {
+		starts[i] = i * count / p
+	}
+
+	shards := make([]*core.Index, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if cfg.BulkLoad {
+				shards[i], errs[i] = core.BuildBulkRange(ext, cfg.Config, starts[i], starts[i+1])
+			} else {
+				shards[i], errs[i] = core.BuildRange(ext, cfg.Config, starts[i], starts[i+1])
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
+		}
+	}
+	return &Index{ext: ext, l: cfg.L, shards: shards, starts: starts}, nil
+}
+
+// fanOut runs f once per shard concurrently and waits.
+func (s *Index) fanOut(f func(i int, ix *core.Index)) {
+	if len(s.shards) == 1 {
+		f(0, s.shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for i, ix := range s.shards {
+		wg.Add(1)
+		go func(i int, ix *core.Index) {
+			defer wg.Done()
+			f(i, ix)
+		}(i, ix)
+	}
+	wg.Wait()
+}
+
+// Search returns all twin subsequences of q at threshold eps, in start
+// order — identical to core.Index.Search over an unsharded index.
+func (s *Index) Search(q []float64, eps float64) []series.Match {
+	ms, _ := s.SearchStats(q, eps)
+	return ms
+}
+
+// SearchStats is Search with traversal counters summed across shards.
+// Counter values differ from a single index's (P roots are visited, and
+// each shard's tree packs differently); the match set does not.
+func (s *Index) SearchStats(q []float64, eps float64) ([]series.Match, core.Stats) {
+	per := make([][]series.Match, len(s.shards))
+	stats := make([]core.Stats, len(s.shards))
+	s.fanOut(func(i int, ix *core.Index) {
+		per[i], stats[i] = ix.SearchStats(q, eps)
+	})
+	return concatMatches(per), sumStats(stats)
+}
+
+// concatMatches merges per-shard results. Shards own ascending
+// contiguous position ranges and each result list is start-sorted, so
+// concatenation in shard order IS the position-order merge.
+func concatMatches(per [][]series.Match) []series.Match {
+	total := 0
+	for _, ms := range per {
+		total += len(ms)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]series.Match, 0, total)
+	for _, ms := range per {
+		out = append(out, ms...)
+	}
+	return out
+}
+
+func sumStats(stats []core.Stats) core.Stats {
+	var st core.Stats
+	for _, s := range stats {
+		st.NodesVisited += s.NodesVisited
+		st.NodesPruned += s.NodesPruned
+		st.LeavesReached += s.LeavesReached
+		st.Candidates += s.Candidates
+		st.Results += s.Results
+	}
+	return st
+}
+
+// SearchTopK returns the k nearest subsequences under Chebyshev
+// distance in ascending (distance, start) order — identical to
+// core.Index.SearchTopK. Every shard traversal shares one pruning bound
+// (the best k-th distance any shard has admitted so far), and the
+// per-shard lists are combined by a k-way merge.
+func (s *Index) SearchTopK(q []float64, k int) []series.Match {
+	if k <= 0 {
+		return nil
+	}
+	shared := core.NewSharedBound()
+	per := make([][]series.Match, len(s.shards))
+	s.fanOut(func(i int, ix *core.Index) {
+		per[i] = ix.SearchTopKShared(q, k, shared)
+	})
+	return mergeTopK(per, k)
+}
+
+// mergeTopK k-way-merges start-disjoint, distance-sorted lists and
+// returns the first k items under the (dist, start) total order.
+func mergeTopK(per [][]series.Match, k int) []series.Match {
+	h := make(mergeHeap, 0, len(per))
+	for i, ms := range per {
+		if len(ms) > 0 {
+			h = append(h, mergeItem{list: i, m: ms[0]})
+		}
+	}
+	heap.Init(&h)
+	var out []series.Match
+	next := make([]int, len(per))
+	for h.Len() > 0 && len(out) < k {
+		top := h[0]
+		out = append(out, top.m)
+		next[top.list]++
+		if n := next[top.list]; n < len(per[top.list]) {
+			h[0] = mergeItem{list: top.list, m: per[top.list][n]}
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return out
+}
+
+type mergeItem struct {
+	list int
+	m    series.Match
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].m.Dist != h[j].m.Dist {
+		return h[i].m.Dist < h[j].m.Dist
+	}
+	return h[i].m.Start < h[j].m.Start
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// SearchPrefix answers a query shorter than the indexed length (see
+// core.Index.SearchPrefix): the tree traversal fans across shards and
+// the tail windows that exist only at the shorter length are scanned
+// once, here.
+func (s *Index) SearchPrefix(q []float64, eps float64) ([]series.Match, error) {
+	per := make([][]series.Match, len(s.shards))
+	errs := make([]error, len(s.shards))
+	s.fanOut(func(i int, ix *core.Index) {
+		per[i], errs[i] = ix.SearchPrefixTree(q, eps)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// concatMatches yields position order and the tail starts extend it.
+	return core.ScanPrefixTail(s.ext, s.l, q, eps, concatMatches(per)), nil
+}
+
+// SearchApprox probes at most leafBudget nearest leaves across all
+// shards (budget split as evenly as possible, each probed shard getting
+// at least its share) and returns a possibly incomplete subset of the
+// twins — the sharded counterpart of core.Index.SearchApprox.
+func (s *Index) SearchApprox(q []float64, eps float64, leafBudget int) ([]series.Match, core.Stats) {
+	if leafBudget <= 0 {
+		leafBudget = 1
+	}
+	p := len(s.shards)
+	budgets := make([]int, p)
+	for i := 0; i < p; i++ {
+		budgets[i] = leafBudget / p
+		if i < leafBudget%p {
+			budgets[i]++
+		}
+	}
+	per := make([][]series.Match, p)
+	stats := make([]core.Stats, p)
+	s.fanOut(func(i int, ix *core.Index) {
+		if budgets[i] == 0 {
+			return
+		}
+		per[i], stats[i] = ix.SearchApprox(q, eps, budgets[i])
+	})
+	return concatMatches(per), sumStats(stats)
+}
+
+// Insert adds the window starting at p to the shard owning that
+// position; positions past the current end extend the last shard (the
+// streaming-append path).
+func (s *Index) Insert(p int) {
+	last := len(s.starts) - 1
+	if p >= s.starts[last] {
+		s.starts[last] = p + 1
+		s.shards[len(s.shards)-1].Insert(p)
+		return
+	}
+	// Owning shard i satisfies starts[i] ≤ p < starts[i+1].
+	i := sort.SearchInts(s.starts, p+1) - 1
+	s.shards[i].Insert(p)
+}
+
+// Len returns the number of indexed windows across all shards.
+func (s *Index) Len() int {
+	total := 0
+	for _, ix := range s.shards {
+		total += ix.Len()
+	}
+	return total
+}
+
+// L returns the indexed subsequence length.
+func (s *Index) L() int { return s.l }
+
+// NumShards returns the shard count.
+func (s *Index) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i and the position range it owns.
+func (s *Index) Shard(i int) (ix *core.Index, lo, hi int) {
+	return s.shards[i], s.starts[i], s.starts[i+1]
+}
+
+// Extractor exposes the extractor the index was built over.
+func (s *Index) Extractor() *series.Extractor { return s.ext }
+
+// MemoryBytes sums the per-shard index footprints.
+func (s *Index) MemoryBytes() int {
+	total := 0
+	for _, ix := range s.shards {
+		total += ix.MemoryBytes()
+	}
+	return total
+}
+
+// CheckInvariants validates every shard's structural invariants plus
+// the partition invariants: ranges are contiguous, cover [0, count),
+// and each shard holds exactly the windows of its range.
+func (s *Index) CheckInvariants() error {
+	if len(s.starts) != len(s.shards)+1 {
+		return fmt.Errorf("shard: %d boundaries for %d shards", len(s.starts), len(s.shards))
+	}
+	if s.starts[0] != 0 {
+		return fmt.Errorf("shard: first range starts at %d, want 0", s.starts[0])
+	}
+	count := series.NumSubsequences(s.ext.Len(), s.l)
+	if got := s.starts[len(s.shards)]; got != count {
+		return fmt.Errorf("shard: ranges end at %d, series has %d windows", got, count)
+	}
+	for i, ix := range s.shards {
+		if s.starts[i] >= s.starts[i+1] {
+			return fmt.Errorf("shard %d: empty or inverted range [%d, %d)", i, s.starts[i], s.starts[i+1])
+		}
+		if got, want := ix.Len(), s.starts[i+1]-s.starts[i]; got != want {
+			return fmt.Errorf("shard %d: holds %d windows, range [%d, %d) spans %d", i, got, s.starts[i], s.starts[i+1], want)
+		}
+		if err := ix.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
 )
 
 // ErrCorrupt is returned when a series file's size is not a multiple of
@@ -63,11 +64,13 @@ func (m *Mem) Values() []float64 { return m.data }
 
 // Disk is a Store over a binary float64 file, reading windows with
 // pread-style random access exactly as the paper's query path does when a
-// qualifying leaf is reached.
+// qualifying leaf is reached. ReadAt is safe for concurrent use (the
+// sharded fan-out and batched search paths verify candidates from
+// multiple goroutines against one attached store).
 type Disk struct {
-	f   *os.File
-	n   int
-	buf []byte // scratch for ReadAt, grown on demand
+	f    *os.File
+	n    int
+	bufs sync.Pool // ReadAt scratch, one buffer per concurrent reader
 }
 
 // OpenDisk opens path as a series file.
@@ -91,16 +94,21 @@ func OpenDisk(path string) (*Disk, error) {
 // Len implements Store.
 func (d *Disk) Len() int { return d.n }
 
-// ReadAt implements Store.
+// ReadAt implements Store. It is safe for concurrent use: the pread
+// itself is positional, and each call borrows its decode scratch from a
+// pool instead of sharing one buffer.
 func (d *Disk) ReadAt(dst []float64, p int) error {
 	if p < 0 || p+len(dst) > d.n {
 		return fmt.Errorf("%w: start=%d len=%d series=%d", ErrBounds, p, len(dst), d.n)
 	}
 	nb := len(dst) * 8
-	if cap(d.buf) < nb {
-		d.buf = make([]byte, nb)
+	var buf []byte
+	if b, ok := d.bufs.Get().(*[]byte); ok && cap(*b) >= nb {
+		buf = (*b)[:nb]
+	} else {
+		buf = make([]byte, nb)
 	}
-	buf := d.buf[:nb]
+	defer d.bufs.Put(&buf)
 	if _, err := d.f.ReadAt(buf, int64(p)*8); err != nil {
 		return fmt.Errorf("store: read: %w", err)
 	}

@@ -31,11 +31,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"twinsearch/internal/core"
 	"twinsearch/internal/isax"
 	"twinsearch/internal/kvindex"
 	"twinsearch/internal/series"
+	"twinsearch/internal/shard"
 	"twinsearch/internal/store"
 	"twinsearch/internal/sweepline"
 )
@@ -111,6 +113,14 @@ type Options struct {
 	MinCap, MaxCap int  // node capacities µc, Mc (defaults 10, 30)
 	BulkLoad       bool // bottom-up construction instead of insertion
 
+	// Shards splits the TS-Index into that many contiguous window-range
+	// partitions, built concurrently and searched by parallel fan-out
+	// with a deterministic merge — answers are identical to the single
+	// index; construction and search scale with cores. 0 (or 1) keeps
+	// the unchanged single-index path; a negative value selects one
+	// shard per available CPU (GOMAXPROCS). MethodTSIndex only.
+	Shards int
+
 	// iSAX knobs (MethodISAX).
 	Segments     int // PAA segments m (default 10)
 	LeafCapacity int // leaf capacity (default 10,000)
@@ -142,7 +152,18 @@ type Engine struct {
 	sweep *sweepline.Sweepline
 	kv    *kvindex.Index
 	isx   *isax.Index
-	ts    *core.Index
+	ts    *core.Index  // MethodTSIndex, Options.Shards resolving ≤ 1
+	sh    *shard.Index // MethodTSIndex, Options.Shards resolving > 1
+}
+
+// resolveShards maps the Options.Shards knob to an effective shard
+// count: non-positive-is-auto is resolved here so the engine's routing
+// (ts vs sh) is fixed at Open time.
+func resolveShards(shards int) int {
+	if shards < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return shards
 }
 
 // Open builds an engine over data according to opt. The slice is not
@@ -162,6 +183,9 @@ func Open(data []float64, opt Options) (*Engine, error) {
 			return nil, fmt.Errorf("twinsearch: non-finite value %v at position %d; clean or impute missing samples first", v, i)
 		}
 	}
+	if resolveShards(opt.Shards) > 1 && opt.Method != MethodTSIndex {
+		return nil, fmt.Errorf("twinsearch: Options.Shards requires MethodTSIndex, got %v", opt.Method)
+	}
 	e := &Engine{opt: opt, ext: series.NewExtractor(data, opt.Norm)}
 	var err error
 	switch opt.Method {
@@ -177,7 +201,11 @@ func Open(data []float64, opt Options) (*Engine, error) {
 		})
 	case MethodTSIndex:
 		cfg := core.Config{L: opt.L, MinCap: opt.MinCap, MaxCap: opt.MaxCap}
-		if opt.BulkLoad {
+		if shards := resolveShards(opt.Shards); shards > 1 {
+			e.sh, err = shard.Build(e.ext, shard.Config{
+				Config: cfg, Shards: shards, BulkLoad: opt.BulkLoad,
+			})
+		} else if opt.BulkLoad {
 			e.ts, err = core.BuildBulk(e.ext, cfg)
 		} else {
 			e.ts, err = core.Build(e.ext, cfg)
@@ -226,6 +254,12 @@ func (e *Engine) SearchPrepared(q []float64, eps float64) ([]Match, error) {
 	if len(q) != e.opt.L {
 		return nil, fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)
 	}
+	// Same threshold validation as Search: a NaN would pass every
+	// eps < 0 guard and silently poison the early-abandoning
+	// comparisons (NaN > eps is false, so every window would match).
+	if eps < 0 || math.IsNaN(eps) {
+		return nil, fmt.Errorf("twinsearch: invalid threshold %v", eps)
+	}
 	switch e.opt.Method {
 	case MethodSweepline:
 		return e.sweep.Search(q, eps), nil
@@ -234,6 +268,9 @@ func (e *Engine) SearchPrepared(q []float64, eps float64) ([]Match, error) {
 	case MethodISAX:
 		return e.isx.Search(q, eps), nil
 	default:
+		if e.sh != nil {
+			return e.sh.Search(q, eps), nil
+		}
 		return e.ts.Search(q, eps), nil
 	}
 }
@@ -254,6 +291,9 @@ func (e *Engine) SearchTopK(q []float64, k int) ([]Match, error) {
 	if len(q) != e.opt.L {
 		return nil, fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)
 	}
+	if e.sh != nil {
+		return e.sh.SearchTopK(e.ext.TransformQuery(q), k), nil
+	}
 	return e.ts.SearchTopK(e.ext.TransformQuery(q), k), nil
 }
 
@@ -272,6 +312,16 @@ func (e *Engine) Method() Method { return e.opt.Method }
 
 // Norm returns the engine's normalization mode.
 func (e *Engine) Norm() NormMode { return e.opt.Norm }
+
+// Shards returns the number of index partitions the engine searches in
+// parallel: 1 for every unsharded engine (including non-TS-Index
+// methods), the effective shard count otherwise.
+func (e *Engine) Shards() int {
+	if e.sh != nil {
+		return e.sh.NumShards()
+	}
+	return 1
+}
 
 // L returns the configured subsequence length.
 func (e *Engine) L() int { return e.opt.L }
@@ -293,6 +343,9 @@ func (e *Engine) MemoryBytes() int {
 	case MethodISAX:
 		return e.isx.MemoryBytes()
 	case MethodTSIndex:
+		if e.sh != nil {
+			return e.sh.MemoryBytes()
+		}
 		return e.ts.MemoryBytes()
 	default:
 		return 0
