@@ -17,6 +17,7 @@ import (
 
 	"twinsearch/internal/core"
 	"twinsearch/internal/datasets"
+	"twinsearch/internal/exec"
 	"twinsearch/internal/harness"
 	"twinsearch/internal/isax"
 	"twinsearch/internal/kvindex"
@@ -515,6 +516,87 @@ func BenchmarkShardedSearch(b *testing.B) {
 			})
 		}
 	}
+}
+
+// Skewed shards: 4 partitions with the last holding ~90% of the
+// windows. With one goroutine per shard, query latency was bounded by
+// the hottest shard — the skewed rows ran at nearly the single-shard
+// cost however many cores were free. The work-stealing executor
+// enqueues (shard, subtree) units instead, so with workers=max the
+// skewed rows should track the balanced rows: latency bounded by total
+// work, not by the largest partition. workers=1 rows serialize the
+// same units and serve as the no-parallelism baseline.
+func BenchmarkSkewedShardSearch(b *testing.B) {
+	ds := benchSetups[1]
+	ext := benchExt(ds, series.NormGlobal)
+	qs := benchWorkload(ds, ext, harness.DefaultL)
+	count := series.NumSubsequences(len(ds.data), harness.DefaultL)
+	parts := []struct {
+		name   string
+		bounds []int
+	}{
+		{"balanced", nil},
+		{"skew90", harness.SkewedBoundaries(count, 4, 0.9)},
+	}
+	eps := ds.eps[len(ds.eps)-1] // loose threshold: per-query work is substantial
+	for _, part := range parts {
+		for _, workers := range []int{1, 0} {
+			ix, err := shard.Build(ext, shard.Config{
+				Config: core.Config{L: harness.DefaultL}, Shards: 4,
+				Boundaries: part.bounds, Executor: exec.New(workers),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wname := fmt.Sprintf("workers=%d", workers)
+			if workers == 0 {
+				wname = "workers=max"
+			}
+			b.Run(fmt.Sprintf("%s/%s/range", part.name, wname), func(b *testing.B) {
+				runQueries(b, func(q []float64, e float64) int { return len(ix.Search(q, e)) }, qs, eps)
+			})
+			b.Run(fmt.Sprintf("%s/%s/topk", part.name, wname), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for _, q := range qs {
+						if got := ix.SearchTopK(q, 20); len(got) != 20 {
+							b.Fatalf("got %d results", len(got))
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// Fused batch execution: the whole workload as one executor group over
+// (query, shard, subtree) units, versus issuing the queries one by one
+// (each still fanning out internally).
+func BenchmarkBatchFusion(b *testing.B) {
+	ds := benchSetups[1]
+	raw := datasets.Queries(ds.data, 7, benchQueries, harness.DefaultL)
+	eng, err := Open(ds.data, Options{L: harness.DefaultL, Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eps := ds.def
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range eng.SearchBatch(raw, eps, 0) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range raw {
+				if _, err := eng.Search(q, eps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // Parallel vs serial iSAX construction (the ParIS/MESSI direction).

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "which experiment: intro, 4, 5, 6, 7, 8, shard, all")
+		figure  = flag.String("figure", "all", "which experiment: intro, 4, 5, 6, 7, 8, shard, skew, all")
 		scale   = flag.Float64("scale", 0.1, "EEG dataset scale (1 = paper's 1,801,999 points)")
 		full    = flag.Bool("full", false, "shorthand for -scale 1 (with -queries 100 this is the paper's exact setup; expect hours: the sweepline pays one random read per window per query)")
 		queries = flag.Int("queries", 30, "workload size per experiment (paper: 100)")
@@ -32,6 +32,7 @@ func main() {
 		csvPath = flag.String("csv", "", "also write rows as CSV to this path")
 		quiet   = flag.Bool("quiet", false, "suppress progress logging")
 		mem     = flag.Bool("mem", false, "verify candidates in memory instead of the paper's disk-resident setup")
+		workers = flag.Int("workers", 0, "query-executor workers for the sharded experiments (0 = one per CPU)")
 	)
 	flag.Parse()
 	if *full {
@@ -42,6 +43,7 @@ func main() {
 	defer r.Close()
 	r.Queries = *queries
 	r.DiskVerify = !*mem
+	r.Workers = *workers
 	if !*quiet {
 		r.Log = os.Stderr
 	}
@@ -59,6 +61,7 @@ func main() {
 	run("7", r.Figure7)
 	run("8", r.Figure8)
 	run("shard", r.FigureShard)
+	run("skew", r.FigureSkew)
 
 	if len(rows) == 0 {
 		fmt.Fprintf(os.Stderr, "tsbench: unknown figure %q\n", *figure)

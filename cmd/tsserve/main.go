@@ -28,6 +28,7 @@ func main() {
 		norm       = flag.String("norm", "global", "normalization: raw, global, persub")
 		loadIndex  = flag.String("loadindex", "", "reopen a persisted TS-Index instead of rebuilding")
 		shards     = flag.Int("shards", 0, "index partitions built and searched in parallel (0 = one index, -1 = one per CPU)")
+		workers    = flag.Int("workers", 0, "query-executor workers shared by all requests (0 = one per CPU)")
 	)
 	flag.Parse()
 	if *seriesPath == "" {
@@ -40,7 +41,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := twinsearch.Options{L: *l, NormSet: true, Shards: *shards}
+	opt := twinsearch.Options{L: *l, NormSet: true, Shards: *shards, Workers: *workers}
 	switch *norm {
 	case "raw":
 		opt.Norm = twinsearch.NormNone
@@ -62,8 +63,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("tsserve: %d windows of length %d in %d shard(s) ready in %v; listening on %s\n",
-		eng.NumSubsequences(), eng.L(), eng.Shards(), time.Since(start).Round(time.Millisecond), *addr)
+	fmt.Printf("tsserve: %d windows of length %d in %d shard(s), %d executor worker(s), ready in %v; listening on %s\n",
+		eng.NumSubsequences(), eng.L(), eng.Shards(), eng.Workers(), time.Since(start).Round(time.Millisecond), *addr)
 
 	if err := http.ListenAndServe(*addr, server.New(eng)); err != nil {
 		fatal(err)

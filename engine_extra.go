@@ -7,10 +7,9 @@ import (
 	"io"
 	"math"
 	"os"
-	"runtime"
-	"sync"
 
 	"twinsearch/internal/core"
+	"twinsearch/internal/exec"
 	"twinsearch/internal/series"
 	"twinsearch/internal/shard"
 )
@@ -63,7 +62,7 @@ func OpenSaved(data []float64, r io.Reader, opt Options) (*Engine, error) {
 	if opt.Method != MethodTSIndex {
 		return nil, ErrPersistUnsupported
 	}
-	e := &Engine{opt: opt, ext: series.NewExtractor(data, opt.Norm)}
+	e := &Engine{opt: opt, ext: series.NewExtractor(data, opt.Norm), ex: exec.New(opt.Workers)}
 
 	br := bufio.NewReader(r)
 	magic, err := br.Peek(len(shard.Magic))
@@ -71,7 +70,7 @@ func OpenSaved(data []float64, r io.Reader, opt Options) (*Engine, error) {
 		return nil, fmt.Errorf("twinsearch: reading saved index: %w", err)
 	}
 	if string(magic) == shard.Magic {
-		sh, err := shard.Load(br, e.ext)
+		sh, err := shard.Load(br, e.ext, e.ex)
 		if err != nil {
 			return nil, err
 		}
@@ -124,14 +123,20 @@ func (e *Engine) SearchShorter(q []float64, eps float64) ([]Match, error) {
 }
 
 // SearchApprox probes at most leafBudget nearest leaves and returns a
-// (possibly incomplete) subset of the twins, in microseconds. Requires
-// MethodTSIndex; Search is the exact counterpart.
+// (possibly incomplete) subset of the twins, in microseconds. On a
+// sharded engine the budget is one shared atomic allowance drawn by
+// every shard's traversal, so it flows to whichever shards hold the
+// nearest leaves. Requires MethodTSIndex and a positive leafBudget;
+// Search is the exact counterpart.
 func (e *Engine) SearchApprox(q []float64, eps float64, leafBudget int) ([]Match, error) {
 	if e.opt.Method != MethodTSIndex {
 		return nil, errors.New("twinsearch: SearchApprox requires MethodTSIndex")
 	}
 	if eps < 0 || math.IsNaN(eps) {
 		return nil, fmt.Errorf("twinsearch: invalid threshold %v", eps)
+	}
+	if leafBudget <= 0 {
+		return nil, fmt.Errorf("twinsearch: leaf budget %d; SearchApprox needs a positive number of leaf probes", leafBudget)
 	}
 	if len(q) != e.opt.L {
 		return nil, fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)
@@ -185,39 +190,55 @@ type BatchResult struct {
 
 // SearchBatch answers many queries concurrently over one engine —
 // searches are read-only, so they parallelize perfectly (the direction
-// ParIS/MESSI take iSAX, applied here at the workload level). Results
-// arrive indexed by query position. parallelism ≤ 0 selects GOMAXPROCS.
+// ParIS/MESSI take iSAX, applied here at the workload level). The whole
+// batch runs as one executor group: on a sharded engine every
+// (query, shard, subtree) work unit is a peer in the same worker pool,
+// so there is no query pool nested above a shard pool and no idle
+// workers while one slow query's hot shard finishes. Validation and
+// query transformation happen once per query, up front; the work units
+// share the transformed query. Results arrive indexed by query
+// position. parallelism ≤ 0 uses the engine's executor (see
+// Options.Workers); a positive value caps the batch to a dedicated
+// pool of exactly that many workers.
 func (e *Engine) SearchBatch(queries [][]float64, eps float64, parallelism int) []BatchResult {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > len(queries) {
-		parallelism = len(queries)
-	}
 	out := make([]BatchResult, len(queries))
 	if len(queries) == 0 {
 		return out
 	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(queries) {
-					return
-				}
-				ms, err := e.Search(queries[i], eps)
-				out[i] = BatchResult{Query: i, Matches: ms, Err: err}
-			}
-		}()
+	ex := e.ex
+	if parallelism > 0 {
+		// More workers than queries would idle (each query's units can
+		// already spread over the pool); the cap also keeps exec.New's
+		// per-worker state proportional to real work.
+		if parallelism > len(queries) {
+			parallelism = len(queries)
+		}
+		ex = exec.New(parallelism)
 	}
-	wg.Wait()
+	g := ex.NewGroup()
+	type pending struct {
+		i int
+		p *shard.PendingSearch
+	}
+	var pendings []pending
+	for i, q := range queries {
+		tq, err := e.validateQuery(q, eps)
+		if err != nil {
+			out[i] = BatchResult{Query: i, Err: err}
+			continue
+		}
+		if e.sh != nil {
+			pendings = append(pendings, pending{i, e.sh.QueueSearch(g, tq, eps)})
+			continue
+		}
+		g.Go(func(*exec.Ctx) {
+			out[i] = BatchResult{Query: i, Matches: e.searchPrepared(tq, eps)}
+		})
+	}
+	g.Wait()
+	for _, pd := range pendings {
+		ms, _ := pd.p.Resolve()
+		out[pd.i] = BatchResult{Query: pd.i, Matches: ms}
+	}
 	return out
 }

@@ -1,0 +1,131 @@
+package core
+
+import "twinsearch/internal/series"
+
+// This file splits one index's traversals into subtree work units for
+// the work-stealing executor (internal/exec): instead of one goroutine
+// walking a whole shard, the shard layer enqueues one unit per frontier
+// subtree, so a hot shard's work spreads across idle workers.
+//
+// Soundness is unchanged from whole-tree traversal: a frontier is a set
+// of disjoint subtrees covering every indexed position exactly once,
+// and each *From search applies the same MBTS pruning (Lemma 1) it
+// would have applied on reaching that node top-down. The only pruning
+// lost is an ancestor check that would have discarded several subtrees
+// at once — each subtree re-discovers the rejection at its own root.
+
+// Subtree is an opaque handle to one disjoint piece of the tree,
+// produced by Frontier and consumed by the *From search variants.
+// Handles are invalidated by Insert (splits restructure nodes); the
+// shard layer recomputes its frontiers after every insertion batch.
+type Subtree struct {
+	n *node
+}
+
+// Root returns the whole index as a single work unit.
+func (ix *Index) Root() Subtree { return Subtree{ix.root} }
+
+// Frontier splits the tree into at least min(target, leaves) disjoint
+// subtrees covering all indexed positions, expanding breadth-first
+// until the target is met. Node fan-out is bounded by MaxCap, so the
+// result overshoots the target by at most MaxCap−1 units. A target
+// ≤ 1 (or a root that is a leaf) yields the root itself.
+func (ix *Index) Frontier(target int) []Subtree {
+	if ix.root == nil {
+		return nil
+	}
+	nodes := []*node{ix.root}
+	for len(nodes) < target {
+		split := false
+		for i := 0; i < len(nodes) && len(nodes) < target; i++ {
+			n := nodes[i]
+			if n.leaf {
+				continue
+			}
+			nodes[i] = n.children[0]
+			nodes = append(nodes, n.children[1:]...)
+			split = true
+		}
+		if !split {
+			break // all leaves: nothing left to expand
+		}
+	}
+	out := make([]Subtree, len(nodes))
+	for i, n := range nodes {
+		out[i] = Subtree{n}
+	}
+	return out
+}
+
+// SearchStatsFrom is the range-search work unit: the Algorithm 1
+// traversal restricted to one subtree. Matches are returned in
+// traversal order (unsorted) and Stats.Results is left zero — the
+// caller merging several units sorts once per shard and sets the
+// total. SearchStats is the whole-tree, sorted entry point.
+func (ix *Index) SearchStatsFrom(sub Subtree, q []float64, eps float64) ([]series.Match, Stats) {
+	var st Stats
+	if sub.n == nil {
+		return nil, st
+	}
+	ver := series.NewVerifier(ix.ext, q, eps)
+	var out []series.Match
+	stack := []*node{sub.n}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st.NodesVisited++
+		// Lemma 1 check with early abandoning: prune as soon as any
+		// timestamp pushes the Eq. 2 distance beyond ε.
+		if _, ok := n.bounds.DistSequenceAbandon(q, eps); !ok {
+			st.NodesPruned++
+			continue
+		}
+		if !n.leaf {
+			stack = append(stack, n.children...)
+			continue
+		}
+		st.LeavesReached++
+		for _, p := range n.positions {
+			st.Candidates++
+			if ver.Verify(int(p)) {
+				out = append(out, series.Match{Start: int(p), Dist: -1})
+			}
+		}
+	}
+	return out, st
+}
+
+// SearchPrefixTreeFrom is the prefix-search work unit: the truncated-
+// bounds traversal of SearchPrefixTree restricted to one subtree, with
+// validation hoisted to the caller (see ValidatePrefix). Matches come
+// back in traversal order; callers sort after merging units, and the
+// tail windows that exist only at the shorter length are scanned once,
+// outside the units (ScanPrefixTail).
+func (ix *Index) SearchPrefixTreeFrom(sub Subtree, q []float64, eps float64) []series.Match {
+	if sub.n == nil {
+		return nil
+	}
+	var out []series.Match
+	ver := series.NewVerifier(ix.ext, q, eps)
+	l := len(q)
+	stack := []*node{sub.n}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// Prefix Lemma 1 check: Eq. 2 over the first l timestamps.
+		pb := prefixBounds{n: n, l: l}
+		if !pb.within(q, eps) {
+			continue
+		}
+		if !n.leaf {
+			stack = append(stack, n.children...)
+			continue
+		}
+		for _, p := range n.positions {
+			if ver.Verify(int(p)) {
+				out = append(out, series.Match{Start: int(p), Dist: -1})
+			}
+		}
+	}
+	return out
+}

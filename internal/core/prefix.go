@@ -54,49 +54,33 @@ func ScanPrefixTail(ext *series.Extractor, indexedL int, q []float64, eps float6
 	return out
 }
 
+// ValidatePrefix checks a prefix query against the index parameters —
+// the validation half of SearchPrefixTree, hoisted out so the sharded
+// fan-out can validate once before enqueueing per-subtree work units.
+func (ix *Index) ValidatePrefix(q []float64) error {
+	l := len(q)
+	if l > ix.cfg.L {
+		return fmt.Errorf("core: prefix query length %d exceeds indexed length %d", l, ix.cfg.L)
+	}
+	if l == 0 {
+		return fmt.Errorf("core: empty query")
+	}
+	if ix.ext.Mode() == series.NormPerSubsequence {
+		return fmt.Errorf("core: prefix queries are unsupported under per-subsequence normalization")
+	}
+	return nil
+}
+
 // SearchPrefixTree is the tree-traversal half of SearchPrefix: it
 // reports prefix twins among the INDEXED starts only, leaving the tail
 // starts that exist solely at the shorter length to the caller.
-// internal/shard fans this across shards and runs the tail scan once;
-// most callers want SearchPrefix.
+// internal/shard fans this across subtree work units and runs the tail
+// scan once; most callers want SearchPrefix.
 func (ix *Index) SearchPrefixTree(q []float64, eps float64) ([]series.Match, error) {
-	l := len(q)
-	if l > ix.cfg.L {
-		return nil, fmt.Errorf("core: prefix query length %d exceeds indexed length %d", l, ix.cfg.L)
+	if err := ix.ValidatePrefix(q); err != nil {
+		return nil, err
 	}
-	if l == 0 {
-		return nil, fmt.Errorf("core: empty query")
-	}
-	if ix.ext.Mode() == series.NormPerSubsequence {
-		return nil, fmt.Errorf("core: prefix queries are unsupported under per-subsequence normalization")
-	}
-	if l == ix.cfg.L {
-		return ix.Search(q, eps), nil
-	}
-
-	var out []series.Match
-	ver := series.NewVerifier(ix.ext, q, eps)
-	if ix.root != nil {
-		stack := []*node{ix.root}
-		for len(stack) > 0 {
-			n := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			// Prefix Lemma 1 check: Eq. 2 over the first l timestamps.
-			pb := prefixBounds{n: n, l: l}
-			if !pb.within(q, eps) {
-				continue
-			}
-			if !n.leaf {
-				stack = append(stack, n.children...)
-				continue
-			}
-			for _, p := range n.positions {
-				if ver.Verify(int(p)) {
-					out = append(out, series.Match{Start: int(p), Dist: -1})
-				}
-			}
-		}
-	}
+	out := ix.SearchPrefixTreeFrom(ix.Root(), q, eps)
 	series.SortMatches(out)
 	return out, nil
 }

@@ -63,20 +63,29 @@ func (ix *Index) SearchTopK(q []float64, k int) []series.Match {
 
 // SearchTopKShared is SearchTopK with an optional cross-traversal
 // pruning bound (see SharedBound); internal/shard passes one bound to
-// every shard of a fanned-out query so each traversal benefits from the
-// candidates the others have already admitted. A nil bound reduces to
-// the plain single-index traversal. When shared pruning fires, the
+// every work unit of a fanned-out query so each traversal benefits from
+// the candidates the others have already admitted. A nil bound reduces
+// to the plain single-index traversal. When shared pruning fires, the
 // local result may omit matches that cannot survive the global k-way
 // merge; the merged top-k is unaffected.
 func (ix *Index) SearchTopKShared(q []float64, k int, shared *SharedBound) []series.Match {
+	return ix.SearchTopKSharedFrom(ix.Root(), q, k, shared)
+}
+
+// SearchTopKSharedFrom is the top-k work unit: the best-first traversal
+// restricted to one subtree. Disjoint subtrees sharing one bound admit
+// exactly the candidates whole-shard traversals would (pruning is on
+// strict inequality only), so the k-way merge of per-unit lists is
+// byte-identical however the tree is split.
+func (ix *Index) SearchTopKSharedFrom(sub Subtree, q []float64, k int, shared *SharedBound) []series.Match {
 	if len(q) != ix.cfg.L {
 		panic("core: query length mismatch")
 	}
-	if k <= 0 || ix.root == nil {
+	if k <= 0 || sub.n == nil {
 		return nil
 	}
 
-	pq := &nodeQueue{{n: ix.root, lb: ix.root.bounds.DistSequence(q)}}
+	pq := &nodeQueue{{n: sub.n, lb: sub.n.bounds.DistSequence(q)}}
 	best := &resultHeap{}
 	buf := make([]float64, ix.cfg.L)
 

@@ -219,35 +219,7 @@ func (ix *Index) SearchStats(q []float64, eps float64) ([]series.Match, Stats) {
 	if len(q) != ix.cfg.L {
 		panic(fmt.Sprintf("core: query length %d, index built for %d", len(q), ix.cfg.L))
 	}
-	var st Stats
-	if ix.root == nil {
-		return nil, st
-	}
-	ver := series.NewVerifier(ix.ext, q, eps)
-	var out []series.Match
-	stack := []*node{ix.root}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		st.NodesVisited++
-		// Lemma 1 check with early abandoning: prune as soon as any
-		// timestamp pushes the Eq. 2 distance beyond ε.
-		if _, ok := n.bounds.DistSequenceAbandon(q, eps); !ok {
-			st.NodesPruned++
-			continue
-		}
-		if !n.leaf {
-			stack = append(stack, n.children...)
-			continue
-		}
-		st.LeavesReached++
-		for _, p := range n.positions {
-			st.Candidates++
-			if ver.Verify(int(p)) {
-				out = append(out, series.Match{Start: int(p), Dist: -1})
-			}
-		}
-	}
+	out, st := ix.SearchStatsFrom(ix.Root(), q, eps)
 	series.SortMatches(out)
 	st.Results = len(out)
 	return out, st

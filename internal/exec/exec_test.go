@@ -1,0 +1,172 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := New(3).Workers(); got != 3 {
+		t.Fatalf("Workers() = %d, want 3", got)
+	}
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(-1).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if Default() != Default() {
+		t.Fatal("Default() must return one shared executor")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		e := New(workers)
+		var sum atomic.Int64
+		e.ForEach(100, func(i int) { sum.Add(int64(i)) })
+		if got := sum.Load(); got != 4950 {
+			t.Fatalf("workers=%d: sum = %d, want 4950", workers, got)
+		}
+		// Reuse after completion.
+		var n atomic.Int64
+		e.ForEach(7, func(int) { n.Add(1) })
+		if n.Load() != 7 {
+			t.Fatalf("workers=%d: second ForEach ran %d units", workers, n.Load())
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	e := New(2)
+	ran := false
+	e.ForEach(0, func(int) { ran = true })
+	if ran {
+		t.Fatal("ForEach(0) ran a unit")
+	}
+}
+
+// TestSpawnedUnits checks Group.Wait covers units spawned from inside
+// other units, recursively.
+func TestSpawnedUnits(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		e := New(workers)
+		var count atomic.Int64
+		g := e.NewGroup()
+		var spawn func(c *Ctx, depth int)
+		spawn = func(c *Ctx, depth int) {
+			count.Add(1)
+			if depth == 0 {
+				return
+			}
+			for i := 0; i < 3; i++ {
+				c.Go(func(c *Ctx) { spawn(c, depth-1) })
+			}
+		}
+		g.Go(func(c *Ctx) { spawn(c, 4) })
+		g.Wait()
+		// 1 + 3 + 9 + 27 + 81 = 121 units.
+		if got := count.Load(); got != 121 {
+			t.Fatalf("workers=%d: ran %d units, want 121", workers, got)
+		}
+	}
+}
+
+// TestStealing asserts that units sitting in one worker's deque are
+// picked up by peers: a single root unit spawns slow children, and
+// with several workers they must overlap in time.
+func TestStealing(t *testing.T) {
+	e := New(4)
+	var inFlight, peak atomic.Int64
+	g := e.NewGroup()
+	g.Go(func(c *Ctx) {
+		for i := 0; i < 8; i++ {
+			c.Go(func(*Ctx) {
+				cur := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				time.Sleep(20 * time.Millisecond)
+				inFlight.Add(-1)
+			})
+		}
+	})
+	g.Wait()
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrency %d: spawned units were never stolen", peak.Load())
+	}
+}
+
+// TestConcurrentGroups drives many groups from many goroutines over
+// one executor; under -race this guards the scheduler's whole surface.
+func TestConcurrentGroups(t *testing.T) {
+	e := New(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			var sum atomic.Int64
+			g := e.NewGroup()
+			for j := 0; j < 50; j++ {
+				g.Go(func(c *Ctx) {
+					if j%10 == 0 {
+						c.Go(func(*Ctx) { sum.Add(1) })
+					}
+					sum.Add(1)
+				})
+			}
+			g.Wait()
+			if got := sum.Load(); got != 55 {
+				t.Errorf("group %d: sum = %d, want 55", seed, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestWorkersExitWhenIdle: the pool must drain to zero goroutines
+// after the idle timeout, and respawn on the next submission.
+func TestWorkersExitWhenIdle(t *testing.T) {
+	e := New(4)
+	var n atomic.Int64
+	e.ForEach(32, func(int) { n.Add(1) })
+	deadline := time.Now().Add(2 * time.Second)
+	for e.liveWorkers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d workers still alive long after idle timeout", e.liveWorkers())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The executor still works after its pool drained.
+	e.ForEach(5, func(int) { n.Add(1) })
+	if n.Load() != 37 {
+		t.Fatalf("ran %d units, want 37", n.Load())
+	}
+}
+
+// TestWorkerLimit: at most Workers() units run at once.
+func TestWorkerLimit(t *testing.T) {
+	e := New(2)
+	var inFlight, peak atomic.Int64
+	e.ForEach(16, func(int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		inFlight.Add(-1)
+	})
+	if got := peak.Load(); got > 2 {
+		t.Fatalf("peak concurrency %d exceeds worker limit 2", got)
+	}
+}

@@ -281,3 +281,26 @@ func TestShapeReport(t *testing.T) {
 		t.Fatal("expected a FAIL after inverting the ordering")
 	}
 }
+
+// TestSkewedBoundariesAlwaysValid: the helper must return a partition
+// shard.Build accepts for any plausible inputs, including tiny counts
+// and extreme fractions.
+func TestSkewedBoundariesAlwaysValid(t *testing.T) {
+	for _, tc := range []struct {
+		count, shards int
+		frac          float64
+	}{
+		{20, 4, 0.9}, {1000, 4, 0.9}, {10, 4, 0.99}, {100, 2, 0.5},
+		{5, 4, 0.9}, {100, 1, 0.9}, {100, 8, 1.0},
+	} {
+		b := SkewedBoundaries(tc.count, tc.shards, tc.frac)
+		if b[0] != 0 || b[len(b)-1] != tc.count {
+			t.Fatalf("%+v: boundaries %v don't span [0, count]", tc, b)
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				t.Fatalf("%+v: boundaries %v not strictly increasing at %d", tc, b, i)
+			}
+		}
+	}
+}

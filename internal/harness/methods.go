@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"twinsearch/internal/core"
+	"twinsearch/internal/exec"
 	"twinsearch/internal/isax"
 	"twinsearch/internal/kvindex"
 	"twinsearch/internal/series"
@@ -92,15 +93,47 @@ func (a shardAdapter) search(q []float64, eps float64) (int, int) {
 }
 
 // buildSharded constructs the sharded TS-Index with the given partition
-// count (≤ 0 = one shard per CPU), timing construction like buildMethod.
-func buildSharded(ext *series.Extractor, l, shards int) (built, error) {
+// count (≤ 0 = one shard per CPU), executor width (≤ 0 = one worker per
+// CPU), and optional explicit boundaries (nil = even split), timing
+// construction like buildMethod.
+func buildSharded(ext *series.Extractor, l, shards, workers int, boundaries []int) (built, error) {
 	start := time.Now()
-	ix, err := shard.Build(ext, shard.Config{Config: core.Config{L: l}, Shards: shards})
+	ix, err := shard.Build(ext, shard.Config{
+		Config: core.Config{L: l}, Shards: shards,
+		Boundaries: boundaries, Executor: exec.New(workers),
+	})
 	if err != nil {
 		return built{}, err
 	}
 	return built{method: TSIndex, s: shardAdapter{ix}, buildTime: time.Since(start),
 		memBytes: ix.MemoryBytes()}, nil
+}
+
+// SkewedBoundaries builds a deliberately imbalanced partition over
+// count windows: the last shard owns frac of them, and the remaining
+// shards split what's left evenly (shards < 2 degenerates to a single
+// shard owning everything). The skewed-shard experiments use it to
+// show executor latency is bounded by total work, not by the hottest
+// shard.
+func SkewedBoundaries(count, shards int, frac float64) []int {
+	if shards < 2 {
+		return []int{0, count}
+	}
+	// Clamp so every shard keeps at least one window: the head shards
+	// need shards-1 windows between them, the tail shard needs one.
+	head := count - int(float64(count)*frac)
+	if head < shards-1 {
+		head = shards - 1
+	}
+	if head > count-1 {
+		head = count - 1
+	}
+	starts := make([]int, shards+1)
+	for i := 0; i < shards; i++ {
+		starts[i] = i * head / (shards - 1)
+	}
+	starts[shards] = count
+	return starts
 }
 
 // buildMethod constructs one method over ext with the paper's default

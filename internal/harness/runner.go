@@ -45,6 +45,9 @@ type Runner struct {
 	// that fixed traversal overheads distort the paper's shapes at
 	// loose thresholds.
 	DiskVerify bool
+	// Workers sizes the query executor used by the sharded experiments
+	// (FigureShard, FigureSkew); ≤ 0 selects one worker per CPU.
+	Workers int
 
 	insect, eeg *Dataset // lazily materialized
 	diskStores  []*store.Disk
@@ -313,7 +316,7 @@ func (r *Runner) FigureShard() []Row {
 		ext := r.extractor(d, series.NormGlobal)
 		queries := r.workload(d, ext, DefaultL)
 		for _, p := range []int{1, 2, 4, 0} {
-			b, err := buildSharded(ext, DefaultL, p)
+			b, err := buildSharded(ext, DefaultL, p, r.Workers, nil)
 			if err != nil {
 				r.logf("  shards=%d: skipped (%v)", p, err)
 				continue
@@ -326,6 +329,57 @@ func (r *Runner) FigureShard() []Row {
 			avgMs, avgRes, avgCands := measure(b, queries, d.DefaultEpsNorm)
 			rows = append(rows, Row{
 				Figure: "shard", Dataset: d.Name, Method: "TS-Index", Param: label,
+				AvgQueryMs: avgMs, AvgResults: avgRes, AvgCandidates: avgCands,
+				BuildMs: b.buildTime.Seconds() * 1000, MemBytes: b.memBytes,
+			})
+		}
+	}
+	return rows
+}
+
+// FigureSkew — beyond the paper: query latency under deliberately
+// imbalanced shards (the last of four holding ~90% of the windows),
+// with one executor worker versus a full pool. One goroutine per shard
+// would leave a skewed partition's latency bounded by the hottest
+// shard; the work-stealing executor splits every shard into subtree
+// units, so the skewed rows should track the balanced rows once
+// workers > 1 — the latency is bounded by total work, not by the
+// largest partition. Result counts are identical across all rows (a
+// built-in parity check, like FigureShard).
+func (r *Runner) FigureSkew() []Row {
+	const shards = 4
+	d := r.EEG()
+	r.logf("Skew experiment: %s", d.Name)
+	ext := r.extractor(d, series.NormGlobal)
+	queries := r.workload(d, ext, DefaultL)
+	count := series.NumSubsequences(len(d.Data), DefaultL)
+	parts := []struct {
+		name   string
+		bounds []int
+	}{
+		{"balanced", nil},
+		{"skew90", SkewedBoundaries(count, shards, 0.9)},
+	}
+	ws := []int{1}
+	if r.Workers != 1 {
+		ws = append(ws, r.Workers)
+	}
+	var rows []Row
+	for _, part := range parts {
+		for _, w := range ws {
+			label := fmt.Sprintf("%s/workers=%d", part.name, w)
+			if w <= 0 {
+				label = part.name + "/workers=auto"
+			}
+			b, err := buildSharded(ext, DefaultL, shards, w, part.bounds)
+			if err != nil {
+				r.logf("  %s: skipped (%v)", label, err)
+				continue
+			}
+			r.logf("  %s built in %v", label, b.buildTime.Round(time.Millisecond))
+			avgMs, avgRes, avgCands := measure(b, queries, d.DefaultEpsNorm)
+			rows = append(rows, Row{
+				Figure: "skew", Dataset: d.Name, Method: "TS-Index", Param: label,
 				AvgQueryMs: avgMs, AvgResults: avgRes, AvgCandidates: avgCands,
 				BuildMs: b.buildTime.Seconds() * 1000, MemBytes: b.memBytes,
 			})

@@ -71,6 +71,10 @@ func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
 		"windows":      h.eng.NumSubsequences(),
 		"memory_bytes": h.eng.MemoryBytes(),
 		"shards":       h.eng.Shards(),
+		// The engine's query executor is shared by every request this
+		// server handles — sharded fan-out units, batch work, and
+		// approximate probes all schedule onto these workers.
+		"workers": h.eng.Workers(),
 	})
 }
 

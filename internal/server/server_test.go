@@ -276,6 +276,9 @@ func TestShardedServer(t *testing.T) {
 	if health["shards"].(float64) != 4 {
 		t.Fatalf("healthz shards = %v, want 4", health["shards"])
 	}
+	if w, ok := health["workers"].(float64); !ok || int(w) != sharded.Workers() {
+		t.Fatalf("healthz workers = %v, want %d", health["workers"], sharded.Workers())
+	}
 
 	for _, path := range []string{"/search", "/topk"} {
 		req := map[string]interface{}{"query": ts[1000:1100]}

@@ -19,6 +19,7 @@ import (
 	"io"
 
 	"twinsearch/internal/core"
+	"twinsearch/internal/exec"
 	"twinsearch/internal/series"
 )
 
@@ -62,11 +63,12 @@ func (s *Index) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
-// Load reconstructs a sharded index from a stream produced by WriteTo.
-// The extractor must present the same series and normalization the
-// index was built with; every shard stream is validated exactly as
-// core.Load validates a single index.
-func Load(r io.Reader, ext *series.Extractor) (*Index, error) {
+// Load reconstructs a sharded index from a stream produced by WriteTo,
+// scheduling its queries on ex (nil selects the process-wide default
+// executor). The extractor must present the same series and
+// normalization the index was built with; every shard stream is
+// validated exactly as core.Load validates a single index.
+func Load(r io.Reader, ext *series.Extractor, ex *exec.Executor) (*Index, error) {
 	// One buffered reader shared down into core.Load (which reuses an
 	// existing *bufio.Reader of sufficient size instead of re-wrapping,
 	// so shard streams are consumed exactly, not over-read).
@@ -119,7 +121,10 @@ func Load(r io.Reader, ext *series.Extractor) (*Index, error) {
 		shards[i] = ix
 	}
 
-	s := &Index{ext: ext, l: l, shards: shards, starts: starts}
+	if ex == nil {
+		ex = exec.Default()
+	}
+	s := &Index{ext: ext, l: l, shards: shards, starts: starts, ex: ex}
 	if err := s.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("shard: load: %w", err)
 	}

@@ -1,15 +1,19 @@
 // Package shard implements a sharded parallel TS-Index: the window
 // position space [0, N−ℓ] is split into P contiguous ranges, one
-// core.Index is built per range concurrently, and queries fan out
-// across the shards in parallel — the data-partitioning strategy
-// ParIS/MESSI apply to iSAX, transplanted onto the paper's TS-Index.
+// core.Index is built per range concurrently, and queries run as
+// fine-grained (shard, subtree) work units on a work-stealing executor
+// (internal/exec) — the data-partitioning strategy ParIS/MESSI apply
+// to iSAX, transplanted onto the paper's TS-Index, with MESSI-style
+// work queues instead of one goroutine per shard, so a hot shard's
+// subtrees spread across idle workers and query latency is bounded by
+// total work rather than by the largest partition.
 //
 // Sharding changes the tree shapes (each shard packs only its own
 // windows) but never the answer set: range searches concatenate
 // per-shard results in position order, and top-k runs a k-way merge
-// under the (distance, start) total order with a cross-shard pruning
+// under the (distance, start) total order with a cross-unit pruning
 // bound (core.SharedBound), so results are identical to a single index
-// over the full series.
+// over the full series regardless of how many workers run the units.
 package shard
 
 import (
@@ -17,9 +21,10 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"twinsearch/internal/core"
+	"twinsearch/internal/exec"
 	"twinsearch/internal/series"
 )
 
@@ -32,6 +37,15 @@ type Config struct {
 	Shards int
 	// BulkLoad selects bottom-up construction for every shard.
 	BulkLoad bool
+	// Boundaries, when non-nil, fixes the partition explicitly: entry i
+	// and i+1 delimit shard i's position range, so it must be strictly
+	// increasing from 0 to the window count, and its length must agree
+	// with Shards when both are set. Benchmarks and tests use it to
+	// build deliberately skewed shards; the default is an even split.
+	Boundaries []int
+	// Executor runs the build and query work units; nil selects the
+	// process-wide default (GOMAXPROCS workers).
+	Executor *exec.Executor
 }
 
 // Index is a sharded TS-Index over one series.
@@ -42,10 +56,17 @@ type Index struct {
 	// starts has len(shards)+1 entries; shard i owns window positions
 	// [starts[i], starts[i+1]).
 	starts []int
+	ex     *exec.Executor
+
+	// units caches each shard's subtree frontier — the (shard, subtree)
+	// work units a query enqueues. Insert invalidates it (splits
+	// restructure nodes); concurrent searches recompute it racily but
+	// deterministically, so whichever Store wins is equivalent.
+	units atomic.Pointer[[][]core.Subtree]
 }
 
-// Build partitions the position space and constructs every shard
-// concurrently. With Shards resolving to 1 the result is a single
+// Build partitions the position space and constructs every shard on
+// the executor. With Shards resolving to 1 the result is a single
 // core.Index behind the fan-out API — bit-identical answers either way.
 func Build(ext *series.Extractor, cfg Config) (*Index, error) {
 	if cfg.L <= 0 {
@@ -55,57 +76,102 @@ func Build(ext *series.Extractor, cfg Config) (*Index, error) {
 	if count == 0 {
 		return nil, fmt.Errorf("shard: series length %d shorter than subsequence length %d", ext.Len(), cfg.L)
 	}
-	p := cfg.Shards
-	if p <= 0 {
-		p = runtime.GOMAXPROCS(0)
-	}
-	if p > count {
-		p = count
-	}
 
-	starts := make([]int, p+1)
-	for i := range starts {
-		starts[i] = i * count / p
+	var starts []int
+	if cfg.Boundaries != nil {
+		if err := validateBoundaries(cfg.Boundaries, cfg.Shards, count); err != nil {
+			return nil, err
+		}
+		starts = append([]int(nil), cfg.Boundaries...)
+	} else {
+		p := cfg.Shards
+		if p <= 0 {
+			p = runtime.GOMAXPROCS(0)
+		}
+		if p > count {
+			p = count
+		}
+		starts = make([]int, p+1)
+		for i := range starts {
+			starts[i] = i * count / p
+		}
+	}
+	p := len(starts) - 1
+
+	ex := cfg.Executor
+	if ex == nil {
+		ex = exec.Default()
 	}
 
 	shards := make([]*core.Index, p)
 	errs := make([]error, p)
-	var wg sync.WaitGroup
-	for i := 0; i < p; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			if cfg.BulkLoad {
-				shards[i], errs[i] = core.BuildBulkRange(ext, cfg.Config, starts[i], starts[i+1])
-			} else {
-				shards[i], errs[i] = core.BuildRange(ext, cfg.Config, starts[i], starts[i+1])
-			}
-		}(i)
-	}
-	wg.Wait()
+	ex.ForEach(p, func(i int) {
+		if cfg.BulkLoad {
+			shards[i], errs[i] = core.BuildBulkRange(ext, cfg.Config, starts[i], starts[i+1])
+		} else {
+			shards[i], errs[i] = core.BuildRange(ext, cfg.Config, starts[i], starts[i+1])
+		}
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
 		}
 	}
-	return &Index{ext: ext, l: cfg.L, shards: shards, starts: starts}, nil
+	return &Index{ext: ext, l: cfg.L, shards: shards, starts: starts, ex: ex}, nil
 }
 
-// fanOut runs f once per shard concurrently and waits.
-func (s *Index) fanOut(f func(i int, ix *core.Index)) {
-	if len(s.shards) == 1 {
-		f(0, s.shards[0])
-		return
+// validateBoundaries rejects partitions that don't cover [0, count)
+// with strictly increasing non-empty ranges.
+func validateBoundaries(b []int, shards, count int) error {
+	if len(b) < 2 {
+		return fmt.Errorf("shard: %d boundary entries delimit no shards", len(b))
 	}
-	var wg sync.WaitGroup
+	if shards != 0 && shards != len(b)-1 {
+		return fmt.Errorf("shard: %d boundary entries delimit %d shards, Config.Shards says %d", len(b), len(b)-1, shards)
+	}
+	if b[0] != 0 {
+		return fmt.Errorf("shard: first boundary %d, want 0", b[0])
+	}
+	if b[len(b)-1] != count {
+		return fmt.Errorf("shard: last boundary %d, series has %d windows", b[len(b)-1], count)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			return fmt.Errorf("shard: boundary %d (%d) not after boundary %d (%d)", i, b[i], i-1, b[i-1])
+		}
+	}
+	return nil
+}
+
+// Executor returns the executor the index schedules its queries on.
+func (s *Index) Executor() *exec.Executor { return s.ex }
+
+// unitFrontiers returns the cached (shard → subtrees) split,
+// recomputing it after Insert invalidated the cache. The per-shard
+// target over-provisions units (4×) relative to the widest pool that
+// could usefully run them — the index's own executor or the machine
+// (SearchBatch may bring a dedicated pool wider than the engine's; the
+// work is CPU-bound, so GOMAXPROCS caps useful width) — giving
+// stealing slack to even out skewed shards.
+func (s *Index) unitFrontiers() [][]core.Subtree {
+	if u := s.units.Load(); u != nil {
+		return *u
+	}
+	p := len(s.shards)
+	w := s.ex.Workers()
+	if g := runtime.GOMAXPROCS(0); g > w {
+		w = g
+	}
+	per := 1
+	if t := 4 * w; t > p {
+		per = (t + p - 1) / p
+	}
+	fr := make([][]core.Subtree, p)
 	for i, ix := range s.shards {
-		wg.Add(1)
-		go func(i int, ix *core.Index) {
-			defer wg.Done()
-			f(i, ix)
-		}(i, ix)
+		fr[i] = ix.Frontier(per)
 	}
-	wg.Wait()
+	s.units.Store(&fr)
+	return fr
 }
 
 // Search returns all twin subsequences of q at threshold eps, in start
@@ -115,21 +181,92 @@ func (s *Index) Search(q []float64, eps float64) []series.Match {
 	return ms
 }
 
-// SearchStats is Search with traversal counters summed across shards.
-// Counter values differ from a single index's (P roots are visited, and
-// each shard's tree packs differently); the match set does not.
+// SearchStats is Search with traversal counters summed across work
+// units. Counter values differ from a single index's (each shard's
+// tree packs differently, and nodes above a unit's subtree root are
+// never visited); the match set does not.
 func (s *Index) SearchStats(q []float64, eps float64) ([]series.Match, core.Stats) {
-	per := make([][]series.Match, len(s.shards))
-	stats := make([]core.Stats, len(s.shards))
-	s.fanOut(func(i int, ix *core.Index) {
-		per[i], stats[i] = ix.SearchStats(q, eps)
-	})
-	return concatMatches(per), sumStats(stats)
+	if len(s.shards) == 1 {
+		return s.shards[0].SearchStats(q, eps)
+	}
+	g := s.ex.NewGroup()
+	p := s.QueueSearch(g, q, eps)
+	g.Wait()
+	return p.Resolve()
 }
 
-// concatMatches merges per-shard results. Shards own ascending
-// contiguous position ranges and each result list is start-sorted, so
-// concatenation in shard order IS the position-order merge.
+// PendingSearch holds the per-unit results of one enqueued range
+// search; Resolve assembles them after the group completes. It lets
+// Engine.SearchBatch fuse many queries into one executor group — every
+// (query, shard, subtree) unit is a peer in the same pool — instead of
+// nesting a query pool above a shard pool.
+type PendingSearch struct {
+	res [][][]series.Match // [shard][unit] match lists, traversal order
+	st  [][]core.Stats     // [shard][unit]
+}
+
+// QueueSearch enqueues the (shard, subtree) units of one range search
+// into g and returns a handle to assemble the result. Call Resolve
+// only after g.Wait() returns.
+func (s *Index) QueueSearch(g *exec.Group, q []float64, eps float64) *PendingSearch {
+	fr := s.unitFrontiers()
+	p := &PendingSearch{
+		res: make([][][]series.Match, len(fr)),
+		st:  make([][]core.Stats, len(fr)),
+	}
+	for i, units := range fr {
+		p.res[i] = make([][]series.Match, len(units))
+		p.st[i] = make([]core.Stats, len(units))
+		ix := s.shards[i]
+		for j, u := range units {
+			g.Go(func(*exec.Ctx) {
+				p.res[i][j], p.st[i][j] = ix.SearchStatsFrom(u, q, eps)
+			})
+		}
+	}
+	return p
+}
+
+// Resolve merges the unit results deterministically: units of one
+// shard are concatenated and sorted by start (the set is identical
+// however the tree was split, so the sorted order is too), and shards
+// own ascending contiguous position ranges, so shard-order
+// concatenation IS the position-order merge.
+func (p *PendingSearch) Resolve() ([]series.Match, core.Stats) {
+	var st core.Stats
+	total := 0
+	for i := range p.res {
+		for j := range p.res[i] {
+			total += len(p.res[i][j])
+			st = addStats(st, p.st[i][j])
+		}
+	}
+	st.Results = total
+	if total == 0 {
+		return nil, st
+	}
+	out := make([]series.Match, 0, total)
+	for i := range p.res {
+		shardStart := len(out)
+		for _, ms := range p.res[i] {
+			out = append(out, ms...)
+		}
+		series.SortMatches(out[shardStart:])
+	}
+	return out, st
+}
+
+func addStats(a, b core.Stats) core.Stats {
+	a.NodesVisited += b.NodesVisited
+	a.NodesPruned += b.NodesPruned
+	a.LeavesReached += b.LeavesReached
+	a.Candidates += b.Candidates
+	a.Results += b.Results
+	return a
+}
+
+// concatMatches merges per-shard start-sorted results; shard order IS
+// position order (contiguous ascending ranges).
 func concatMatches(per [][]series.Match) []series.Match {
 	total := 0
 	for _, ms := range per {
@@ -145,33 +282,39 @@ func concatMatches(per [][]series.Match) []series.Match {
 	return out
 }
 
-func sumStats(stats []core.Stats) core.Stats {
-	var st core.Stats
-	for _, s := range stats {
-		st.NodesVisited += s.NodesVisited
-		st.NodesPruned += s.NodesPruned
-		st.LeavesReached += s.LeavesReached
-		st.Candidates += s.Candidates
-		st.Results += s.Results
-	}
-	return st
-}
-
 // SearchTopK returns the k nearest subsequences under Chebyshev
 // distance in ascending (distance, start) order — identical to
-// core.Index.SearchTopK. Every shard traversal shares one pruning bound
-// (the best k-th distance any shard has admitted so far), and the
-// per-shard lists are combined by a k-way merge.
+// core.Index.SearchTopK. Every unit's traversal shares one pruning
+// bound (the best k-th distance any unit has admitted so far), and the
+// per-unit lists are combined by a k-way merge.
 func (s *Index) SearchTopK(q []float64, k int) []series.Match {
 	if k <= 0 {
 		return nil
 	}
+	if len(s.shards) == 1 {
+		return s.shards[0].SearchTopK(q, k)
+	}
+	fr := s.unitFrontiers()
+	n := 0
+	for _, units := range fr {
+		n += len(units)
+	}
 	shared := core.NewSharedBound()
-	per := make([][]series.Match, len(s.shards))
-	s.fanOut(func(i int, ix *core.Index) {
-		per[i] = ix.SearchTopKShared(q, k, shared)
-	})
-	return mergeTopK(per, k)
+	lists := make([][]series.Match, n)
+	g := s.ex.NewGroup()
+	at := 0
+	for i, units := range fr {
+		ix := s.shards[i]
+		for _, u := range units {
+			slot := at
+			at++
+			g.Go(func(*exec.Ctx) {
+				lists[slot] = ix.SearchTopKSharedFrom(u, q, k, shared)
+			})
+		}
+	}
+	g.Wait()
+	return mergeTopK(lists, k)
 }
 
 // mergeTopK k-way-merges start-disjoint, distance-sorted lists and
@@ -225,55 +368,82 @@ func (h *mergeHeap) Pop() interface{} {
 }
 
 // SearchPrefix answers a query shorter than the indexed length (see
-// core.Index.SearchPrefix): the tree traversal fans across shards and
-// the tail windows that exist only at the shorter length are scanned
-// once, here.
+// core.Index.SearchPrefix): the truncated-bounds traversal fans across
+// (shard, subtree) units and the tail windows that exist only at the
+// shorter length are scanned once, here.
 func (s *Index) SearchPrefix(q []float64, eps float64) ([]series.Match, error) {
-	per := make([][]series.Match, len(s.shards))
-	errs := make([]error, len(s.shards))
-	s.fanOut(func(i int, ix *core.Index) {
-		per[i], errs[i] = ix.SearchPrefixTree(q, eps)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	if err := s.shards[0].ValidatePrefix(q); err != nil {
+		return nil, err
+	}
+	if len(s.shards) == 1 {
+		return s.shards[0].SearchPrefix(q, eps)
+	}
+	fr := s.unitFrontiers()
+	res := make([][][]series.Match, len(fr))
+	g := s.ex.NewGroup()
+	for i, units := range fr {
+		res[i] = make([][]series.Match, len(units))
+		ix := s.shards[i]
+		for j, u := range units {
+			g.Go(func(*exec.Ctx) {
+				res[i][j] = ix.SearchPrefixTreeFrom(u, q, eps)
+			})
 		}
+	}
+	g.Wait()
+	per := make([][]series.Match, len(fr))
+	for i := range res {
+		var ms []series.Match
+		for _, unit := range res[i] {
+			ms = append(ms, unit...)
+		}
+		series.SortMatches(ms)
+		per[i] = ms
 	}
 	// concatMatches yields position order and the tail starts extend it.
 	return core.ScanPrefixTail(s.ext, s.l, q, eps, concatMatches(per)), nil
 }
 
 // SearchApprox probes at most leafBudget nearest leaves across all
-// shards (budget split as evenly as possible, each probed shard getting
-// at least its share) and returns a possibly incomplete subset of the
-// twins — the sharded counterpart of core.Index.SearchApprox.
+// shards and returns a possibly incomplete subset of the twins — the
+// sharded counterpart of core.Index.SearchApprox. The budget is one
+// shared atomic allowance drawn by every shard's best-first traversal,
+// not a per-shard split: shards whose leaves sit closest to the query
+// spend more of it, so a skewed partition no longer burns budget on
+// shards with nothing nearby. Which shard draws a contended probe
+// depends on scheduling, so the subset may vary between runs; every
+// match is a true twin and total leaves probed never exceed the budget.
 func (s *Index) SearchApprox(q []float64, eps float64, leafBudget int) ([]series.Match, core.Stats) {
 	if leafBudget <= 0 {
 		leafBudget = 1
 	}
-	p := len(s.shards)
-	budgets := make([]int, p)
-	for i := 0; i < p; i++ {
-		budgets[i] = leafBudget / p
-		if i < leafBudget%p {
-			budgets[i]++
-		}
+	if len(s.shards) == 1 {
+		return s.shards[0].SearchApprox(q, eps, leafBudget)
 	}
-	per := make([][]series.Match, p)
-	stats := make([]core.Stats, p)
-	s.fanOut(func(i int, ix *core.Index) {
-		if budgets[i] == 0 {
-			return
-		}
-		per[i], stats[i] = ix.SearchApprox(q, eps, budgets[i])
-	})
-	return concatMatches(per), sumStats(stats)
+	budget := core.NewLeafBudget(leafBudget)
+	per := make([][]series.Match, len(s.shards))
+	stats := make([]core.Stats, len(s.shards))
+	g := s.ex.NewGroup()
+	for i, ix := range s.shards {
+		g.Go(func(*exec.Ctx) {
+			per[i], stats[i] = ix.SearchApproxShared(q, eps, budget)
+		})
+	}
+	g.Wait()
+	var st core.Stats
+	for _, x := range stats {
+		st = addStats(st, x)
+	}
+	return concatMatches(per), st
 }
 
 // Insert adds the window starting at p to the shard owning that
 // position; positions past the current end extend the last shard (the
-// streaming-append path).
+// streaming-append path). Insertion restructures nodes, so the cached
+// work-unit frontiers are invalidated and recomputed on the next
+// query. Do not call concurrently with searches.
 func (s *Index) Insert(p int) {
+	s.units.Store(nil)
 	last := len(s.starts) - 1
 	if p >= s.starts[last] {
 		s.starts[last] = p + 1

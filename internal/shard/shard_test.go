@@ -2,11 +2,13 @@ package shard
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 
 	"twinsearch/internal/core"
+	"twinsearch/internal/exec"
 	"twinsearch/internal/series"
 )
 
@@ -217,7 +219,7 @@ func TestPersistRoundTrip(t *testing.T) {
 		if n != int64(blob.Len()) {
 			t.Fatalf("WriteTo reported %d bytes, wrote %d", n, blob.Len())
 		}
-		re, err := Load(bytes.NewReader(blob.Bytes()), ext)
+		re, err := Load(bytes.NewReader(blob.Bytes()), ext, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -250,19 +252,19 @@ func TestPersistRejectsMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := Load(bytes.NewReader([]byte("JUNKJUNKJUNK")), ext); err == nil {
+	if _, err := Load(bytes.NewReader([]byte("JUNKJUNKJUNK")), ext, nil); err == nil {
 		t.Fatal("expected bad-magic rejection")
 	}
 	truncated := blob.Bytes()[:blob.Len()/2]
-	if _, err := Load(bytes.NewReader(truncated), ext); err == nil {
+	if _, err := Load(bytes.NewReader(truncated), ext, nil); err == nil {
 		t.Fatal("expected truncated-stream rejection")
 	}
 	otherExt := series.NewExtractor(synthetic(800, 99), series.NormGlobal)
-	if _, err := Load(bytes.NewReader(blob.Bytes()), otherExt); err == nil {
+	if _, err := Load(bytes.NewReader(blob.Bytes()), otherExt, nil); err == nil {
 		t.Fatal("expected wrong-series rejection")
 	}
 	shorterExt := series.NewExtractor(data[:700], series.NormGlobal)
-	if _, err := Load(bytes.NewReader(blob.Bytes()), shorterExt); err == nil {
+	if _, err := Load(bytes.NewReader(blob.Bytes()), shorterExt, nil); err == nil {
 		t.Fatal("expected wrong-length rejection")
 	}
 }
@@ -338,5 +340,177 @@ func TestConcurrentBuildAndSearch(t *testing.T) {
 	q := ext.ExtractCopy(1000, l)
 	if !equalMatches(sh.Search(q, 0.3), single.Search(q, 0.3)) {
 		t.Fatal("concurrently built shard index disagrees with single index")
+	}
+}
+
+// TestSkewedBoundariesParity builds deliberately imbalanced partitions
+// (the last shard holding ~90% of the windows) and asserts every query
+// kind still answers identically to a single index, across executors
+// of different widths — the work-stealing property under test is that
+// partition skew may move work between workers but never changes an
+// answer.
+func TestSkewedBoundariesParity(t *testing.T) {
+	const l = 32
+	data := synthetic(2400, 23)
+	for _, mode := range allModes {
+		ext := series.NewExtractor(data, mode)
+		single, err := core.Build(ext, core.Config{L: l})
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := series.NumSubsequences(len(data), l)
+		head := count / 10
+		bounds := []int{0, head / 3, 2 * head / 3, head, count}
+		queries := [][]float64{
+			ext.ExtractCopy(100, l),
+			ext.ExtractCopy(count-1, l), // deep inside the hot shard
+		}
+		for _, workers := range []int{1, 3, 8} {
+			sh, err := Build(ext, Config{
+				Config: core.Config{L: l}, Boundaries: bounds,
+				Executor: exec.New(workers),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sh.CheckInvariants(); err != nil {
+				t.Fatalf("mode=%v workers=%d: %v", mode, workers, err)
+			}
+			for qi, q := range queries {
+				for _, eps := range []float64{0.05, 0.4} {
+					want, _ := single.SearchStats(q, eps)
+					got, st := sh.SearchStats(q, eps)
+					if !equalMatches(got, want) {
+						t.Fatalf("mode=%v workers=%d q=%d eps=%g: got %v want %v",
+							mode, workers, qi, eps, matchStarts(got), matchStarts(want))
+					}
+					if st.Results != len(want) {
+						t.Fatalf("stats.Results=%d, %d matches", st.Results, len(want))
+					}
+				}
+				for _, k := range []int{1, 12, 60} {
+					want := single.SearchTopK(q, k)
+					got := sh.SearchTopK(q, k)
+					if !equalMatches(got, want) {
+						t.Fatalf("mode=%v workers=%d q=%d k=%d: topk differs", mode, workers, qi, k)
+					}
+				}
+				if mode != series.NormPerSubsequence {
+					want, err := single.SearchPrefix(q[:l/2], 0.3)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := sh.SearchPrefix(q[:l/2], 0.3)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !equalMatches(got, want) {
+						t.Fatalf("mode=%v workers=%d q=%d: prefix differs", mode, workers, qi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBoundariesValidation covers the explicit-partition error paths.
+func TestBoundariesValidation(t *testing.T) {
+	const l = 16
+	data := synthetic(300, 29)
+	ext := series.NewExtractor(data, series.NormNone)
+	count := series.NumSubsequences(len(data), l)
+	cases := []struct {
+		name   string
+		shards int
+		b      []int
+	}{
+		{"too short", 0, []int{0}},
+		{"shards mismatch", 3, []int{0, count / 2, count}},
+		{"not starting at zero", 0, []int{1, count}},
+		{"not ending at count", 0, []int{0, count - 1}},
+		{"empty range", 0, []int{0, 10, 10, count}},
+		{"decreasing", 0, []int{0, 40, 20, count}},
+	}
+	for _, tc := range cases {
+		_, err := Build(ext, Config{Config: core.Config{L: l}, Shards: tc.shards, Boundaries: tc.b})
+		if err == nil {
+			t.Fatalf("%s: boundaries %v accepted", tc.name, tc.b)
+		}
+	}
+	// A valid explicit partition builds, with Shards agreeing or unset.
+	for _, shards := range []int{0, 2} {
+		sh, err := Build(ext, Config{Config: core.Config{L: l}, Shards: shards, Boundaries: []int{0, count / 4, count}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sh.NumShards() != 2 {
+			t.Fatalf("built %d shards from explicit boundaries", sh.NumShards())
+		}
+		if err := sh.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSkewedConcurrentSearch hammers a skewed index from many
+// goroutines; under -race this guards the executor's whole fan-out
+// surface including frontier caching.
+func TestSkewedConcurrentSearch(t *testing.T) {
+	const l = 32
+	data := synthetic(3000, 31)
+	ext := series.NewExtractor(data, series.NormGlobal)
+	count := series.NumSubsequences(len(data), l)
+	head := count / 10
+	sh, err := Build(ext, Config{
+		Config: core.Config{L: l}, Boundaries: []int{0, head, count},
+		Executor: exec.New(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := core.Build(ext, core.Config{L: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 12)
+	for g := 0; g < 12; g++ {
+		go func(g int) {
+			q := ext.ExtractCopy((g*251)%(count-1), l)
+			switch g % 3 {
+			case 0:
+				want, _ := single.SearchStats(q, 0.3)
+				if got := sh.Search(q, 0.3); !equalMatches(got, want) {
+					done <- fmt.Errorf("goroutine %d: search differs", g)
+					return
+				}
+			case 1:
+				if got, want := sh.SearchTopK(q, 8), single.SearchTopK(q, 8); !equalMatches(got, want) {
+					done <- fmt.Errorf("goroutine %d: topk differs", g)
+					return
+				}
+			default:
+				ms, st := sh.SearchApprox(q, 0.3, 6)
+				if st.LeavesReached > 6 {
+					done <- fmt.Errorf("goroutine %d: approx probed %d leaves", g, st.LeavesReached)
+					return
+				}
+				exact := map[int]bool{}
+				for _, m := range single.Search(q, 0.3) {
+					exact[m.Start] = true
+				}
+				for _, m := range ms {
+					if !exact[m.Start] {
+						done <- fmt.Errorf("goroutine %d: approx hit %d not exact", g, m.Start)
+						return
+					}
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for i := 0; i < 12; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
 	}
 }

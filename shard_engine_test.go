@@ -316,3 +316,139 @@ func TestSearchShorterRejectsNaNEps(t *testing.T) {
 		}
 	}
 }
+
+// TestSearchApproxRejectsNonPositiveBudget is the regression test for
+// the leaf-budget validation hole: leafBudget ≤ 0 used to slip through
+// to the tree walk (which silently clamped it to 1) instead of being
+// rejected like every other invalid argument.
+func TestSearchApproxRejectsNonPositiveBudget(t *testing.T) {
+	ts := datasets.RandomWalk(11, 2000)
+	for _, shards := range []int{0, 3} {
+		eng, err := Open(ts, Options{L: 50, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := ts[100:150]
+		for _, budget := range []int{0, -1, -100} {
+			if _, err := eng.SearchApprox(q, 0.3, budget); err == nil {
+				t.Fatalf("shards=%d: SearchApprox accepted leaf budget %d", shards, budget)
+			}
+		}
+		if _, err := eng.SearchApprox(q, 0.3, 1); err != nil {
+			t.Fatalf("shards=%d: minimal valid budget rejected: %v", shards, err)
+		}
+	}
+}
+
+// TestWorkersOptionParity pins the Workers knob: the executor width is
+// reported faithfully and never changes an answer, for every
+// normalization mode.
+func TestWorkersOptionParity(t *testing.T) {
+	ts := datasets.EEGN(43, 9000)
+	queries := datasets.Queries(ts, 17, 4, 100)
+	for _, norm := range []NormMode{NormNone, NormGlobal, NormPerSubsequence} {
+		single, err := Open(ts, Options{L: 100, Norm: norm, NormSet: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 6} {
+			eng, err := Open(ts, Options{L: 100, Norm: norm, NormSet: true, Shards: 4, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eng.Workers() != workers {
+				t.Fatalf("Workers() = %d, want %d", eng.Workers(), workers)
+			}
+			for _, q := range queries {
+				want, err := single.Search(q, 0.3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := eng.Search(q, 0.3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameMatches(t, "Search", got, want)
+				wantK, _ := single.SearchTopK(q, 9)
+				gotK, _ := eng.SearchTopK(q, 9)
+				assertSameMatches(t, "SearchTopK", gotK, wantK)
+			}
+			wantBatch := single.SearchBatch(queries, 0.4, 0)
+			gotBatch := eng.SearchBatch(queries, 0.4, 0)
+			for i := range wantBatch {
+				assertSameMatches(t, "SearchBatch", gotBatch[i].Matches, wantBatch[i].Matches)
+			}
+		}
+	}
+	// Workers resolves like GOMAXPROCS when unset.
+	eng, err := Open(ts, Options{L: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default Workers() = %d, want GOMAXPROCS", eng.Workers())
+	}
+}
+
+// TestSearchBatchMixedValidity checks the fused batch path keeps
+// per-query error isolation: invalid queries carry their own errors
+// while the rest of the batch completes.
+func TestSearchBatchMixedValidity(t *testing.T) {
+	ts := datasets.EEGN(47, 8000)
+	for _, shards := range []int{0, 4} {
+		eng, err := Open(ts, Options{L: 100, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		good := append([]float64(nil), ts[3000:3100]...)
+		batch := [][]float64{
+			good,
+			make([]float64, 10),             // wrong length
+			append([]float64(nil), good...), // fine
+			{math.NaN()},                    // wrong length AND non-finite
+		}
+		out := eng.SearchBatch(batch, 0.3, 0)
+		if len(out) != 4 {
+			t.Fatalf("shards=%d: %d results", shards, len(out))
+		}
+		for i, r := range out {
+			if r.Query != i {
+				t.Fatalf("shards=%d: result %d labeled query %d", shards, i, r.Query)
+			}
+		}
+		if out[1].Err == nil || out[3].Err == nil {
+			t.Fatalf("shards=%d: invalid queries must carry errors", shards)
+		}
+		if out[0].Err != nil || out[2].Err != nil {
+			t.Fatalf("shards=%d: valid queries errored: %v %v", shards, out[0].Err, out[2].Err)
+		}
+		want, err := eng.Search(good, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameMatches(t, "batch result 0", out[0].Matches, want)
+		assertSameMatches(t, "batch result 2", out[2].Matches, want)
+	}
+}
+
+// TestSearchBatchHugeParallelism: an absurd parallelism value must be
+// capped to the workload size, not allocate a pool of that width.
+func TestSearchBatchHugeParallelism(t *testing.T) {
+	ts := datasets.RandomWalk(13, 3000)
+	eng, err := Open(ts, Options{L: 50, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := datasets.Queries(ts, 5, 3, 50)
+	out := eng.SearchBatch(queries, 0.3, 1<<30)
+	if len(out) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(out), len(queries))
+	}
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		want, _ := eng.Search(queries[i], 0.3)
+		assertSameMatches(t, "huge parallelism batch", r.Matches, want)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"runtime"
 
 	"twinsearch/internal/core"
+	"twinsearch/internal/exec"
 	"twinsearch/internal/isax"
 	"twinsearch/internal/kvindex"
 	"twinsearch/internal/series"
@@ -121,6 +122,15 @@ type Options struct {
 	// shard per available CPU (GOMAXPROCS). MethodTSIndex only.
 	Shards int
 
+	// Workers sizes the engine's query executor — the work-stealing
+	// worker pool that runs every parallel search path: sharded
+	// fan-out (each query becomes fine-grained (shard, subtree) work
+	// units, so one hot shard no longer bounds latency), SearchBatch
+	// workloads (all queries share the one pool instead of nesting a
+	// second one), and approximate probes. 0 selects GOMAXPROCS.
+	// Answers never depend on the worker count.
+	Workers int
+
 	// iSAX knobs (MethodISAX).
 	Segments     int // PAA segments m (default 10)
 	LeafCapacity int // leaf capacity (default 10,000)
@@ -148,6 +158,7 @@ func (o *Options) fill() error {
 type Engine struct {
 	opt Options
 	ext *series.Extractor
+	ex  *exec.Executor // query executor; sized by Options.Workers
 
 	sweep *sweepline.Sweepline
 	kv    *kvindex.Index
@@ -186,7 +197,7 @@ func Open(data []float64, opt Options) (*Engine, error) {
 	if resolveShards(opt.Shards) > 1 && opt.Method != MethodTSIndex {
 		return nil, fmt.Errorf("twinsearch: Options.Shards requires MethodTSIndex, got %v", opt.Method)
 	}
-	e := &Engine{opt: opt, ext: series.NewExtractor(data, opt.Norm)}
+	e := &Engine{opt: opt, ext: series.NewExtractor(data, opt.Norm), ex: exec.New(opt.Workers)}
 	var err error
 	switch opt.Method {
 	case MethodSweepline:
@@ -203,7 +214,7 @@ func Open(data []float64, opt Options) (*Engine, error) {
 		cfg := core.Config{L: opt.L, MinCap: opt.MinCap, MaxCap: opt.MaxCap}
 		if shards := resolveShards(opt.Shards); shards > 1 {
 			e.sh, err = shard.Build(e.ext, shard.Config{
-				Config: cfg, Shards: shards, BulkLoad: opt.BulkLoad,
+				Config: cfg, Shards: shards, BulkLoad: opt.BulkLoad, Executor: e.ex,
 			})
 		} else if opt.BulkLoad {
 			e.ts, err = core.BuildBulk(e.ext, cfg)
@@ -233,6 +244,18 @@ func OpenFile(path string, opt Options) (*Engine, error) {
 // most eps, ordered by start position. q is in the raw value space of
 // the input series and must have length L with finite values.
 func (e *Engine) Search(q []float64, eps float64) ([]Match, error) {
+	tq, err := e.validateQuery(q, eps)
+	if err != nil {
+		return nil, err
+	}
+	return e.searchPrepared(tq, eps), nil
+}
+
+// validateQuery runs the full raw-query validation and returns the
+// query mapped into the engine's value space. SearchBatch hoists this
+// per query so the transformed query is shared by every (query, shard)
+// work unit instead of being recomputed inside each worker.
+func (e *Engine) validateQuery(q []float64, eps float64) ([]float64, error) {
 	if len(q) != e.opt.L {
 		return nil, fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)
 	}
@@ -244,7 +267,7 @@ func (e *Engine) Search(q []float64, eps float64) ([]Match, error) {
 			return nil, fmt.Errorf("twinsearch: non-finite query value %v at position %d", v, i)
 		}
 	}
-	return e.SearchPrepared(e.ext.TransformQuery(q), eps)
+	return e.ext.TransformQuery(q), nil
 }
 
 // SearchPrepared is Search for queries already expressed in the engine's
@@ -260,18 +283,23 @@ func (e *Engine) SearchPrepared(q []float64, eps float64) ([]Match, error) {
 	if eps < 0 || math.IsNaN(eps) {
 		return nil, fmt.Errorf("twinsearch: invalid threshold %v", eps)
 	}
+	return e.searchPrepared(q, eps), nil
+}
+
+// searchPrepared dispatches a validated, transformed query.
+func (e *Engine) searchPrepared(q []float64, eps float64) []Match {
 	switch e.opt.Method {
 	case MethodSweepline:
-		return e.sweep.Search(q, eps), nil
+		return e.sweep.Search(q, eps)
 	case MethodKVIndex:
-		return e.kv.Search(q, eps), nil
+		return e.kv.Search(q, eps)
 	case MethodISAX:
-		return e.isx.Search(q, eps), nil
+		return e.isx.Search(q, eps)
 	default:
 		if e.sh != nil {
-			return e.sh.Search(q, eps), nil
+			return e.sh.Search(q, eps)
 		}
-		return e.ts.Search(q, eps), nil
+		return e.ts.Search(q, eps)
 	}
 }
 
@@ -322,6 +350,11 @@ func (e *Engine) Shards() int {
 	}
 	return 1
 }
+
+// Workers returns the size of the engine's query executor — the
+// worker pool shared by sharded fan-out, SearchBatch, and approximate
+// probes (see Options.Workers).
+func (e *Engine) Workers() int { return e.ex.Workers() }
 
 // L returns the configured subsequence length.
 func (e *Engine) L() int { return e.opt.L }
