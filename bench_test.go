@@ -599,6 +599,89 @@ func BenchmarkBatchFusion(b *testing.B) {
 	})
 }
 
+// Frozen arena vs pointer tree: the same TS-Index under its two memory
+// layouts. The frozen rows should show lower ns/op (descent streams two
+// flat bound arrays instead of chasing per-node heap objects) and a
+// smaller bytes/node footprint (8 structural bytes per node against the
+// pointer form's struct + MBTS struct + three slice headers).
+func BenchmarkFrozenVsPointer(b *testing.B) {
+	for _, ds := range benchSetups {
+		ext := benchExt(ds, series.NormGlobal)
+		qs := benchWorkload(ds, ext, harness.DefaultL)
+		ix := benchTS(b, ds, series.NormGlobal, harness.DefaultL)
+		fz := ix.Freeze()
+		nodes := float64(ix.NodeCount())
+		b.Run(ds.name+"/freeze", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix.Freeze()
+			}
+		})
+		for _, eps := range []float64{ds.def, ds.eps[len(ds.eps)-1]} {
+			eps := eps
+			b.Run(fmt.Sprintf("%s/pointer/search/eps=%g", ds.name, eps), func(b *testing.B) {
+				// After runQueries: its ResetTimer wipes user metrics.
+				runQueries(b, func(q []float64, e float64) int { return len(ix.Search(q, e)) }, qs, eps)
+				b.ReportMetric(float64(ix.MemoryBytes())/nodes, "bytes/node")
+			})
+			b.Run(fmt.Sprintf("%s/frozen/search/eps=%g", ds.name, eps), func(b *testing.B) {
+				runQueries(b, func(q []float64, e float64) int { return len(fz.Search(q, e)) }, qs, eps)
+				b.ReportMetric(float64(fz.MemoryBytes())/nodes, "bytes/node")
+			})
+		}
+		b.Run(ds.name+"/pointer/topk", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range qs {
+					ix.SearchTopK(q, 20)
+				}
+			}
+		})
+		b.Run(ds.name+"/frozen/topk", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range qs {
+					fz.SearchTopK(q, 20)
+				}
+			}
+		})
+	}
+}
+
+// Mean-sorted vs contiguous shard partitioning: mean-sorted shards pack
+// look-alike windows, so their MBTS are tighter and range searches
+// verify fewer candidates; the cost is a k-way merge (and a sort during
+// build). Result sets are identical.
+func BenchmarkMeanShardPartition(b *testing.B) {
+	ds := benchSetups[1]
+	ext := benchExt(ds, series.NormGlobal)
+	qs := benchWorkload(ds, ext, harness.DefaultL)
+	for _, byMean := range []bool{false, true} {
+		name := "range"
+		if byMean {
+			name = "mean"
+		}
+		ix, err := shard.Build(ext, shard.Config{
+			Config: core.Config{L: harness.DefaultL}, Shards: 4, PartitionByMean: byMean,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, eps := range []float64{ds.def, ds.eps[len(ds.eps)-1]} {
+			eps := eps
+			b.Run(fmt.Sprintf("%s/eps=%g", name, eps), func(b *testing.B) {
+				var cands int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, q := range qs {
+						_, st := ix.SearchStats(q, eps)
+						cands += st.Candidates
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(cands)/float64(b.N)/float64(len(qs)), "candidates/query")
+			})
+		}
+	}
+}
+
 // Parallel vs serial iSAX construction (the ParIS/MESSI direction).
 func BenchmarkAblationParallelISAXBuild(b *testing.B) {
 	ds := benchSetups[1]

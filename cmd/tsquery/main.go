@@ -38,6 +38,7 @@ func main() {
 		approx     = flag.Int("approx", 0, "if > 0, run an approximate search probing this many leaves (TS-Index only)")
 		indexLen   = flag.Int("indexlen", 0, "index at this length instead of the query length; shorter queries then use the prefix search (TS-Index only)")
 		shards     = flag.Int("shards", 0, "index partitions built and searched in parallel (0 = one index, -1 = one per CPU; TS-Index only)")
+		meanShards = flag.Bool("meanshards", false, "partition shards by window mean instead of contiguous ranges (tighter per-shard bounds; needs -shards above 1)")
 	)
 	flag.Parse()
 	if *seriesPath == "" {
@@ -68,7 +69,7 @@ func main() {
 		fatal(fmt.Errorf("one of -qfile or -qstart is required"))
 	}
 
-	opt := twinsearch.Options{L: *l, NormSet: true, Shards: *shards}
+	opt := twinsearch.Options{L: *l, NormSet: true, Shards: *shards, PartitionByMean: *meanShards}
 	if *indexLen > 0 {
 		if *indexLen < len(q) {
 			fatal(fmt.Errorf("-indexlen %d below query length %d", *indexLen, len(q)))

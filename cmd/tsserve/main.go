@@ -28,6 +28,7 @@ func main() {
 		norm       = flag.String("norm", "global", "normalization: raw, global, persub")
 		loadIndex  = flag.String("loadindex", "", "reopen a persisted TS-Index instead of rebuilding")
 		shards     = flag.Int("shards", 0, "index partitions built and searched in parallel (0 = one index, -1 = one per CPU)")
+		meanShards = flag.Bool("meanshards", false, "partition shards by window mean instead of contiguous ranges (tighter per-shard bounds; needs -shards above 1)")
 		workers    = flag.Int("workers", 0, "query-executor workers shared by all requests (0 = one per CPU)")
 	)
 	flag.Parse()
@@ -41,7 +42,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := twinsearch.Options{L: *l, NormSet: true, Shards: *shards, Workers: *workers}
+	opt := twinsearch.Options{L: *l, NormSet: true, Shards: *shards,
+		PartitionByMean: *meanShards, Workers: *workers}
 	switch *norm {
 	case "raw":
 		opt.Norm = twinsearch.NormNone

@@ -20,9 +20,10 @@ var ErrPersistUnsupported = errors.New("twinsearch: index persistence requires M
 
 // SaveIndex serializes a built TS-Index so a later process can reopen it
 // against the same series without paying construction again (see
-// OpenSaved). Only MethodTSIndex engines support it. Sharded engines
-// write a sharded stream (shard count, range boundaries, one per-shard
-// index stream each); OpenSaved accepts both formats.
+// OpenSaved). Only MethodTSIndex engines support it. Both sharded and
+// single-index engines write their frozen arenas — the flat arrays go
+// to disk as-is, so loading is a few sequential reads per shard;
+// OpenSaved also accepts the pointer-tree formats older versions wrote.
 func (e *Engine) SaveIndex(w io.Writer) error {
 	if e.opt.Method != MethodTSIndex {
 		return ErrPersistUnsupported
@@ -31,7 +32,7 @@ func (e *Engine) SaveIndex(w io.Writer) error {
 		_, err := e.sh.WriteTo(w)
 		return err
 	}
-	_, err := e.ts.WriteTo(w)
+	_, err := e.tsFrozen().WriteTo(w)
 	return err
 }
 
@@ -54,7 +55,10 @@ func (e *Engine) SaveIndexFile(path string) error {
 // stream's recorded parameters are authoritative and validated. The
 // stream format decides whether the engine comes back sharded — a
 // sharded save reopens sharded (with its saved partition) regardless of
-// opt.Shards, and a single-index save reopens unsharded.
+// opt.Shards, and a single-index save reopens unsharded. All four
+// magics are sniffed: the frozen formats load their flat arrays
+// directly; the pointer-tree formats older versions wrote are frozen
+// after loading.
 func OpenSaved(data []float64, r io.Reader, opt Options) (*Engine, error) {
 	if err := opt.fill(); err != nil {
 		return nil, err
@@ -69,25 +73,30 @@ func OpenSaved(data []float64, r io.Reader, opt Options) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("twinsearch: reading saved index: %w", err)
 	}
-	if string(magic) == shard.Magic {
+	savedL := 0
+	switch string(magic) {
+	case shard.Magic:
 		sh, err := shard.Load(br, e.ext, e.ex)
 		if err != nil {
 			return nil, err
 		}
-		if sh.L() != opt.L {
-			return nil, fmt.Errorf("twinsearch: saved index has L=%d, options request L=%d", sh.L(), opt.L)
+		e.sh, savedL = sh, sh.L()
+	case core.FrozenMagic:
+		fz, err := core.LoadFrozen(br, e.ext)
+		if err != nil {
+			return nil, err
 		}
-		e.sh = sh
-		return e, nil
+		e.fz, savedL = fz, fz.L()
+	default:
+		ix, err := core.Load(br, e.ext)
+		if err != nil {
+			return nil, err
+		}
+		e.fz, savedL = ix.Freeze(), ix.L()
 	}
-	ix, err := core.Load(br, e.ext)
-	if err != nil {
-		return nil, err
+	if savedL != opt.L {
+		return nil, fmt.Errorf("twinsearch: saved index has L=%d, options request L=%d", savedL, opt.L)
 	}
-	if ix.L() != opt.L {
-		return nil, fmt.Errorf("twinsearch: saved index has L=%d, options request L=%d", ix.L(), opt.L)
-	}
-	e.ts = ix
 	return e, nil
 }
 
@@ -119,7 +128,7 @@ func (e *Engine) SearchShorter(q []float64, eps float64) ([]Match, error) {
 	if e.sh != nil {
 		return e.sh.SearchPrefix(e.ext.TransformQuery(q), eps)
 	}
-	return e.ts.SearchPrefix(e.ext.TransformQuery(q), eps)
+	return e.tsFrozen().SearchPrefix(e.ext.TransformQuery(q), eps)
 }
 
 // SearchApprox probes at most leafBudget nearest leaves and returns a
@@ -145,7 +154,7 @@ func (e *Engine) SearchApprox(q []float64, eps float64, leafBudget int) ([]Match
 		ms, _ := e.sh.SearchApprox(e.ext.TransformQuery(q), eps, leafBudget)
 		return ms, nil
 	}
-	ms, _ := e.ts.SearchApprox(e.ext.TransformQuery(q), eps, leafBudget)
+	ms, _ := e.tsFrozen().SearchApprox(e.ext.TransformQuery(q), eps, leafBudget)
 	return ms, nil
 }
 
@@ -158,6 +167,13 @@ func (e *Engine) SearchApprox(q []float64, eps float64, leafBudget int) ([]Match
 // Under raw/per-subsequence modes the engine extends the slice passed
 // to Open (reallocating when its capacity is exhausted); callers must
 // not retain independent views past its original length.
+//
+// Searches run over the frozen arena, so insertion works on the
+// mutable pointer tree (thawed from the arena on the first Append and
+// kept resident — a streaming engine holds both forms). The arena is
+// not recompiled here: Append only marks it stale, and the next search
+// re-freezes once, so appending value by value costs the insertions
+// alone however the appends are batched.
 func (e *Engine) Append(values ...float64) error {
 	if e.opt.Method != MethodTSIndex {
 		return errors.New("twinsearch: Append requires MethodTSIndex")
@@ -172,12 +188,18 @@ func (e *Engine) Append(values ...float64) error {
 	if first < 0 {
 		first = 0
 	}
+	if e.sh == nil && e.ts == nil {
+		e.ts = e.tsFrozen().Thaw()
+	}
 	for p := first; p+e.opt.L <= e.ext.Len(); p++ {
 		if e.sh != nil {
 			e.sh.Insert(p)
 		} else {
 			e.ts.Insert(p)
 		}
+	}
+	if e.sh == nil {
+		e.fzDirty.Store(true)
 	}
 	return nil
 }

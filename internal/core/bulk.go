@@ -29,6 +29,22 @@ func BuildBulk(ext *series.Extractor, cfg Config) (*Index, error) {
 // [lo, hi) — the bulk counterpart of BuildRange, used by internal/shard
 // to build each shard bottom-up.
 func BuildBulkRange(ext *series.Extractor, cfg Config, lo, hi int) (*Index, error) {
+	total := series.NumSubsequences(ext.Len(), cfg.L)
+	if cfg.L > 0 && total > 0 && (lo < 0 || hi > total || lo >= hi) {
+		return nil, fmt.Errorf("core: position range [%d, %d) invalid for %d windows", lo, hi, total)
+	}
+	ps := make([]int32, 0, max(hi-lo, 0))
+	for p := lo; p < hi; p++ {
+		ps = append(ps, int32(p))
+	}
+	return BuildBulkPositions(ext, cfg, ps)
+}
+
+// BuildBulkPositions bulk-loads a TS-Index over exactly the given
+// window start positions — the bulk counterpart of BuildPositions, used
+// by internal/shard when mean-sorted partitioning hands each shard a
+// non-contiguous run of the position space.
+func BuildBulkPositions(ext *series.Extractor, cfg Config, ps []int32) (*Index, error) {
 	ix, err := NewEmpty(ext, cfg)
 	if err != nil {
 		return nil, err
@@ -38,31 +54,40 @@ func BuildBulkRange(ext *series.Extractor, cfg Config, lo, hi int) (*Index, erro
 	if total == 0 {
 		return nil, fmt.Errorf("core: series length %d shorter than subsequence length %d", ext.Len(), cfg.L)
 	}
-	if lo < 0 || hi > total || lo >= hi {
-		return nil, fmt.Errorf("core: position range [%d, %d) invalid for %d windows", lo, hi, total)
+	count := len(ps)
+	if count == 0 {
+		return nil, fmt.Errorf("core: empty position set")
 	}
-	count := hi - lo
+	for _, p := range ps {
+		if p < 0 || int(p) >= total {
+			return nil, fmt.Errorf("core: position %d invalid for %d windows", p, total)
+		}
+	}
 
 	// Order windows by mean. Per-subsequence normalization forces every
 	// mean to zero; fall back to ordering by the first normalized value,
 	// which is equally cheap and still groups look-alike windows.
-	order := make([]int32, count)
-	for i := range order {
-		order[i] = int32(lo + i)
+	idx := make([]int, count)
+	for i := range idx {
+		idx[i] = i
 	}
 	keys := make([]float64, count)
 	if ext.Mode() == series.NormPerSubsequence {
 		buf := make([]float64, cfg.L)
-		for i := 0; i < count; i++ {
-			keys[i] = ext.Extract(lo+i, cfg.L, buf)[0]
+		for i, p := range ps {
+			keys[i] = ext.Extract(int(p), cfg.L, buf)[0]
 		}
 	} else {
 		rolling := series.NewRolling(ext.Data())
-		for i := 0; i < count; i++ {
-			keys[i] = rolling.Mean(lo+i, cfg.L)
+		for i, p := range ps {
+			keys[i] = rolling.Mean(int(p), cfg.L)
 		}
 	}
-	sort.Slice(order, func(a, b int) bool { return keys[order[a]-int32(lo)] < keys[order[b]-int32(lo)] })
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	order := make([]int32, count)
+	for i, oi := range idx {
+		order[i] = ps[oi]
+	}
 
 	// Pack leaves.
 	buf := make([]float64, cfg.L)

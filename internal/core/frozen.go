@@ -1,0 +1,634 @@
+package core
+
+// The frozen TS-Index: a read-only compilation of the pointer tree into
+// a contiguous structure-of-arrays arena. Descent through the pointer
+// tree chases a heap allocation per node plus two more for the MBTS
+// bound slices; at query time the per-node cost of that pointer chasing
+// dominates (the actual Eq. 2 arithmetic streams two short arrays). The
+// frozen form packs every node's bounds into two flat []float64 backing
+// slices, children into (firstChild, count) index ranges, and all leaf
+// positions into one flat []int32 — the database-style flat layout that
+// Relational E-Matching applies to e-graph traversal, applied to MBTS
+// descent. Traversal touches consecutive cache lines instead of
+// scattered heap objects, and persistence becomes a handful of
+// sequential array reads (the stepping stone to mmap-resident nodes).
+//
+// Layout: nodes are numbered in BFS order, node 0 the root. The tree is
+// height-balanced with all leaves on the last level (§5.2), so in BFS
+// order every internal node precedes every leaf: nodes [0, leafStart)
+// are internal, [leafStart, n) are leaves. BFS numbering also makes both
+// index ranges prefix-contiguous — node i+1's children start where node
+// i's ended — which Freeze exploits and CheckInvariants enforces.
+//
+// Every search path of the pointer index has a frozen counterpart that
+// replicates its traversal step for step (same child order, same heap
+// disciplines), so results are byte-identical — the parity tests in
+// frozen_test.go and the shard layer's merges rely on that.
+
+import (
+	"container/heap"
+	"fmt"
+
+	"twinsearch/internal/mbts"
+	"twinsearch/internal/series"
+)
+
+// Frozen is the flat, read-only form of a built TS-Index. Construct
+// with Index.Freeze or LoadFrozen; mutate by Thaw-ing back to a pointer
+// Index, inserting, and re-freezing.
+type Frozen struct {
+	ext    *series.Extractor
+	cfg    Config
+	size   int
+	height int
+
+	// leafStart splits the BFS node numbering: [0, leafStart) internal,
+	// [leafStart, len(first)) leaves.
+	leafStart int32
+	// first[i] is the first child's node id (internal) or the offset of
+	// the node's run in positions (leaf); count[i] is the run length.
+	// Both ranges are prefix-contiguous in BFS order.
+	first, count []int32
+	// positions holds every leaf's start positions, leaf runs
+	// back to back.
+	positions []int32
+	// upper and lower pack all MBTS bounds: node i's bounds live at
+	// [i*L, (i+1)*L) of each.
+	upper, lower []float64
+}
+
+// Freeze compiles the pointer tree into its flat arena form. The index
+// must not be mutated while freezing; the result shares nothing with
+// the source tree and stays valid across later Inserts into it.
+func (ix *Index) Freeze() *Frozen {
+	f := &Frozen{ext: ix.ext, cfg: ix.cfg, size: ix.size, height: ix.height}
+	if ix.root == nil {
+		return f
+	}
+	// BFS walk: count nodes per kind first so the arenas allocate once.
+	order := []*node{ix.root}
+	for at := 0; at < len(order); at++ {
+		if n := order[at]; !n.leaf {
+			order = append(order, n.children...)
+		}
+	}
+	nn := len(order)
+	internal := 0
+	npos := 0
+	for _, n := range order {
+		if n.leaf {
+			npos += len(n.positions)
+		} else {
+			internal++
+		}
+	}
+	l := ix.cfg.L
+	f.leafStart = int32(internal)
+	f.first = make([]int32, nn)
+	f.count = make([]int32, nn)
+	f.positions = make([]int32, 0, npos)
+	f.upper = make([]float64, nn*l)
+	f.lower = make([]float64, nn*l)
+
+	childAt := int32(1) // node 0 is the root; its children start at 1
+	for i, n := range order {
+		copy(f.upper[i*l:(i+1)*l], n.bounds.Upper)
+		copy(f.lower[i*l:(i+1)*l], n.bounds.Lower)
+		if n.leaf {
+			f.first[i] = int32(len(f.positions))
+			f.count[i] = int32(len(n.positions))
+			f.positions = append(f.positions, n.positions...)
+			continue
+		}
+		f.first[i] = childAt
+		f.count[i] = int32(len(n.children))
+		childAt += int32(len(n.children))
+	}
+	return f
+}
+
+// Thaw reconstructs a mutable pointer Index from the arena — the
+// insertion path for frozen or loaded indexes: thaw, Insert, re-Freeze.
+func (f *Frozen) Thaw() *Index {
+	ix := &Index{ext: f.ext, cfg: f.cfg, size: f.size, height: f.height,
+		winBuf: make([]float64, f.cfg.L)}
+	if len(f.first) == 0 {
+		return ix
+	}
+	nodes := make([]*node, len(f.first))
+	for i := range nodes {
+		b := mbts.New(f.cfg.L)
+		copy(b.Upper, f.boundsUpper(int32(i)))
+		copy(b.Lower, f.boundsLower(int32(i)))
+		nodes[i] = &node{bounds: b}
+	}
+	for i, n := range nodes {
+		lo, c := f.first[i], f.count[i]
+		if int32(i) >= f.leafStart {
+			n.leaf = true
+			n.positions = append([]int32(nil), f.positions[lo:lo+c]...)
+			continue
+		}
+		n.children = make([]*node, c)
+		for j := int32(0); j < c; j++ {
+			n.children[j] = nodes[lo+j]
+		}
+	}
+	ix.root = nodes[0]
+	return ix
+}
+
+func (f *Frozen) boundsUpper(i int32) []float64 {
+	l := int32(f.cfg.L)
+	return f.upper[i*l : (i+1)*l]
+}
+
+func (f *Frozen) boundsLower(i int32) []float64 {
+	l := int32(f.cfg.L)
+	return f.lower[i*l : (i+1)*l]
+}
+
+func (f *Frozen) isLeaf(i int32) bool { return i >= f.leafStart }
+
+// Len returns the number of indexed windows.
+func (f *Frozen) Len() int { return f.size }
+
+// Height returns the number of levels (1 = the root is a leaf).
+func (f *Frozen) Height() int { return f.height }
+
+// L returns the indexed subsequence length.
+func (f *Frozen) L() int { return f.cfg.L }
+
+// Extractor exposes the extractor the index was built over.
+func (f *Frozen) Extractor() *series.Extractor { return f.ext }
+
+// NodeCount returns the total number of arena nodes.
+func (f *Frozen) NodeCount() int { return len(f.first) }
+
+// Positions exposes the flat start-position array (every indexed
+// window exactly once, in leaf-run order). Callers must not modify it;
+// the shard layer reads it to validate partitions.
+func (f *Frozen) Positions() []int32 { return f.positions }
+
+// MemoryBytes reports the heap bytes of the arena: the flat bound
+// arrays dominate; per-node structural overhead is 8 bytes (two int32)
+// against the pointer tree's per-node struct + slice headers.
+func (f *Frozen) MemoryBytes() int {
+	return 8*(len(f.upper)+len(f.lower)) + // bounds
+		4*(len(f.first)+len(f.count)+len(f.positions)) + // structure
+		96 // struct + slice headers
+}
+
+// FrozenSubtree is the frozen counterpart of Subtree: an opaque handle
+// to one disjoint piece of the arena, produced by Frontier and consumed
+// by the *From search variants. Frozen arenas are immutable, so handles
+// never go stale.
+type FrozenSubtree struct {
+	id int32
+	ok bool // distinguishes node 0 from the zero value / empty index
+}
+
+// Root returns the whole index as a single work unit.
+func (f *Frozen) Root() FrozenSubtree {
+	if len(f.first) == 0 {
+		return FrozenSubtree{}
+	}
+	return FrozenSubtree{id: 0, ok: true}
+}
+
+// Frontier splits the arena into at least min(target, leaves) disjoint
+// subtrees covering all indexed positions, expanding breadth-first
+// until the target is met — the same expansion rule as Index.Frontier,
+// so the shard layer's work-unit merges behave identically on either
+// form.
+func (f *Frozen) Frontier(target int) []FrozenSubtree {
+	if len(f.first) == 0 {
+		return nil
+	}
+	nodes := []int32{0}
+	for len(nodes) < target {
+		split := false
+		for i := 0; i < len(nodes) && len(nodes) < target; i++ {
+			n := nodes[i]
+			if f.isLeaf(n) {
+				continue
+			}
+			lo, c := f.first[n], f.count[n]
+			nodes[i] = lo
+			for j := int32(1); j < c; j++ {
+				nodes = append(nodes, lo+j)
+			}
+			split = true
+		}
+		if !split {
+			break // all leaves: nothing left to expand
+		}
+	}
+	out := make([]FrozenSubtree, len(nodes))
+	for i, n := range nodes {
+		out[i] = FrozenSubtree{id: n, ok: true}
+	}
+	return out
+}
+
+// Search returns all twin subsequences of q at threshold eps, in start
+// order (Algorithm 1) — byte-identical to Index.Search on the source
+// tree.
+func (f *Frozen) Search(q []float64, eps float64) []series.Match {
+	ms, _ := f.SearchStats(q, eps)
+	return ms
+}
+
+// SearchStats is Search with traversal counters.
+func (f *Frozen) SearchStats(q []float64, eps float64) ([]series.Match, Stats) {
+	if len(q) != f.cfg.L {
+		panic(fmt.Sprintf("core: query length %d, index built for %d", len(q), f.cfg.L))
+	}
+	out, st := f.SearchStatsFrom(f.Root(), q, eps)
+	series.SortMatches(out)
+	st.Results = len(out)
+	return out, st
+}
+
+// SearchStatsFrom is the range-search work unit over the arena — the
+// frozen counterpart of Index.SearchStatsFrom, with the same contract:
+// matches in traversal order, Stats.Results left zero.
+func (f *Frozen) SearchStatsFrom(sub FrozenSubtree, q []float64, eps float64) ([]series.Match, Stats) {
+	var st Stats
+	if !sub.ok {
+		return nil, st
+	}
+	ver := series.NewVerifier(f.ext, q, eps)
+	var out []series.Match
+	stack := []int32{sub.id}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st.NodesVisited++
+		if _, ok := mbts.DistAbandonFlat(f.boundsUpper(n), f.boundsLower(n), q, eps); !ok {
+			st.NodesPruned++
+			continue
+		}
+		lo, c := f.first[n], f.count[n]
+		if !f.isLeaf(n) {
+			for j := int32(0); j < c; j++ {
+				stack = append(stack, lo+j)
+			}
+			continue
+		}
+		st.LeavesReached++
+		for _, p := range f.positions[lo : lo+c] {
+			st.Candidates++
+			if ver.Verify(int(p)) {
+				out = append(out, series.Match{Start: int(p), Dist: -1})
+			}
+		}
+	}
+	return out, st
+}
+
+// SearchTopK returns the k subsequences nearest to q under Chebyshev
+// distance — the frozen counterpart of Index.SearchTopK.
+func (f *Frozen) SearchTopK(q []float64, k int) []series.Match {
+	return f.SearchTopKSharedFrom(f.Root(), q, k, nil)
+}
+
+// SearchTopKShared is SearchTopK with an optional cross-traversal
+// pruning bound (see SharedBound).
+func (f *Frozen) SearchTopKShared(q []float64, k int, shared *SharedBound) []series.Match {
+	return f.SearchTopKSharedFrom(f.Root(), q, k, shared)
+}
+
+// SearchTopKSharedFrom is the top-k work unit over the arena: the
+// best-first traversal restricted to one subtree, mirroring
+// Index.SearchTopKSharedFrom (pruning on strict inequality only, so
+// merged results are deterministic however the tree is split or which
+// form runs it).
+func (f *Frozen) SearchTopKSharedFrom(sub FrozenSubtree, q []float64, k int, shared *SharedBound) []series.Match {
+	if len(q) != f.cfg.L {
+		panic("core: query length mismatch")
+	}
+	if k <= 0 || !sub.ok {
+		return nil
+	}
+
+	best := &resultHeap{}
+	kth := func() float64 { return kthThreshold(best, k, shared) }
+	buf := make([]float64, f.cfg.L)
+
+	rootLB, ok := boundLB(f.boundsUpper(sub.id), f.boundsLower(sub.id), q, kth())
+	if !ok {
+		return nil // a shared bound has already excluded this subtree
+	}
+	pq := &frozenQueue{{id: sub.id, lb: rootLB}}
+
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(frozenItem)
+		if t := kth(); t >= 0 && item.lb > t {
+			break // every remaining node is at least this far
+		}
+		first, c := f.first[item.id], f.count[item.id]
+		if !f.isLeaf(item.id) {
+			for j := int32(0); j < c; j++ {
+				child := first + j
+				// Same early-abandoned child bound as the pointer form.
+				lb, ok := boundLB(f.boundsUpper(child), f.boundsLower(child), q, kth())
+				if !ok {
+					continue
+				}
+				heap.Push(pq, frozenItem{id: child, lb: lb})
+			}
+			continue
+		}
+		for _, p := range f.positions[first : first+c] {
+			w := f.ext.Extract(int(p), f.cfg.L, buf)
+			d := series.Chebyshev(q, w)
+			m := series.Match{Start: int(p), Dist: d}
+			if best.Len() >= k {
+				if !matchLess(m, (*best)[0]) {
+					continue
+				}
+				heap.Pop(best)
+			}
+			heap.Push(best, m)
+			if shared != nil && best.Len() >= k {
+				shared.Tighten((*best)[0].Dist)
+			}
+		}
+	}
+
+	out := make([]series.Match, best.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(best).(series.Match)
+	}
+	return out
+}
+
+// SearchPrefix answers twin queries shorter than the indexed length —
+// the frozen counterpart of Index.SearchPrefix (see that method for the
+// truncation argument).
+func (f *Frozen) SearchPrefix(q []float64, eps float64) ([]series.Match, error) {
+	out, err := f.SearchPrefixTree(q, eps)
+	if err != nil {
+		return nil, err
+	}
+	return ScanPrefixTail(f.ext, f.cfg.L, q, eps, out), nil
+}
+
+// ValidatePrefix checks a prefix query against the index parameters.
+func (f *Frozen) ValidatePrefix(q []float64) error {
+	l := len(q)
+	if l > f.cfg.L {
+		return fmt.Errorf("core: prefix query length %d exceeds indexed length %d", l, f.cfg.L)
+	}
+	if l == 0 {
+		return fmt.Errorf("core: empty query")
+	}
+	if f.ext.Mode() == series.NormPerSubsequence {
+		return fmt.Errorf("core: prefix queries are unsupported under per-subsequence normalization")
+	}
+	return nil
+}
+
+// SearchPrefixTree is the tree-traversal half of SearchPrefix over the
+// arena, reporting prefix twins among the indexed starts only.
+func (f *Frozen) SearchPrefixTree(q []float64, eps float64) ([]series.Match, error) {
+	if err := f.ValidatePrefix(q); err != nil {
+		return nil, err
+	}
+	out := f.SearchPrefixTreeFrom(f.Root(), q, eps)
+	series.SortMatches(out)
+	return out, nil
+}
+
+// SearchPrefixTreeFrom is the prefix-search work unit over the arena —
+// the frozen counterpart of Index.SearchPrefixTreeFrom. The truncated
+// Lemma 1 check reads only the first len(q) entries of each node's
+// bound rows, which the flat layout serves from the same two backing
+// arrays.
+func (f *Frozen) SearchPrefixTreeFrom(sub FrozenSubtree, q []float64, eps float64) []series.Match {
+	if !sub.ok {
+		return nil
+	}
+	var out []series.Match
+	ver := series.NewVerifier(f.ext, q, eps)
+	l := len(q)
+	stack := []int32{sub.id}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		up, lo := f.boundsUpper(n)[:l], f.boundsLower(n)[:l]
+		if _, ok := mbts.DistAbandonFlat(up, lo, q, eps); !ok {
+			continue
+		}
+		first, c := f.first[n], f.count[n]
+		if !f.isLeaf(n) {
+			for j := int32(0); j < c; j++ {
+				stack = append(stack, first+j)
+			}
+			continue
+		}
+		for _, p := range f.positions[first : first+c] {
+			if ver.Verify(int(p)) {
+				out = append(out, series.Match{Start: int(p), Dist: -1})
+			}
+		}
+	}
+	return out
+}
+
+// SearchApprox is the best-first leaf probe over the arena — the frozen
+// counterpart of Index.SearchApprox, with the same (lack of)
+// guarantees.
+func (f *Frozen) SearchApprox(q []float64, eps float64, leafBudget int) ([]series.Match, Stats) {
+	if leafBudget <= 0 {
+		leafBudget = 1
+	}
+	return f.SearchApproxShared(q, eps, NewLeafBudget(leafBudget))
+}
+
+// SearchApproxShared is SearchApprox drawing leaves from a budget the
+// caller may share across several traversals (see
+// Index.SearchApproxShared).
+func (f *Frozen) SearchApproxShared(q []float64, eps float64, budget *LeafBudget) ([]series.Match, Stats) {
+	if len(q) != f.cfg.L {
+		panic("core: query length mismatch")
+	}
+	var st Stats
+	if len(f.first) == 0 {
+		return nil, st
+	}
+
+	ver := series.NewVerifier(f.ext, q, eps)
+	var out []series.Match
+	pq := &frozenQueue{{id: 0, lb: mbts.DistFlat(f.boundsUpper(0), f.boundsLower(0), q)}}
+	for pq.Len() > 0 && !budget.Exhausted() {
+		item := heap.Pop(pq).(frozenItem)
+		st.NodesVisited++
+		if item.lb > eps {
+			st.NodesPruned++
+			break
+		}
+		first, c := f.first[item.id], f.count[item.id]
+		if !f.isLeaf(item.id) {
+			for j := int32(0); j < c; j++ {
+				child := first + j
+				heap.Push(pq, frozenItem{id: child,
+					lb: mbts.DistFlat(f.boundsUpper(child), f.boundsLower(child), q)})
+			}
+			continue
+		}
+		if !budget.TryAcquire() {
+			break // another traversal spent the last probe
+		}
+		st.LeavesReached++
+		for _, p := range f.positions[first : first+c] {
+			st.Candidates++
+			if ver.Verify(int(p)) {
+				out = append(out, series.Match{Start: int(p), Dist: -1})
+			}
+		}
+	}
+	series.SortMatches(out)
+	st.Results = len(out)
+	return out, st
+}
+
+// frozenItem pairs an arena node id with its Eq. 2 lower bound.
+type frozenItem struct {
+	id int32
+	lb float64
+}
+
+// frozenQueue is a min-heap on lower bound, mirroring nodeQueue so both
+// forms break lower-bound ties identically.
+type frozenQueue []frozenItem
+
+func (q frozenQueue) Len() int            { return len(q) }
+func (q frozenQueue) Less(i, j int) bool  { return q[i].lb < q[j].lb }
+func (q frozenQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *frozenQueue) Push(x interface{}) { *q = append(*q, x.(frozenItem)) }
+func (q *frozenQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// CheckInvariants validates the arena against the series and the
+// structural invariants Freeze guarantees. LoadFrozen runs it so a
+// corrupt or hostile stream is rejected before any traversal indexes
+// into the arrays:
+//
+//   - first/count ranges are prefix-contiguous and in-bounds for both
+//     the child numbering and the positions array;
+//   - occupancy respects MinCap/MaxCap (root exempt as in the pointer
+//     form) and every leaf sits at depth == height;
+//   - every node's bounds enclose its children's bounds (internal) or
+//     the exact windows of its positions (leaf);
+//   - positions are valid window starts and total exactly size.
+func (f *Frozen) CheckInvariants() error {
+	nn := len(f.first)
+	if len(f.count) != nn {
+		return fmt.Errorf("core: frozen: %d first entries, %d count entries", nn, len(f.count))
+	}
+	if len(f.upper) != nn*f.cfg.L || len(f.lower) != nn*f.cfg.L {
+		return fmt.Errorf("core: frozen: bound arrays sized %d/%d, want %d", len(f.upper), len(f.lower), nn*f.cfg.L)
+	}
+	if nn == 0 {
+		if f.size != 0 {
+			return fmt.Errorf("core: frozen: empty arena with size %d", f.size)
+		}
+		return nil
+	}
+	if f.leafStart < 0 || int(f.leafStart) > nn {
+		return fmt.Errorf("core: frozen: leafStart %d outside [0, %d]", f.leafStart, nn)
+	}
+	maxPos := series.NumSubsequences(f.ext.Len(), f.cfg.L)
+
+	// Structural pass: prefix-contiguity of both index spaces.
+	childAt := int32(1)
+	posAt := int32(0)
+	for i := 0; i < nn; i++ {
+		c := f.count[i]
+		if c < 0 {
+			return fmt.Errorf("core: frozen: node %d has negative count", i)
+		}
+		occLo, occHi := int32(f.cfg.MinCap), int32(f.cfg.MaxCap)
+		if i == 0 {
+			occLo = 1
+			if !f.isLeaf(0) {
+				occLo = 2
+			}
+		}
+		if c < occLo || c > occHi {
+			return fmt.Errorf("core: frozen: node %d occupancy %d outside [%d, %d]", i, c, occLo, occHi)
+		}
+		if f.isLeaf(int32(i)) {
+			if f.first[i] != posAt {
+				return fmt.Errorf("core: frozen: leaf %d positions start at %d, want %d", i, f.first[i], posAt)
+			}
+			posAt += c
+			continue
+		}
+		if f.first[i] != childAt {
+			return fmt.Errorf("core: frozen: node %d children start at %d, want %d", i, f.first[i], childAt)
+		}
+		childAt += c
+	}
+	if int(childAt) != nn {
+		return fmt.Errorf("core: frozen: children cover %d nodes, arena has %d", childAt, nn)
+	}
+	if int(posAt) != len(f.positions) {
+		return fmt.Errorf("core: frozen: leaves cover %d positions, array has %d", posAt, len(f.positions))
+	}
+	if int(posAt) != f.size {
+		return fmt.Errorf("core: frozen: %d entries reachable, %d recorded", posAt, f.size)
+	}
+
+	// Depth pass: BFS numbering means depth is monotone; compute each
+	// node's depth from its parent and require all leaves at height.
+	depth := make([]int32, nn)
+	depth[0] = 1
+	for i := 0; i < int(f.leafStart); i++ {
+		lo, c := f.first[i], f.count[i]
+		for j := int32(0); j < c; j++ {
+			depth[lo+j] = depth[i] + 1
+		}
+	}
+	for i := f.leafStart; int(i) < nn; i++ {
+		if int(depth[i]) != f.height {
+			return fmt.Errorf("core: frozen: leaf %d at depth %d, height %d", i, depth[i], f.height)
+		}
+	}
+
+	// Containment pass: bounds enclose children (internal) or the exact
+	// windows (leaf).
+	buf := make([]float64, f.cfg.L)
+	for i := 0; i < nn; i++ {
+		up, lo := f.boundsUpper(int32(i)), f.boundsLower(int32(i))
+		first, c := f.first[i], f.count[i]
+		if f.isLeaf(int32(i)) {
+			for _, p := range f.positions[first : first+c] {
+				if p < 0 || int(p) >= maxPos {
+					return fmt.Errorf("core: frozen: corrupt position %d (max %d)", p, maxPos)
+				}
+				w := f.ext.Extract(int(p), f.cfg.L, buf)
+				if d := mbts.DistFlat(up, lo, w); d > 0 {
+					return fmt.Errorf("core: frozen: leaf %d bounds do not enclose window %d", i, p)
+				}
+			}
+			continue
+		}
+		for j := int32(0); j < c; j++ {
+			cu, cl := f.boundsUpper(first+j), f.boundsLower(first+j)
+			for t := 0; t < f.cfg.L; t++ {
+				if cu[t] > up[t] || cl[t] < lo[t] {
+					return fmt.Errorf("core: frozen: node %d bounds do not enclose child %d", i, first+j)
+				}
+			}
+		}
+	}
+	return nil
+}

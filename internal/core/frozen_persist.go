@@ -1,0 +1,211 @@
+package core
+
+// Frozen index persistence: the arena serializes as its backing arrays,
+// so saving is a handful of sequential writes and loading is a
+// sequential read straight into the final slices — no tree rebuild, no
+// per-node allocation. This is the stream the sharded TSSH v2 format
+// embeds per shard, and the stepping stone to memory-mapping the arena
+// (the on-disk layout IS the in-memory layout, little-endian).
+//
+// Format (little-endian):
+//
+//	magic "TSFZ", version u16
+//	mode u8, L u32, MinCap u32, MaxCap u32
+//	size u64, height u32, seriesLen u64
+//	nodeCount u32, leafStart u32
+//	structure: (2·nodeCount + size) × i32   — first | count | positions
+//	bounds:    (2·nodeCount·L) × f64        — upper | lower
+//
+// Like the pointer formats, the series itself is not embedded;
+// LoadFrozen validates the arena against the supplied extractor
+// (CheckInvariants) before returning it, so corrupt or hostile streams
+// cannot produce an index whose traversals read out of bounds.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"twinsearch/internal/series"
+)
+
+// FrozenMagic is the stream prefix identifying a frozen single index;
+// callers that accept several formats sniff it to dispatch (see
+// twinsearch.OpenSaved).
+const FrozenMagic = "TSFZ"
+
+const frozenPersistVersion = 1
+
+// maxFrozenHeight bounds the recorded tree height on load; with
+// MaxCap ≥ 3 even a billion-window index stays under 20 levels, so
+// anything past this is a corrupt or hostile stream, rejected before
+// the node-count plausibility check multiplies by it.
+const maxFrozenHeight = 64
+
+// WriteTo serializes the frozen index. It implements io.WriterTo.
+func (f *Frozen) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+
+	if _, err := cw.Write([]byte(FrozenMagic)); err != nil {
+		return cw.n, err
+	}
+	hdr := []interface{}{
+		uint16(frozenPersistVersion),
+		uint8(f.ext.Mode()),
+		uint32(f.cfg.L), uint32(f.cfg.MinCap), uint32(f.cfg.MaxCap),
+		uint64(f.size), uint32(f.height), uint64(f.ext.Len()),
+		uint32(len(f.first)), uint32(f.leafStart),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, arr := range [][]int32{f.first, f.count, f.positions} {
+		if err := binary.Write(cw, binary.LittleEndian, arr); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, arr := range [][]float64{f.upper, f.lower} {
+		if err := binary.Write(cw, binary.LittleEndian, arr); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// LoadFrozen reconstructs a frozen index from r against ext. The
+// extractor must present the same series (length) and normalization
+// mode the index was built with; the arena is fully validated before
+// use.
+func LoadFrozen(r io.Reader, ext *series.Extractor) (*Frozen, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: load frozen: %w", err)
+	}
+	if string(magic) != FrozenMagic {
+		return nil, fmt.Errorf("core: load frozen: bad magic %q", magic)
+	}
+	var (
+		version              uint16
+		mode                 uint8
+		l, minCap, maxCap    uint32
+		size                 uint64
+		height               uint32
+		seriesLen            uint64
+		nodeCount, leafStart uint32
+	)
+	for _, v := range []interface{}{&version, &mode, &l, &minCap, &maxCap,
+		&size, &height, &seriesLen, &nodeCount, &leafStart} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("core: load frozen header: %w", err)
+		}
+	}
+	if version != frozenPersistVersion {
+		return nil, fmt.Errorf("core: load frozen: unsupported version %d", version)
+	}
+	if series.NormMode(mode) != ext.Mode() {
+		return nil, fmt.Errorf("core: load frozen: index built under %v, extractor is %v", series.NormMode(mode), ext.Mode())
+	}
+	if int(seriesLen) != ext.Len() {
+		return nil, fmt.Errorf("core: load frozen: index built over %d points, series has %d", seriesLen, ext.Len())
+	}
+	cfg := Config{L: int(l), MinCap: int(minCap), MaxCap: int(maxCap)}
+	if err := cfg.fill(); err != nil {
+		return nil, fmt.Errorf("core: load frozen: %w", err)
+	}
+	if ext.Len() < cfg.L {
+		return nil, fmt.Errorf("core: load frozen: series length %d shorter than subsequence length %d", ext.Len(), cfg.L)
+	}
+	maxPos := series.NumSubsequences(ext.Len(), cfg.L)
+	// Plausibility gates before the arrays allocate: a hostile header
+	// must not command a multi-gigabyte allocation. A legitimate tree
+	// has at most size leaves and fewer internal nodes per level than
+	// the level below, so (size+1)·(height+1) over-covers every valid
+	// shape.
+	if size > uint64(maxPos) {
+		return nil, fmt.Errorf("core: load frozen: %d entries for a series with %d windows", size, maxPos)
+	}
+	if height > maxFrozenHeight {
+		return nil, fmt.Errorf("core: load frozen: implausible height %d", height)
+	}
+	if uint64(nodeCount) > (size+1)*uint64(height+1) {
+		return nil, fmt.Errorf("core: load frozen: implausible node count %d for %d entries", nodeCount, size)
+	}
+	if uint64(leafStart) > uint64(nodeCount) {
+		return nil, fmt.Errorf("core: load frozen: leafStart %d exceeds node count %d", leafStart, nodeCount)
+	}
+
+	f := &Frozen{ext: ext, cfg: cfg, size: int(size), height: int(height),
+		leafStart: int32(leafStart)}
+	// One backing array per element type; the named slices alias into
+	// it, so each sequential read lands directly in its final home. The
+	// readers grow their output as bytes actually arrive, so a hostile
+	// header claiming a huge arena costs only what the stream ships.
+	ints, err := readInt32s(br, int(2*uint64(nodeCount)+size))
+	if err != nil {
+		return nil, fmt.Errorf("core: load frozen structure: %w", err)
+	}
+	f.first = ints[:nodeCount:nodeCount]
+	f.count = ints[nodeCount : 2*nodeCount : 2*nodeCount]
+	f.positions = ints[2*nodeCount:]
+	bounds, err := readFloat64s(br, int(2*uint64(nodeCount)*uint64(cfg.L)))
+	if err != nil {
+		return nil, fmt.Errorf("core: load frozen bounds: %w", err)
+	}
+	f.upper = bounds[: len(bounds)/2 : len(bounds)/2]
+	f.lower = bounds[len(bounds)/2:]
+	if err := f.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("core: load frozen: reconstructed index is inconsistent with the supplied series: %w", err)
+	}
+	return f, nil
+}
+
+// readChunkBytes is the transfer granularity of the array readers: big
+// enough to amortize call overhead, small enough that a truncated or
+// hostile stream never commands a large up-front allocation.
+const readChunkBytes = 1 << 16
+
+// readInt32s reads n little-endian int32 values, growing the output as
+// data arrives.
+func readInt32s(r io.Reader, n int) ([]int32, error) {
+	out := make([]int32, 0, min(n, readChunkBytes/4))
+	var buf [readChunkBytes]byte
+	for len(out) < n {
+		want := min((n-len(out))*4, len(buf))
+		if _, err := io.ReadFull(r, buf[:want]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < want; i += 4 {
+			out = append(out, int32(binary.LittleEndian.Uint32(buf[i:])))
+		}
+	}
+	return out, nil
+}
+
+// readFloat64s reads n little-endian float64 values, growing the
+// output as data arrives.
+func readFloat64s(r io.Reader, n int) ([]float64, error) {
+	out := make([]float64, 0, min(n, readChunkBytes/8))
+	var buf [readChunkBytes]byte
+	for len(out) < n {
+		want := min((n-len(out))*8, len(buf))
+		if _, err := io.ReadFull(r, buf[:want]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < want; i += 8 {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(buf[i:])))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"twinsearch/internal/datasets"
+	"twinsearch/internal/series"
+)
+
+var frozenModes = []struct {
+	name string
+	mode series.NormMode
+}{
+	{"raw", series.NormNone},
+	{"global", series.NormGlobal},
+	{"persub", series.NormPerSubsequence},
+}
+
+// TestFrozenParity drives all five search paths over the pointer tree
+// and its frozen compilation and requires byte-identical results (and
+// identical traversal statistics, which pin down that the arena
+// replays the exact same traversal, not just the same answer set).
+func TestFrozenParity(t *testing.T) {
+	ts := datasets.RandomWalk(3, 2400)
+	const l = 48
+	for _, m := range frozenModes {
+		for _, bulk := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/bulk=%v", m.name, bulk), func(t *testing.T) {
+				ext := series.NewExtractor(ts, m.mode)
+				var ix *Index
+				var err error
+				if bulk {
+					ix, err = BuildBulk(ext, Config{L: l})
+				} else {
+					ix, err = Build(ext, Config{L: l})
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				f := ix.Freeze()
+				if err := f.CheckInvariants(); err != nil {
+					t.Fatalf("frozen invariants: %v", err)
+				}
+				if f.Len() != ix.Len() || f.Height() != ix.Height() || f.NodeCount() != ix.NodeCount() {
+					t.Fatalf("frozen shape (%d, %d, %d) != pointer shape (%d, %d, %d)",
+						f.Len(), f.Height(), f.NodeCount(), ix.Len(), ix.Height(), ix.NodeCount())
+				}
+
+				queries := [][]float64{
+					ext.ExtractCopy(37, l),
+					ext.ExtractCopy(1200, l),
+					ext.ExtractCopy(ix.Len()-1, l),
+				}
+				for qi, q := range queries {
+					for _, eps := range []float64{0, 0.1, 0.5, 2.0} {
+						wantM, wantS := ix.SearchStats(q, eps)
+						gotM, gotS := f.SearchStats(q, eps)
+						if !matchesEqual(wantM, gotM) {
+							t.Fatalf("q%d eps=%g: Search mismatch: %d vs %d matches", qi, eps, len(wantM), len(gotM))
+						}
+						if wantS != gotS {
+							t.Fatalf("q%d eps=%g: Stats mismatch: %+v vs %+v", qi, eps, wantS, gotS)
+						}
+
+						wantA, wantAS := ix.SearchApprox(q, eps, 3)
+						gotA, gotAS := f.SearchApprox(q, eps, 3)
+						if !matchesEqual(wantA, gotA) || wantAS != gotAS {
+							t.Fatalf("q%d eps=%g: SearchApprox mismatch", qi, eps)
+						}
+					}
+					for _, k := range []int{1, 7, 50} {
+						want := ix.SearchTopK(q, k)
+						got := f.SearchTopK(q, k)
+						if !matchesEqual(want, got) {
+							t.Fatalf("q%d k=%d: SearchTopK mismatch: %v vs %v", qi, k, want, got)
+						}
+					}
+					if m.mode != series.NormPerSubsequence {
+						short := q[:l/2]
+						want, err := ix.SearchPrefix(short, 0.4)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := f.SearchPrefix(short, 0.4)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !matchesEqual(want, got) {
+							t.Fatalf("q%d: SearchPrefix mismatch", qi)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFrozenFrontierParity splits both forms into frontiers and checks
+// the per-unit range search covers the same total set.
+func TestFrozenFrontierParity(t *testing.T) {
+	ts := datasets.RandomWalk(11, 1500)
+	const l = 40
+	ext := series.NewExtractor(ts, series.NormGlobal)
+	ix, err := Build(ext, Config{L: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ix.Freeze()
+	q := ext.ExtractCopy(500, l)
+	want := ix.Search(q, 0.6)
+	for _, target := range []int{1, 3, 16, 1000} {
+		units := f.Frontier(target)
+		punits := ix.Frontier(target)
+		if len(units) != len(punits) {
+			t.Fatalf("target %d: frozen frontier has %d units, pointer %d", target, len(units), len(punits))
+		}
+		var got []series.Match
+		for _, u := range units {
+			ms, _ := f.SearchStatsFrom(u, q, 0.6)
+			got = append(got, ms...)
+		}
+		series.SortMatches(got)
+		if !matchesEqual(want, got) {
+			t.Fatalf("target %d: frontier union mismatch", target)
+		}
+	}
+}
+
+// TestFrozenThawRoundTrip freezes, thaws, and compares: the thawed tree
+// must satisfy the pointer invariants and answer identically, and
+// re-freezing it must reproduce the arena exactly.
+func TestFrozenThawRoundTrip(t *testing.T) {
+	ts := datasets.RandomWalk(5, 1200)
+	const l = 32
+	ext := series.NewExtractor(ts, series.NormGlobal)
+	ix, err := Build(ext, Config{L: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ix.Freeze()
+	th := f.Thaw()
+	if err := th.CheckInvariants(); err != nil {
+		t.Fatalf("thawed invariants: %v", err)
+	}
+	q := ext.ExtractCopy(100, l)
+	if !matchesEqual(ix.Search(q, 0.5), th.Search(q, 0.5)) {
+		t.Fatal("thawed tree answers differently")
+	}
+	f2 := th.Freeze()
+	if !reflect.DeepEqual(f.first, f2.first) || !reflect.DeepEqual(f.count, f2.count) ||
+		!reflect.DeepEqual(f.positions, f2.positions) ||
+		!reflect.DeepEqual(f.upper, f2.upper) || !reflect.DeepEqual(f.lower, f2.lower) {
+		t.Fatal("freeze∘thaw is not the identity on the arena")
+	}
+
+	// Thaw supports further insertion: append-style inserts keep the
+	// structure valid and searchable.
+	// (Positions beyond the original range are not available here; just
+	// re-insert coverage is exercised by the shard layer.)
+}
+
+// TestFrozenPersistRoundTrip writes the arena and loads it back.
+func TestFrozenPersistRoundTrip(t *testing.T) {
+	ts := datasets.RandomWalk(7, 1800)
+	const l = 40
+	for _, m := range frozenModes {
+		t.Run(m.name, func(t *testing.T) {
+			ext := series.NewExtractor(ts, m.mode)
+			ix, err := Build(ext, Config{L: l})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := ix.Freeze()
+			var buf bytes.Buffer
+			n, err := f.WriteTo(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(buf.Len()) {
+				t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+			}
+			got, err := LoadFrozen(bytes.NewReader(buf.Bytes()), ext)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := ext.ExtractCopy(64, l)
+			if !matchesEqual(f.Search(q, 0.5), got.Search(q, 0.5)) {
+				t.Fatal("reloaded arena answers differently")
+			}
+			if got.Len() != f.Len() || got.Height() != f.Height() || got.NodeCount() != f.NodeCount() {
+				t.Fatal("reloaded arena shape differs")
+			}
+		})
+	}
+}
+
+// TestLoadFrozenRejects covers the validation paths: wrong extractor,
+// wrong series length, truncated and corrupted streams.
+func TestLoadFrozenRejects(t *testing.T) {
+	ts := datasets.RandomWalk(9, 900)
+	const l = 30
+	ext := series.NewExtractor(ts, series.NormGlobal)
+	ix, err := Build(ext, Config{L: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ix.Freeze()
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+
+	if _, err := LoadFrozen(bytes.NewReader(stream), series.NewExtractor(ts, series.NormNone)); err == nil {
+		t.Fatal("accepted a mode mismatch")
+	}
+	other := series.NewExtractor(datasets.RandomWalk(10, 900), series.NormGlobal)
+	if _, err := LoadFrozen(bytes.NewReader(stream), other); err == nil {
+		t.Fatal("accepted a different series of the same length")
+	}
+	if _, err := LoadFrozen(bytes.NewReader(stream[:60]), ext); err == nil {
+		t.Fatal("accepted a truncated stream")
+	}
+	// Corrupt the structure arrays just past the 47-byte header: a
+	// mangled child index breaks prefix-contiguity, which validation
+	// must catch. (A flipped bound byte may merely loosen an MBTS,
+	// which is still a consistent index — the fuzz target covers that
+	// spectrum.)
+	corrupt := append([]byte(nil), stream...)
+	corrupt[50] ^= 0xFF
+	if _, err := LoadFrozen(bytes.NewReader(corrupt), ext); err == nil {
+		t.Fatal("accepted a stream with corrupted structure arrays")
+	}
+}
+
+// TestFrozenEmpty exercises the zero-entry arena.
+func TestFrozenEmpty(t *testing.T) {
+	ts := datasets.RandomWalk(2, 200)
+	ext := series.NewExtractor(ts, series.NormGlobal)
+	ix, err := NewEmpty(ext, Config{L: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ix.Freeze()
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, 20)
+	if got := f.Search(q, math.Inf(1)); len(got) != 0 {
+		t.Fatalf("empty arena returned %d matches", len(got))
+	}
+	if got := f.SearchTopK(q, 3); len(got) != 0 {
+		t.Fatalf("empty arena returned %d top-k results", len(got))
+	}
+	if len(f.Frontier(8)) != 0 {
+		t.Fatal("empty arena yielded frontier units")
+	}
+}
+
+func matchesEqual(a, b []series.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -46,3 +46,109 @@ func FuzzLoad(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLoadFrozen is FuzzLoad for the flat-arena deserializer: arbitrary
+// byte streams must be rejected with an error or yield an arena whose
+// invariants hold — never a panic, an out-of-range index, or an arena
+// that contradicts the series.
+func FuzzLoadFrozen(f *testing.F) {
+	ts := datasets.RandomWalk(91, 600)
+	ext := series.NewExtractor(ts, series.NormGlobal)
+	ix, err := Build(ext, Config{L: 40})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if _, err := ix.Freeze().WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:20])
+	f.Add([]byte("TSFZ garbage"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid.Bytes()...)
+	if len(mutated) > 100 {
+		mutated[48] ^= 0xFF // structure arrays
+		mutated[99] ^= 0x0F
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		got, err := LoadFrozen(bytes.NewReader(stream), ext)
+		if err != nil {
+			return // rejected: fine
+		}
+		if err := got.CheckInvariants(); err != nil {
+			t.Fatalf("LoadFrozen accepted an inconsistent stream: %v", err)
+		}
+		// An accepted arena must also traverse safely end to end.
+		q := ext.ExtractCopy(0, got.L())
+		got.Search(q, 0.5)
+		got.SearchTopK(q, 5)
+	})
+}
+
+// FuzzFrozenTraversal derives a series and query parameters from the
+// fuzz input, builds the pointer tree and its frozen compilation, and
+// requires every search path to agree byte for byte — fuzzing the
+// frozen traversal itself rather than the decoder.
+func FuzzFrozenTraversal(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, uint8(0), uint8(40))
+	f.Add([]byte{200, 100, 50, 25, 12, 6, 3, 1}, uint8(1), uint8(130))
+	f.Add(bytes.Repeat([]byte{7, 250}, 40), uint8(2), uint8(90))
+
+	f.Fuzz(func(t *testing.T, raw []byte, modeByte, epsByte uint8) {
+		if len(raw) < 8 {
+			return
+		}
+		// Each input byte becomes a step of a bounded walk; L is small so
+		// even short inputs index several windows.
+		const l = 6
+		ts := make([]float64, len(raw))
+		v := 0.0
+		for i, b := range raw {
+			v += (float64(b) - 127.5) / 64
+			ts[i] = v
+		}
+		mode := series.NormMode(modeByte % 3)
+		if mode == series.NormPerSubsequence {
+			// Constant windows have σ = 0; the extractor rejects them, so
+			// nudge values apart deterministically.
+			for i := range ts {
+				ts[i] += float64(i%l) * 1e-3
+			}
+		}
+		eps := float64(epsByte) / 100
+		ext := series.NewExtractor(ts, mode)
+		ix, err := Build(ext, Config{L: l, MinCap: 2, MaxCap: 4})
+		if err != nil {
+			return // series too short etc.
+		}
+		fz := ix.Freeze()
+		if err := fz.CheckInvariants(); err != nil {
+			t.Fatalf("Freeze produced an inconsistent arena: %v", err)
+		}
+		q := ext.ExtractCopy(len(ts)%ix.Len(), l)
+
+		wantM, wantS := ix.SearchStats(q, eps)
+		gotM, gotS := fz.SearchStats(q, eps)
+		if !matchesEqual(wantM, gotM) || wantS != gotS {
+			t.Fatalf("SearchStats diverged: %v/%+v vs %v/%+v", wantM, wantS, gotM, gotS)
+		}
+		if want, got := ix.SearchTopK(q, 3), fz.SearchTopK(q, 3); !matchesEqual(want, got) {
+			t.Fatalf("SearchTopK diverged: %v vs %v", want, got)
+		}
+		wantA, wantAS := ix.SearchApprox(q, eps, 2)
+		gotA, gotAS := fz.SearchApprox(q, eps, 2)
+		if !matchesEqual(wantA, gotA) || wantAS != gotAS {
+			t.Fatalf("SearchApprox diverged: %v vs %v", wantA, gotA)
+		}
+		if mode != series.NormPerSubsequence {
+			want, err1 := ix.SearchPrefix(q[:l/2], eps)
+			got, err2 := fz.SearchPrefix(q[:l/2], eps)
+			if (err1 == nil) != (err2 == nil) || !matchesEqual(want, got) {
+				t.Fatalf("SearchPrefix diverged: %v/%v vs %v/%v", want, err1, got, err2)
+			}
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"twinsearch/internal/mbts"
 	"twinsearch/internal/series"
 )
 
@@ -85,23 +86,15 @@ func (ix *Index) SearchTopKSharedFrom(sub Subtree, q []float64, k int, shared *S
 		return nil
 	}
 
-	pq := &nodeQueue{{n: sub.n, lb: sub.n.bounds.DistSequence(q)}}
 	best := &resultHeap{}
+	kth := func() float64 { return kthThreshold(best, k, shared) }
 	buf := make([]float64, ix.cfg.L)
 
-	kth := func() float64 {
-		t := math.Inf(1)
-		if shared != nil {
-			t = shared.Load()
-		}
-		if best.Len() >= k && (*best)[0].Dist < t {
-			t = (*best)[0].Dist
-		}
-		if math.IsInf(t, 1) {
-			return -1 // nothing can be discarded yet
-		}
-		return t
+	rootLB, ok := boundLB(sub.n.bounds.Upper, sub.n.bounds.Lower, q, kth())
+	if !ok {
+		return nil // a shared bound has already excluded this subtree
 	}
+	pq := &nodeQueue{{n: sub.n, lb: rootLB}}
 
 	for pq.Len() > 0 {
 		item := heap.Pop(pq).(nodeItem)
@@ -110,8 +103,11 @@ func (ix *Index) SearchTopKSharedFrom(sub Subtree, q []float64, k int, shared *S
 		}
 		if !item.n.leaf {
 			for _, c := range item.n.children {
-				lb := c.bounds.DistSequence(q)
-				if t := kth(); t >= 0 && lb > t {
+				// Early-abandon the Eq. 2 scan against the current k-th
+				// threshold: a prunable child is discarded partway through
+				// its bounds instead of after a full-length pass.
+				lb, ok := boundLB(c.bounds.Upper, c.bounds.Lower, q, kth())
+				if !ok {
 					continue
 				}
 				heap.Push(pq, nodeItem{n: c, lb: lb})
@@ -142,6 +138,37 @@ func (ix *Index) SearchTopKSharedFrom(sub Subtree, q []float64, k int, shared *S
 		out[i] = heap.Pop(best).(series.Match)
 	}
 	return out
+}
+
+// kthThreshold returns the current pruning threshold of a top-k
+// traversal — the smaller of the shared bound and the local k-th best —
+// or -1 while nothing can be discarded yet. Shared by the pointer and
+// frozen traversals so both prune identically.
+func kthThreshold(best *resultHeap, k int, shared *SharedBound) float64 {
+	t := math.Inf(1)
+	if shared != nil {
+		t = shared.Load()
+	}
+	if best.Len() >= k && (*best)[0].Dist < t {
+		t = (*best)[0].Dist
+	}
+	if math.IsInf(t, 1) {
+		return -1 // nothing can be discarded yet
+	}
+	return t
+}
+
+// boundLB computes a node's Eq. 2 lower bound for the query, abandoning
+// against threshold t (t < 0 means no threshold): (lb, true) when the
+// node survives, (0, false) when it prunes. Abandoning fires exactly
+// when the full distance would exceed t (the running maximum only
+// grows), so pruning decisions are identical to a full computation —
+// only cheaper.
+func boundLB(upper, lower, q []float64, t float64) (float64, bool) {
+	if t >= 0 {
+		return mbts.DistAbandonFlat(upper, lower, q, t)
+	}
+	return mbts.DistFlat(upper, lower, q), true
 }
 
 // matchLess is the strict total order on results: by distance, then by

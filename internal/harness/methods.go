@@ -92,21 +92,41 @@ func (a shardAdapter) search(q []float64, eps float64) (int, int) {
 	return len(ms), st.Candidates
 }
 
+type frozenAdapter struct{ f *core.Frozen }
+
+func (a frozenAdapter) search(q []float64, eps float64) (int, int) {
+	ms, st := a.f.SearchStats(q, eps)
+	return len(ms), st.Candidates
+}
+
 // buildSharded constructs the sharded TS-Index with the given partition
 // count (≤ 0 = one shard per CPU), executor width (≤ 0 = one worker per
-// CPU), and optional explicit boundaries (nil = even split), timing
-// construction like buildMethod.
-func buildSharded(ext *series.Extractor, l, shards, workers int, boundaries []int) (built, error) {
+// CPU), and optional explicit boundaries (nil = even split) or
+// mean-sorted partitioning, timing construction like buildMethod.
+func buildSharded(ext *series.Extractor, l, shards, workers int, boundaries []int, byMean bool) (built, error) {
 	start := time.Now()
 	ix, err := shard.Build(ext, shard.Config{
 		Config: core.Config{L: l}, Shards: shards,
-		Boundaries: boundaries, Executor: exec.New(workers),
+		Boundaries: boundaries, PartitionByMean: byMean, Executor: exec.New(workers),
 	})
 	if err != nil {
 		return built{}, err
 	}
 	return built{method: TSIndex, s: shardAdapter{ix}, buildTime: time.Since(start),
 		memBytes: ix.MemoryBytes()}, nil
+}
+
+// buildFrozen constructs a single TS-Index and compiles it into the
+// flat arena, timing the whole pipeline; the pointer tree is dropped.
+func buildFrozen(ext *series.Extractor, l int) (built, error) {
+	start := time.Now()
+	ix, err := core.Build(ext, core.Config{L: l})
+	if err != nil {
+		return built{}, err
+	}
+	f := ix.Freeze()
+	return built{method: TSIndex, s: frozenAdapter{f}, buildTime: time.Since(start),
+		memBytes: f.MemoryBytes()}, nil
 }
 
 // SkewedBoundaries builds a deliberately imbalanced partition over

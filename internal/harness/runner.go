@@ -316,7 +316,7 @@ func (r *Runner) FigureShard() []Row {
 		ext := r.extractor(d, series.NormGlobal)
 		queries := r.workload(d, ext, DefaultL)
 		for _, p := range []int{1, 2, 4, 0} {
-			b, err := buildSharded(ext, DefaultL, p, r.Workers, nil)
+			b, err := buildSharded(ext, DefaultL, p, r.Workers, nil, false)
 			if err != nil {
 				r.logf("  shards=%d: skipped (%v)", p, err)
 				continue
@@ -329,6 +329,53 @@ func (r *Runner) FigureShard() []Row {
 			avgMs, avgRes, avgCands := measure(b, queries, d.DefaultEpsNorm)
 			rows = append(rows, Row{
 				Figure: "shard", Dataset: d.Name, Method: "TS-Index", Param: label,
+				AvgQueryMs: avgMs, AvgResults: avgRes, AvgCandidates: avgCands,
+				BuildMs: b.buildTime.Seconds() * 1000, MemBytes: b.memBytes,
+			})
+		}
+	}
+	return rows
+}
+
+// FigureFrozen — beyond the paper: the same TS-Index under its two
+// memory layouts. "pointer" is the paper-shaped tree of heap-allocated
+// nodes; "frozen" compiles that tree into the flat structure-of-arrays
+// arena (packed bounds, index-range children) every production query
+// path actually runs on; the sharded rows add mean-sorted versus
+// contiguous partitioning on top (tighter per-shard bounds versus a
+// concatenation merge). Results are identical across rows — AvgResults
+// doubles as a parity check; the columns of interest are query time
+// and index bytes.
+func (r *Runner) FigureFrozen() []Row {
+	var rows []Row
+	for _, d := range r.Datasets() {
+		r.logf("Frozen-layout experiment: %s", d.Name)
+		ext := r.extractor(d, series.NormGlobal)
+		queries := r.workload(d, ext, DefaultL)
+		type variant struct {
+			label string
+			build func() (built, error)
+		}
+		variants := []variant{
+			{"layout=pointer", func() (built, error) { return buildMethod(TSIndex, ext, DefaultL, DefaultM) }},
+			{"layout=frozen", func() (built, error) { return buildFrozen(ext, DefaultL) }},
+			{"layout=frozen/shards=auto", func() (built, error) {
+				return buildSharded(ext, DefaultL, 0, r.Workers, nil, false)
+			}},
+			{"layout=frozen/meanshards=auto", func() (built, error) {
+				return buildSharded(ext, DefaultL, 0, r.Workers, nil, true)
+			}},
+		}
+		for _, v := range variants {
+			b, err := v.build()
+			if err != nil {
+				r.logf("  %s: skipped (%v)", v.label, err)
+				continue
+			}
+			r.logf("  %s built in %v", v.label, b.buildTime.Round(time.Millisecond))
+			avgMs, avgRes, avgCands := measure(b, queries, d.DefaultEpsNorm)
+			rows = append(rows, Row{
+				Figure: "frozen", Dataset: d.Name, Method: "TS-Index", Param: v.label,
 				AvgQueryMs: avgMs, AvgResults: avgRes, AvgCandidates: avgCands,
 				BuildMs: b.buildTime.Seconds() * 1000, MemBytes: b.memBytes,
 			})
@@ -371,7 +418,7 @@ func (r *Runner) FigureSkew() []Row {
 			if w <= 0 {
 				label = part.name + "/workers=auto"
 			}
-			b, err := buildSharded(ext, DefaultL, shards, w, part.bounds)
+			b, err := buildSharded(ext, DefaultL, shards, w, part.bounds, false)
 			if err != nil {
 				r.logf("  %s: skipped (%v)", label, err)
 				continue

@@ -120,19 +120,7 @@ func (b *MBTS) ContainsMBTS(o *MBTS) bool {
 // sequence to the MBTS — the largest pointwise excursion of s outside
 // the band, 0 when s is enclosed.
 func (b *MBTS) DistSequence(s []float64) float64 {
-	var max float64
-	for i, v := range s {
-		var d float64
-		if v > b.Upper[i] {
-			d = v - b.Upper[i]
-		} else if v < b.Lower[i] {
-			d = b.Lower[i] - v
-		}
-		if d > max {
-			max = d
-		}
-	}
-	return max
+	return DistFlat(b.Upper, b.Lower, s)
 }
 
 // DistSequenceAbandon computes Eq. 2 but abandons and returns
@@ -141,13 +129,40 @@ func (b *MBTS) DistSequence(s []float64) float64 {
 // and during descent (against the best distance so far). When the
 // distance is ≤ limit it returns (dist, true).
 func (b *MBTS) DistSequenceAbandon(s []float64, limit float64) (float64, bool) {
+	return DistAbandonFlat(b.Upper, b.Lower, s, limit)
+}
+
+// DistFlat is Eq. 2 over raw bound slices, without an MBTS wrapper —
+// the kernel the frozen index arena (core.Frozen) streams over its
+// packed Upper/Lower backing arrays. upper and lower must have at least
+// len(s) entries.
+func DistFlat(upper, lower, s []float64) float64 {
 	var max float64
 	for i, v := range s {
 		var d float64
-		if v > b.Upper[i] {
-			d = v - b.Upper[i]
-		} else if v < b.Lower[i] {
-			d = b.Lower[i] - v
+		if v > upper[i] {
+			d = v - upper[i]
+		} else if v < lower[i] {
+			d = lower[i] - v
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DistAbandonFlat is DistSequenceAbandon over raw bound slices (see
+// DistFlat): it returns (0, false) as soon as the running maximum
+// exceeds limit, and (dist, true) when the distance is ≤ limit.
+func DistAbandonFlat(upper, lower, s []float64, limit float64) (float64, bool) {
+	var max float64
+	for i, v := range s {
+		var d float64
+		if v > upper[i] {
+			d = v - upper[i]
+		} else if v < lower[i] {
+			d = lower[i] - v
 		}
 		if d > max {
 			if d > limit {

@@ -71,11 +71,22 @@ func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
 		"windows":      h.eng.NumSubsequences(),
 		"memory_bytes": h.eng.MemoryBytes(),
 		"shards":       h.eng.Shards(),
+		// How sharded partitions own the position space: "mean" packs
+		// look-alike windows per shard (tighter bounds, k-way merge),
+		// "range" is the contiguous default.
+		"partition": partitionName(h.eng.PartitionByMean()),
 		// The engine's query executor is shared by every request this
 		// server handles — sharded fan-out units, batch work, and
 		// approximate probes all schedule onto these workers.
 		"workers": h.eng.Workers(),
 	})
+}
+
+func partitionName(byMean bool) string {
+	if byMean {
+		return "mean"
+	}
+	return "range"
 }
 
 type searchRequest struct {

@@ -1,22 +1,32 @@
 package shard
 
 // Sharded index persistence: a small header naming the partition,
-// followed by each shard's self-delimiting core.Index stream. Like the
-// single-index format, the series itself is not embedded; Load
-// revalidates each shard stream against the supplied extractor.
+// followed by each shard's self-delimiting stream. Version 2 stores
+// every shard as its frozen arena (core/frozen_persist.go) — saving
+// writes the flat arrays as-is and loading is a few sequential reads
+// per shard straight into the final slices, no tree rebuild. Version 1
+// streams (pointer trees, core/persist.go) are still accepted and are
+// frozen on load. Like the single-index formats, the series itself is
+// not embedded; Load revalidates each shard against the supplied
+// extractor.
 //
 // Format (little-endian):
 //
 //	magic "TSSH", version u16
+//	v2: partition u8 (0 = contiguous ranges, 1 = mean-sorted runs)
 //	shardCount u32
-//	(shardCount+1) × u64 range boundaries
-//	shardCount × core.Index streams (see core/persist.go)
+//	contiguous: (shardCount+1) × u64 range boundaries
+//	mean:       (shardCount−1) × f64 routing cut keys
+//	shardCount × shard streams:
+//	  v2: core.Frozen streams ("TSFZ", see core/frozen_persist.go)
+//	  v1: core.Index streams ("TSIX", see core/persist.go)
 
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 
 	"twinsearch/internal/core"
 	"twinsearch/internal/exec"
@@ -27,15 +37,26 @@ import (
 // accept both formats sniff it to dispatch (see twinsearch.OpenSaved).
 const Magic = "TSSH"
 
-const persistVersion = 1
+const (
+	persistVersion1 = 1
+	persistVersion  = 2
+)
+
+const (
+	partitionRange = 0
+	partitionMean  = 1
+)
 
 // maxShards bounds the header's shard count on load; real shard counts
 // are a small multiple of the core count, so anything enormous is a
 // corrupt or hostile stream, rejected before allocation.
 const maxShards = 1 << 20
 
-// WriteTo serializes the sharded index. It implements io.WriterTo.
+// WriteTo serializes the sharded index in the current (frozen, v2)
+// format, re-freezing any shards left stale by Insert first. It
+// implements io.WriterTo.
 func (s *Index) WriteTo(w io.Writer) (int64, error) {
+	s.ensureFrozen()
 	cw := &countWriter{w: w}
 	bw := bufio.NewWriter(cw)
 	if _, err := bw.Write([]byte(Magic)); err != nil {
@@ -44,34 +65,47 @@ func (s *Index) WriteTo(w io.Writer) (int64, error) {
 	if err := binary.Write(bw, binary.LittleEndian, uint16(persistVersion)); err != nil {
 		return cw.n, err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(s.shards))); err != nil {
+	part := uint8(partitionRange)
+	if s.byMean {
+		part = partitionMean
+	}
+	if err := binary.Write(bw, binary.LittleEndian, part); err != nil {
 		return cw.n, err
 	}
-	for _, b := range s.starts {
-		if err := binary.Write(bw, binary.LittleEndian, uint64(b)); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(s.frozen))); err != nil {
+		return cw.n, err
+	}
+	if s.byMean {
+		if err := binary.Write(bw, binary.LittleEndian, s.cuts); err != nil {
 			return cw.n, err
+		}
+	} else {
+		for _, b := range s.starts {
+			if err := binary.Write(bw, binary.LittleEndian, uint64(b)); err != nil {
+				return cw.n, err
+			}
 		}
 	}
 	if err := bw.Flush(); err != nil {
 		return cw.n, err
 	}
-	for i, ix := range s.shards {
-		if _, err := ix.WriteTo(cw); err != nil {
+	for i, f := range s.frozen {
+		if _, err := f.WriteTo(cw); err != nil {
 			return cw.n, fmt.Errorf("shard: writing shard %d: %w", i, err)
 		}
 	}
 	return cw.n, nil
 }
 
-// Load reconstructs a sharded index from a stream produced by WriteTo,
-// scheduling its queries on ex (nil selects the process-wide default
-// executor). The extractor must present the same series and
-// normalization the index was built with; every shard stream is
-// validated exactly as core.Load validates a single index.
+// Load reconstructs a sharded index from a stream produced by WriteTo
+// (either version), scheduling its queries on ex (nil selects the
+// process-wide default executor). The extractor must present the same
+// series and normalization the index was built with; every shard
+// stream is validated exactly as its single-index loader validates it.
 func Load(r io.Reader, ext *series.Extractor, ex *exec.Executor) (*Index, error) {
-	// One buffered reader shared down into core.Load (which reuses an
-	// existing *bufio.Reader of sufficient size instead of re-wrapping,
-	// so shard streams are consumed exactly, not over-read).
+	// One buffered reader shared down into the per-shard loaders (which
+	// reuse an existing *bufio.Reader instead of re-wrapping, so shard
+	// streams are consumed exactly, not over-read).
 	br, ok := r.(*bufio.Reader)
 	if !ok {
 		br = bufio.NewReader(r)
@@ -87,8 +121,22 @@ func Load(r io.Reader, ext *series.Extractor, ex *exec.Executor) (*Index, error)
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, fmt.Errorf("shard: load header: %w", err)
 	}
-	if version != persistVersion {
+	if version != persistVersion1 && version != persistVersion {
 		return nil, fmt.Errorf("shard: load: unsupported version %d", version)
+	}
+	byMean := false
+	if version >= persistVersion {
+		var part uint8
+		if err := binary.Read(br, binary.LittleEndian, &part); err != nil {
+			return nil, fmt.Errorf("shard: load header: %w", err)
+		}
+		switch part {
+		case partitionRange:
+		case partitionMean:
+			byMean = true
+		default:
+			return nil, fmt.Errorf("shard: load: unknown partition scheme %d", part)
+		}
 	}
 	var count uint32
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
@@ -97,35 +145,65 @@ func Load(r io.Reader, ext *series.Extractor, ex *exec.Executor) (*Index, error)
 	if count == 0 || count > maxShards {
 		return nil, fmt.Errorf("shard: load: implausible shard count %d", count)
 	}
-	starts := make([]int, count+1)
-	for i := range starts {
-		var b uint64
-		if err := binary.Read(br, binary.LittleEndian, &b); err != nil {
-			return nil, fmt.Errorf("shard: load boundaries: %w", err)
+	var starts []int
+	var cuts []float64
+	if byMean {
+		cuts = make([]float64, count-1)
+		if err := binary.Read(br, binary.LittleEndian, cuts); err != nil {
+			return nil, fmt.Errorf("shard: load mean cuts: %w", err)
 		}
-		starts[i] = int(b)
+		for i, c := range cuts {
+			if math.IsNaN(c) {
+				return nil, fmt.Errorf("shard: load: NaN mean cut %d", i)
+			}
+		}
+	} else {
+		starts = make([]int, count+1)
+		for i := range starts {
+			var b uint64
+			if err := binary.Read(br, binary.LittleEndian, &b); err != nil {
+				return nil, fmt.Errorf("shard: load boundaries: %w", err)
+			}
+			starts[i] = int(b)
+		}
 	}
 
-	shards := make([]*core.Index, count)
+	frozen := make([]*core.Frozen, count)
 	l := 0
-	for i := range shards {
-		ix, err := core.Load(br, ext)
+	for i := range frozen {
+		var f *core.Frozen
+		var err error
+		if version == persistVersion1 {
+			// v1 shards are pointer-tree streams; freeze on load.
+			var ix *core.Index
+			ix, err = core.Load(br, ext)
+			if err == nil {
+				f = ix.Freeze()
+			}
+		} else {
+			f, err = core.LoadFrozen(br, ext)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("shard: loading shard %d: %w", i, err)
 		}
 		if i == 0 {
-			l = ix.L()
-		} else if ix.L() != l {
-			return nil, fmt.Errorf("shard: shard %d has L=%d, shard 0 has L=%d", i, ix.L(), l)
+			l = f.L()
+		} else if f.L() != l {
+			return nil, fmt.Errorf("shard: shard %d has L=%d, shard 0 has L=%d", i, f.L(), l)
 		}
-		shards[i] = ix
+		frozen[i] = f
 	}
 
 	if ex == nil {
 		ex = exec.Default()
 	}
-	s := &Index{ext: ext, l: l, shards: shards, starts: starts, ex: ex}
-	if err := s.CheckInvariants(); err != nil {
+	s := &Index{ext: ext, l: l, frozen: frozen,
+		pointer: make([]*core.Index, count), dirtyShard: make([]bool, count),
+		byMean: byMean, starts: starts, cuts: cuts, ex: ex}
+	// Partition invariants only: each shard stream was just validated in
+	// full by its own loader, so re-walking every arena here would only
+	// double the load cost.
+	if err := s.checkPartition(); err != nil {
 		return nil, fmt.Errorf("shard: load: %w", err)
 	}
 	return s, nil

@@ -1,19 +1,27 @@
 // Package shard implements a sharded parallel TS-Index: the window
-// position space [0, N−ℓ] is split into P contiguous ranges, one
-// core.Index is built per range concurrently, and queries run as
-// fine-grained (shard, subtree) work units on a work-stealing executor
+// position space [0, N−ℓ] is split into P partitions, one index is
+// built per partition concurrently, and queries run as fine-grained
+// (shard, subtree) work units on a work-stealing executor
 // (internal/exec) — the data-partitioning strategy ParIS/MESSI apply
 // to iSAX, transplanted onto the paper's TS-Index, with MESSI-style
-// work queues instead of one goroutine per shard, so a hot shard's
-// subtrees spread across idle workers and query latency is bounded by
-// total work rather than by the largest partition.
+// work queues instead of one goroutine per shard.
 //
-// Sharding changes the tree shapes (each shard packs only its own
-// windows) but never the answer set: range searches concatenate
-// per-shard results in position order, and top-k runs a k-way merge
-// under the (distance, start) total order with a cross-unit pruning
-// bound (core.SharedBound), so results are identical to a single index
-// over the full series regardless of how many workers run the units.
+// After construction every shard is FROZEN: the pointer tree is
+// compiled into core.Frozen's flat structure-of-arrays arena (packed
+// MBTS bounds, index-range children, one flat positions array) and the
+// pointer form is dropped. All queries traverse the arenas; Insert
+// thaws the owning shard back to pointer form and the next search
+// re-freezes it. Freezing changes only the memory layout, never the
+// answer set: every frozen traversal replicates its pointer
+// counterpart step for step.
+//
+// Two partitioning schemes are supported. The default splits positions
+// into contiguous ranges, whose per-shard results concatenate in shard
+// order. Config.PartitionByMean instead sorts positions by window mean
+// and hands each shard an equal run — twins have means within ε of each
+// other, so mean-neighbours pack into tighter per-shard MBTS and prune
+// more — at the cost of a k-way merge by start position where the
+// contiguous scheme concatenates.
 package shard
 
 import (
@@ -21,6 +29,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"twinsearch/internal/core"
@@ -37,12 +46,21 @@ type Config struct {
 	Shards int
 	// BulkLoad selects bottom-up construction for every shard.
 	BulkLoad bool
-	// Boundaries, when non-nil, fixes the partition explicitly: entry i
-	// and i+1 delimit shard i's position range, so it must be strictly
-	// increasing from 0 to the window count, and its length must agree
-	// with Shards when both are set. Benchmarks and tests use it to
-	// build deliberately skewed shards; the default is an even split.
+	// Boundaries, when non-nil, fixes the contiguous partition
+	// explicitly: entry i and i+1 delimit shard i's position range, so
+	// it must be strictly increasing from 0 to the window count, and its
+	// length must agree with Shards when both are set. Benchmarks and
+	// tests use it to build deliberately skewed shards; the default is
+	// an even split. Incompatible with PartitionByMean.
 	Boundaries []int
+	// PartitionByMean assigns positions to shards by window mean rather
+	// than contiguously: positions are sorted by mean (first normalized
+	// value under per-subsequence normalization, where every mean is
+	// zero) and split into equal-count runs. Per-shard MBTS get tighter
+	// — a shard encloses look-alike windows instead of whatever happened
+	// to be adjacent — so searches prune more; range-search merges
+	// switch from positional concatenation to a k-way merge by start.
+	PartitionByMean bool
 	// Executor runs the build and query work units; nil selects the
 	// process-wide default (GOMAXPROCS workers).
 	Executor *exec.Executor
@@ -50,24 +68,44 @@ type Config struct {
 
 // Index is a sharded TS-Index over one series.
 type Index struct {
-	ext    *series.Extractor
-	l      int
-	shards []*core.Index
-	// starts has len(shards)+1 entries; shard i owns window positions
-	// [starts[i], starts[i+1]).
+	ext *series.Extractor
+	l   int
+	// frozen holds each shard's arena — the form every query traverses.
+	frozen []*core.Frozen
+	// pointer[i] is shard i thawed for insertion; nil while the shard is
+	// frozen-only. Once a shard is thawed it stays resident (repeated
+	// Insert/refreeze cycles then skip the thaw).
+	pointer []*core.Index
+	byMean  bool
+	// starts has len(shards)+1 entries in contiguous mode; shard i owns
+	// window positions [starts[i], starts[i+1]). nil under
+	// PartitionByMean.
 	starts []int
-	ex     *exec.Executor
+	// cuts has len(shards)-1 entries under PartitionByMean: shard i+1's
+	// smallest window-mean key. Insert routes new positions by key.
+	cuts []float64
+	ex   *exec.Executor
+
+	// Refreeze bookkeeping: Insert marks shards dirty; the next search
+	// re-freezes them before traversing (ensureFrozen). Insert must not
+	// run concurrently with searches, so dirtyShard needs no lock of its
+	// own; the atomic dirty flag publishes the writes and mu serializes
+	// racing searches.
+	dirty      atomic.Bool
+	dirtyShard []bool
+	mu         sync.Mutex
 
 	// units caches each shard's subtree frontier — the (shard, subtree)
-	// work units a query enqueues. Insert invalidates it (splits
-	// restructure nodes); concurrent searches recompute it racily but
-	// deterministically, so whichever Store wins is equivalent.
-	units atomic.Pointer[[][]core.Subtree]
+	// work units a query enqueues. Refreezing invalidates it; concurrent
+	// searches recompute it racily but deterministically, so whichever
+	// Store wins is equivalent.
+	units atomic.Pointer[[][]core.FrozenSubtree]
 }
 
-// Build partitions the position space and constructs every shard on
-// the executor. With Shards resolving to 1 the result is a single
-// core.Index behind the fan-out API — bit-identical answers either way.
+// Build partitions the position space, constructs every shard on the
+// executor, and freezes each shard's tree into its flat arena. With
+// Shards resolving to 1 the result is a single frozen index behind the
+// fan-out API — bit-identical answers either way.
 func Build(ext *series.Extractor, cfg Config) (*Index, error) {
 	if cfg.L <= 0 {
 		return nil, fmt.Errorf("shard: invalid subsequence length %d", cfg.L)
@@ -76,13 +114,32 @@ func Build(ext *series.Extractor, cfg Config) (*Index, error) {
 	if count == 0 {
 		return nil, fmt.Errorf("shard: series length %d shorter than subsequence length %d", ext.Len(), cfg.L)
 	}
+	if cfg.PartitionByMean && cfg.Boundaries != nil {
+		return nil, fmt.Errorf("shard: PartitionByMean and explicit Boundaries are mutually exclusive")
+	}
 
-	var starts []int
-	if cfg.Boundaries != nil {
+	ex := cfg.Executor
+	if ex == nil {
+		ex = exec.Default()
+	}
+
+	s := &Index{ext: ext, l: cfg.L, byMean: cfg.PartitionByMean, ex: ex}
+
+	var runs [][]int32 // mean mode: each shard's position run
+	if cfg.PartitionByMean {
+		p := cfg.Shards
+		if p <= 0 {
+			p = runtime.GOMAXPROCS(0)
+		}
+		if p > count {
+			p = count
+		}
+		runs, s.cuts = meanRuns(ext, cfg.L, count, p)
+	} else if cfg.Boundaries != nil {
 		if err := validateBoundaries(cfg.Boundaries, cfg.Shards, count); err != nil {
 			return nil, err
 		}
-		starts = append([]int(nil), cfg.Boundaries...)
+		s.starts = append([]int(nil), cfg.Boundaries...)
 	} else {
 		p := cfg.Shards
 		if p <= 0 {
@@ -91,33 +148,104 @@ func Build(ext *series.Extractor, cfg Config) (*Index, error) {
 		if p > count {
 			p = count
 		}
-		starts = make([]int, p+1)
-		for i := range starts {
-			starts[i] = i * count / p
+		s.starts = make([]int, p+1)
+		for i := range s.starts {
+			s.starts[i] = i * count / p
 		}
 	}
-	p := len(starts) - 1
-
-	ex := cfg.Executor
-	if ex == nil {
-		ex = exec.Default()
+	p := len(runs)
+	if !cfg.PartitionByMean {
+		p = len(s.starts) - 1
 	}
 
-	shards := make([]*core.Index, p)
+	s.frozen = make([]*core.Frozen, p)
+	s.pointer = make([]*core.Index, p)
+	s.dirtyShard = make([]bool, p)
 	errs := make([]error, p)
 	ex.ForEach(p, func(i int) {
-		if cfg.BulkLoad {
-			shards[i], errs[i] = core.BuildBulkRange(ext, cfg.Config, starts[i], starts[i+1])
-		} else {
-			shards[i], errs[i] = core.BuildRange(ext, cfg.Config, starts[i], starts[i+1])
+		var ix *core.Index
+		var err error
+		switch {
+		case cfg.PartitionByMean && cfg.BulkLoad:
+			ix, err = core.BuildBulkPositions(ext, cfg.Config, runs[i])
+		case cfg.PartitionByMean:
+			ix, err = core.BuildPositions(ext, cfg.Config, runs[i])
+		case cfg.BulkLoad:
+			ix, err = core.BuildBulkRange(ext, cfg.Config, s.starts[i], s.starts[i+1])
+		default:
+			ix, err = core.BuildRange(ext, cfg.Config, s.starts[i], s.starts[i+1])
 		}
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		// Freeze inside the same work unit (arenas compile in parallel)
+		// and let the pointer tree go: the arena is the index now.
+		s.frozen[i] = ix.Freeze()
 	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
 		}
 	}
-	return &Index{ext: ext, l: cfg.L, shards: shards, starts: starts, ex: ex}, nil
+	return s, nil
+}
+
+// windowKey is the mean-partition sort/routing key of one window: the
+// window mean, or its first normalized value under per-subsequence
+// normalization (where every mean is zero). It is the single key
+// definition — meanRuns derives the partition and the routing cuts
+// from it, and routeShard applies it to inserts — so a window always
+// routes to the shard its key sorted into, bit for bit. buf is scratch
+// of length l, used only under per-subsequence normalization (pass nil
+// otherwise).
+func windowKey(ext *series.Extractor, p, l int, buf []float64) float64 {
+	if ext.Mode() == series.NormPerSubsequence {
+		return ext.Extract(p, l, buf)[0]
+	}
+	data := ext.Data()
+	var sum float64
+	for _, v := range data[p : p+l] {
+		sum += v
+	}
+	return sum / float64(l)
+}
+
+// meanRuns sorts all window positions by key and splits them into p
+// equal-count runs, returning the runs and the p−1 routing cut keys
+// (run i+1's smallest key). Keys come from windowKey — the exact
+// function inserts route by — rather than a prefix-sum shortcut, so a
+// key landing on a cut can never round differently at build time than
+// at routing time.
+func meanRuns(ext *series.Extractor, l, count, p int) ([][]int32, []float64) {
+	keys := make([]float64, count)
+	var buf []float64
+	if ext.Mode() == series.NormPerSubsequence {
+		buf = make([]float64, l)
+	}
+	for i := 0; i < count; i++ {
+		keys[i] = windowKey(ext, i, l, buf)
+	}
+	order := make([]int32, count)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if ka, kb := keys[order[a]], keys[order[b]]; ka != kb {
+			return ka < kb
+		}
+		return order[a] < order[b] // total order: runs are deterministic
+	})
+	runs := make([][]int32, p)
+	cuts := make([]float64, p-1)
+	for i := 0; i < p; i++ {
+		lo, hi := i*count/p, (i+1)*count/p
+		runs[i] = order[lo:hi:hi]
+		if i > 0 {
+			cuts[i-1] = keys[order[lo]]
+		}
+	}
+	return runs, cuts
 }
 
 // validateBoundaries rejects partitions that don't cover [0, count)
@@ -146,18 +274,45 @@ func validateBoundaries(b []int, shards, count int) error {
 // Executor returns the executor the index schedules its queries on.
 func (s *Index) Executor() *exec.Executor { return s.ex }
 
+// PartitionByMean reports whether shards own mean-sorted runs rather
+// than contiguous position ranges.
+func (s *Index) PartitionByMean() bool { return s.byMean }
+
+// ensureFrozen re-freezes any shards Insert has thawed and mutated.
+// Hot path cost is one atomic load; the mutex only serializes searches
+// racing to refreeze after an insertion batch (Insert itself must not
+// run concurrently with searches).
+func (s *Index) ensureFrozen() {
+	if !s.dirty.Load() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.dirty.Load() {
+		return
+	}
+	for i, d := range s.dirtyShard {
+		if d {
+			s.frozen[i] = s.pointer[i].Freeze()
+			s.dirtyShard[i] = false
+		}
+	}
+	s.units.Store(nil)
+	s.dirty.Store(false)
+}
+
 // unitFrontiers returns the cached (shard → subtrees) split,
-// recomputing it after Insert invalidated the cache. The per-shard
+// recomputing it after insertion invalidated the cache. The per-shard
 // target over-provisions units (4×) relative to the widest pool that
 // could usefully run them — the index's own executor or the machine
 // (SearchBatch may bring a dedicated pool wider than the engine's; the
 // work is CPU-bound, so GOMAXPROCS caps useful width) — giving
 // stealing slack to even out skewed shards.
-func (s *Index) unitFrontiers() [][]core.Subtree {
+func (s *Index) unitFrontiers() [][]core.FrozenSubtree {
 	if u := s.units.Load(); u != nil {
 		return *u
 	}
-	p := len(s.shards)
+	p := len(s.frozen)
 	w := s.ex.Workers()
 	if g := runtime.GOMAXPROCS(0); g > w {
 		w = g
@@ -166,9 +321,9 @@ func (s *Index) unitFrontiers() [][]core.Subtree {
 	if t := 4 * w; t > p {
 		per = (t + p - 1) / p
 	}
-	fr := make([][]core.Subtree, p)
-	for i, ix := range s.shards {
-		fr[i] = ix.Frontier(per)
+	fr := make([][]core.FrozenSubtree, p)
+	for i, f := range s.frozen {
+		fr[i] = f.Frontier(per)
 	}
 	s.units.Store(&fr)
 	return fr
@@ -186,8 +341,9 @@ func (s *Index) Search(q []float64, eps float64) []series.Match {
 // tree packs differently, and nodes above a unit's subtree root are
 // never visited); the match set does not.
 func (s *Index) SearchStats(q []float64, eps float64) ([]series.Match, core.Stats) {
-	if len(s.shards) == 1 {
-		return s.shards[0].SearchStats(q, eps)
+	s.ensureFrozen()
+	if len(s.frozen) == 1 {
+		return s.frozen[0].SearchStats(q, eps)
 	}
 	g := s.ex.NewGroup()
 	p := s.QueueSearch(g, q, eps)
@@ -201,26 +357,29 @@ func (s *Index) SearchStats(q []float64, eps float64) ([]series.Match, core.Stat
 // (query, shard, subtree) unit is a peer in the same pool — instead of
 // nesting a query pool above a shard pool.
 type PendingSearch struct {
-	res [][][]series.Match // [shard][unit] match lists, traversal order
-	st  [][]core.Stats     // [shard][unit]
+	res    [][][]series.Match // [shard][unit] match lists, traversal order
+	st     [][]core.Stats     // [shard][unit]
+	byMean bool
 }
 
 // QueueSearch enqueues the (shard, subtree) units of one range search
 // into g and returns a handle to assemble the result. Call Resolve
 // only after g.Wait() returns.
 func (s *Index) QueueSearch(g *exec.Group, q []float64, eps float64) *PendingSearch {
+	s.ensureFrozen()
 	fr := s.unitFrontiers()
 	p := &PendingSearch{
-		res: make([][][]series.Match, len(fr)),
-		st:  make([][]core.Stats, len(fr)),
+		res:    make([][][]series.Match, len(fr)),
+		st:     make([][]core.Stats, len(fr)),
+		byMean: s.byMean,
 	}
 	for i, units := range fr {
 		p.res[i] = make([][]series.Match, len(units))
 		p.st[i] = make([]core.Stats, len(units))
-		ix := s.shards[i]
+		f := s.frozen[i]
 		for j, u := range units {
 			g.Go(func(*exec.Ctx) {
-				p.res[i][j], p.st[i][j] = ix.SearchStatsFrom(u, q, eps)
+				p.res[i][j], p.st[i][j] = f.SearchStatsFrom(u, q, eps)
 			})
 		}
 	}
@@ -229,9 +388,11 @@ func (s *Index) QueueSearch(g *exec.Group, q []float64, eps float64) *PendingSea
 
 // Resolve merges the unit results deterministically: units of one
 // shard are concatenated and sorted by start (the set is identical
-// however the tree was split, so the sorted order is too), and shards
-// own ascending contiguous position ranges, so shard-order
-// concatenation IS the position-order merge.
+// however the tree was split, so the sorted order is too). Under the
+// contiguous partition shards own ascending position ranges, so
+// shard-order concatenation IS the position-order merge; mean-sorted
+// shards interleave in position space, so their sorted lists k-way
+// merge by start instead.
 func (p *PendingSearch) Resolve() ([]series.Match, core.Stats) {
 	var st core.Stats
 	total := 0
@@ -245,15 +406,20 @@ func (p *PendingSearch) Resolve() ([]series.Match, core.Stats) {
 	if total == 0 {
 		return nil, st
 	}
-	out := make([]series.Match, 0, total)
+	per := make([][]series.Match, len(p.res))
 	for i := range p.res {
-		shardStart := len(out)
-		for _, ms := range p.res[i] {
-			out = append(out, ms...)
+		n := 0
+		for _, unit := range p.res[i] {
+			n += len(unit)
 		}
-		series.SortMatches(out[shardStart:])
+		ms := make([]series.Match, 0, n)
+		for _, unit := range p.res[i] {
+			ms = append(ms, unit...)
+		}
+		series.SortMatches(ms)
+		per[i] = ms
 	}
-	return out, st
+	return mergePartitioned(per, p.byMean), st
 }
 
 func addStats(a, b core.Stats) core.Stats {
@@ -265,9 +431,12 @@ func addStats(a, b core.Stats) core.Stats {
 	return a
 }
 
-// concatMatches merges per-shard start-sorted results; shard order IS
-// position order (contiguous ascending ranges).
-func concatMatches(per [][]series.Match) []series.Match {
+// mergePartitioned combines per-shard start-sorted results according
+// to the partition scheme: positional concatenation for contiguous
+// shards (shard order IS position order), a k-way merge by start for
+// mean-sorted shards. Every range-search path funnels through here so
+// the merge policy lives in one place.
+func mergePartitioned(per [][]series.Match, byMean bool) []series.Match {
 	total := 0
 	for _, ms := range per {
 		total += len(ms)
@@ -275,9 +444,38 @@ func concatMatches(per [][]series.Match) []series.Match {
 	if total == 0 {
 		return nil
 	}
+	if byMean {
+		return mergeByStart(per, total)
+	}
 	out := make([]series.Match, 0, total)
 	for _, ms := range per {
 		out = append(out, ms...)
+	}
+	return out
+}
+
+// mergeByStart k-way merges start-sorted, start-disjoint lists into one
+// start-sorted list of the given total length.
+func mergeByStart(per [][]series.Match, total int) []series.Match {
+	h := make(startHeap, 0, len(per))
+	for i, ms := range per {
+		if len(ms) > 0 {
+			h = append(h, mergeItem{list: i, m: ms[0]})
+		}
+	}
+	heap.Init(&h)
+	out := make([]series.Match, 0, total)
+	next := make([]int, len(per))
+	for h.Len() > 0 {
+		top := h[0]
+		out = append(out, top.m)
+		next[top.list]++
+		if n := next[top.list]; n < len(per[top.list]) {
+			h[0] = mergeItem{list: top.list, m: per[top.list][n]}
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
 	}
 	return out
 }
@@ -291,8 +489,9 @@ func (s *Index) SearchTopK(q []float64, k int) []series.Match {
 	if k <= 0 {
 		return nil
 	}
-	if len(s.shards) == 1 {
-		return s.shards[0].SearchTopK(q, k)
+	s.ensureFrozen()
+	if len(s.frozen) == 1 {
+		return s.frozen[0].SearchTopK(q, k)
 	}
 	fr := s.unitFrontiers()
 	n := 0
@@ -304,12 +503,12 @@ func (s *Index) SearchTopK(q []float64, k int) []series.Match {
 	g := s.ex.NewGroup()
 	at := 0
 	for i, units := range fr {
-		ix := s.shards[i]
+		f := s.frozen[i]
 		for _, u := range units {
 			slot := at
 			at++
 			g.Go(func(*exec.Ctx) {
-				lists[slot] = ix.SearchTopKSharedFrom(u, q, k, shared)
+				lists[slot] = f.SearchTopKSharedFrom(u, q, k, shared)
 			})
 		}
 	}
@@ -320,7 +519,7 @@ func (s *Index) SearchTopK(q []float64, k int) []series.Match {
 // mergeTopK k-way-merges start-disjoint, distance-sorted lists and
 // returns the first k items under the (dist, start) total order.
 func mergeTopK(per [][]series.Match, k int) []series.Match {
-	h := make(mergeHeap, 0, len(per))
+	h := make(distHeap, 0, len(per))
 	for i, ms := range per {
 		if len(ms) > 0 {
 			h = append(h, mergeItem{list: i, m: ms[0]})
@@ -348,18 +547,34 @@ type mergeItem struct {
 	m    series.Match
 }
 
-type mergeHeap []mergeItem
+// distHeap is a min-heap under the (dist, start) total order.
+type distHeap []mergeItem
 
-func (h mergeHeap) Len() int { return len(h) }
-func (h mergeHeap) Less(i, j int) bool {
+func (h distHeap) Len() int { return len(h) }
+func (h distHeap) Less(i, j int) bool {
 	if h[i].m.Dist != h[j].m.Dist {
 		return h[i].m.Dist < h[j].m.Dist
 	}
 	return h[i].m.Start < h[j].m.Start
 }
-func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
-func (h *mergeHeap) Pop() interface{} {
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// startHeap is a min-heap by start position.
+type startHeap []mergeItem
+
+func (h startHeap) Len() int            { return len(h) }
+func (h startHeap) Less(i, j int) bool  { return h[i].m.Start < h[j].m.Start }
+func (h startHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *startHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *startHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
 	item := old[n-1]
@@ -372,21 +587,22 @@ func (h *mergeHeap) Pop() interface{} {
 // (shard, subtree) units and the tail windows that exist only at the
 // shorter length are scanned once, here.
 func (s *Index) SearchPrefix(q []float64, eps float64) ([]series.Match, error) {
-	if err := s.shards[0].ValidatePrefix(q); err != nil {
+	s.ensureFrozen()
+	if err := s.frozen[0].ValidatePrefix(q); err != nil {
 		return nil, err
 	}
-	if len(s.shards) == 1 {
-		return s.shards[0].SearchPrefix(q, eps)
+	if len(s.frozen) == 1 {
+		return s.frozen[0].SearchPrefix(q, eps)
 	}
 	fr := s.unitFrontiers()
 	res := make([][][]series.Match, len(fr))
 	g := s.ex.NewGroup()
 	for i, units := range fr {
 		res[i] = make([][]series.Match, len(units))
-		ix := s.shards[i]
+		f := s.frozen[i]
 		for j, u := range units {
 			g.Go(func(*exec.Ctx) {
-				res[i][j] = ix.SearchPrefixTreeFrom(u, q, eps)
+				res[i][j] = f.SearchPrefixTreeFrom(u, q, eps)
 			})
 		}
 	}
@@ -400,13 +616,13 @@ func (s *Index) SearchPrefix(q []float64, eps float64) ([]series.Match, error) {
 		series.SortMatches(ms)
 		per[i] = ms
 	}
-	// concatMatches yields position order and the tail starts extend it.
-	return core.ScanPrefixTail(s.ext, s.l, q, eps, concatMatches(per)), nil
+	// The merged list is in position order and the tail starts extend it.
+	return core.ScanPrefixTail(s.ext, s.l, q, eps, mergePartitioned(per, s.byMean)), nil
 }
 
 // SearchApprox probes at most leafBudget nearest leaves across all
 // shards and returns a possibly incomplete subset of the twins — the
-// sharded counterpart of core.Index.SearchApprox. The budget is one
+// sharded counterpart of core.Frozen.SearchApprox. The budget is one
 // shared atomic allowance drawn by every shard's best-first traversal,
 // not a per-shard split: shards whose leaves sit closest to the query
 // spend more of it, so a skewed partition no longer burns budget on
@@ -417,16 +633,17 @@ func (s *Index) SearchApprox(q []float64, eps float64, leafBudget int) ([]series
 	if leafBudget <= 0 {
 		leafBudget = 1
 	}
-	if len(s.shards) == 1 {
-		return s.shards[0].SearchApprox(q, eps, leafBudget)
+	s.ensureFrozen()
+	if len(s.frozen) == 1 {
+		return s.frozen[0].SearchApprox(q, eps, leafBudget)
 	}
 	budget := core.NewLeafBudget(leafBudget)
-	per := make([][]series.Match, len(s.shards))
-	stats := make([]core.Stats, len(s.shards))
+	per := make([][]series.Match, len(s.frozen))
+	stats := make([]core.Stats, len(s.frozen))
 	g := s.ex.NewGroup()
-	for i, ix := range s.shards {
+	for i, f := range s.frozen {
 		g.Go(func(*exec.Ctx) {
-			per[i], stats[i] = ix.SearchApproxShared(q, eps, budget)
+			per[i], stats[i] = f.SearchApproxShared(q, eps, budget)
 		})
 	}
 	g.Wait()
@@ -434,32 +651,57 @@ func (s *Index) SearchApprox(q []float64, eps float64, leafBudget int) ([]series
 	for _, x := range stats {
 		st = addStats(st, x)
 	}
-	return concatMatches(per), st
+	return mergePartitioned(per, s.byMean), st
 }
 
 // Insert adds the window starting at p to the shard owning that
-// position; positions past the current end extend the last shard (the
-// streaming-append path). Insertion restructures nodes, so the cached
-// work-unit frontiers are invalidated and recomputed on the next
-// query. Do not call concurrently with searches.
+// position: under the contiguous partition the range owner (positions
+// past the current end extend the last shard — the streaming-append
+// path); under PartitionByMean the shard whose key range covers the
+// window's mean. The owning shard is thawed back to pointer form if
+// needed and marked dirty; the next search re-freezes it. Do not call
+// concurrently with searches.
 func (s *Index) Insert(p int) {
+	i := s.routeShard(p)
+	if s.pointer[i] == nil {
+		s.pointer[i] = s.frozen[i].Thaw()
+	}
+	s.pointer[i].Insert(p)
+	s.dirtyShard[i] = true
+	s.dirty.Store(true)
 	s.units.Store(nil)
+}
+
+// routeShard picks the shard that owns (or will own) position p.
+func (s *Index) routeShard(p int) int {
+	if s.byMean {
+		var buf []float64
+		if s.ext.Mode() == series.NormPerSubsequence {
+			buf = make([]float64, s.l)
+		}
+		k := windowKey(s.ext, p, s.l, buf)
+		// Shard i+1 starts at cuts[i]; route to the last shard whose
+		// lower bound is ≤ k.
+		return sort.Search(len(s.cuts), func(j int) bool { return s.cuts[j] > k })
+	}
 	last := len(s.starts) - 1
 	if p >= s.starts[last] {
 		s.starts[last] = p + 1
-		s.shards[len(s.shards)-1].Insert(p)
-		return
+		return len(s.frozen) - 1
 	}
 	// Owning shard i satisfies starts[i] ≤ p < starts[i+1].
-	i := sort.SearchInts(s.starts, p+1) - 1
-	s.shards[i].Insert(p)
+	return sort.SearchInts(s.starts, p+1) - 1
 }
 
 // Len returns the number of indexed windows across all shards.
 func (s *Index) Len() int {
+	// ensureFrozen first: the arenas are then authoritative, and the
+	// dirty-flag handshake orders this read against any concurrent
+	// search's refreeze (plain reads of frozen[] would race with it).
+	s.ensureFrozen()
 	total := 0
-	for _, ix := range s.shards {
-		total += ix.Len()
+	for _, f := range s.frozen {
+		total += f.Len()
 	}
 	return total
 }
@@ -468,48 +710,110 @@ func (s *Index) Len() int {
 func (s *Index) L() int { return s.l }
 
 // NumShards returns the shard count.
-func (s *Index) NumShards() int { return len(s.shards) }
+func (s *Index) NumShards() int { return len(s.frozen) }
 
-// Shard returns shard i and the position range it owns.
-func (s *Index) Shard(i int) (ix *core.Index, lo, hi int) {
-	return s.shards[i], s.starts[i], s.starts[i+1]
+// Shard returns the frozen arena of shard i (re-freezing first if an
+// insertion left it stale).
+func (s *Index) Shard(i int) *core.Frozen {
+	s.ensureFrozen()
+	return s.frozen[i]
+}
+
+// Range returns the contiguous position range shard i owns, or ok=false
+// under PartitionByMean (where shards own interleaved runs).
+func (s *Index) Range(i int) (lo, hi int, ok bool) {
+	if s.byMean {
+		return 0, 0, false
+	}
+	return s.starts[i], s.starts[i+1], true
 }
 
 // Extractor exposes the extractor the index was built over.
 func (s *Index) Extractor() *series.Extractor { return s.ext }
 
-// MemoryBytes sums the per-shard index footprints.
+// MemoryBytes sums the per-shard arena footprints, plus the pointer
+// trees of any shards thawed for insertion (both forms are resident on
+// the streaming path).
 func (s *Index) MemoryBytes() int {
+	s.ensureFrozen() // order the frozen[] reads against refreezes
 	total := 0
-	for _, ix := range s.shards {
-		total += ix.MemoryBytes()
+	for i, f := range s.frozen {
+		total += f.MemoryBytes()
+		if s.pointer[i] != nil {
+			total += s.pointer[i].MemoryBytes()
+		}
 	}
 	return total
 }
 
 // CheckInvariants validates every shard's structural invariants plus
-// the partition invariants: ranges are contiguous, cover [0, count),
-// and each shard holds exactly the windows of its range.
+// the partition invariants (checkPartition). Load skips the per-arena
+// half — core.LoadFrozen / core.Load validated each shard stream
+// moments earlier — and runs only checkPartition.
 func (s *Index) CheckInvariants() error {
-	if len(s.starts) != len(s.shards)+1 {
-		return fmt.Errorf("shard: %d boundaries for %d shards", len(s.starts), len(s.shards))
-	}
-	if s.starts[0] != 0 {
-		return fmt.Errorf("shard: first range starts at %d, want 0", s.starts[0])
-	}
-	count := series.NumSubsequences(s.ext.Len(), s.l)
-	if got := s.starts[len(s.shards)]; got != count {
-		return fmt.Errorf("shard: ranges end at %d, series has %d windows", got, count)
-	}
-	for i, ix := range s.shards {
-		if s.starts[i] >= s.starts[i+1] {
-			return fmt.Errorf("shard %d: empty or inverted range [%d, %d)", i, s.starts[i], s.starts[i+1])
-		}
-		if got, want := ix.Len(), s.starts[i+1]-s.starts[i]; got != want {
-			return fmt.Errorf("shard %d: holds %d windows, range [%d, %d) spans %d", i, got, s.starts[i], s.starts[i+1], want)
-		}
-		if err := ix.CheckInvariants(); err != nil {
+	s.ensureFrozen()
+	for i, f := range s.frozen {
+		if err := f.CheckInvariants(); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return s.checkPartition()
+}
+
+// checkPartition validates the partition invariants alone: every
+// window position is owned by exactly one shard, contiguous ranges
+// cover [0, count) in order (contiguous mode), and mean-routing cuts
+// are sorted (mean mode).
+func (s *Index) checkPartition() error {
+	s.ensureFrozen()
+	p := len(s.frozen)
+	count := series.NumSubsequences(s.ext.Len(), s.l)
+	if s.byMean {
+		if len(s.cuts) != p-1 {
+			return fmt.Errorf("shard: %d mean cuts for %d shards", len(s.cuts), p)
+		}
+		for i := 1; i < len(s.cuts); i++ {
+			if s.cuts[i] < s.cuts[i-1] {
+				return fmt.Errorf("shard: mean cut %d (%g) below cut %d (%g)", i, s.cuts[i], i-1, s.cuts[i-1])
+			}
+		}
+	} else {
+		if len(s.starts) != p+1 {
+			return fmt.Errorf("shard: %d boundaries for %d shards", len(s.starts), p)
+		}
+		if s.starts[0] != 0 {
+			return fmt.Errorf("shard: first range starts at %d, want 0", s.starts[0])
+		}
+		if got := s.starts[p]; got != count {
+			return fmt.Errorf("shard: ranges end at %d, series has %d windows", got, count)
+		}
+	}
+	seen := make([]bool, count)
+	for i, f := range s.frozen {
+		if !s.byMean {
+			if s.starts[i] >= s.starts[i+1] {
+				return fmt.Errorf("shard %d: empty or inverted range [%d, %d)", i, s.starts[i], s.starts[i+1])
+			}
+			if got, want := f.Len(), s.starts[i+1]-s.starts[i]; got != want {
+				return fmt.Errorf("shard %d: holds %d windows, range [%d, %d) spans %d", i, got, s.starts[i], s.starts[i+1], want)
+			}
+		}
+		for _, pos := range f.Positions() {
+			if int(pos) >= count {
+				return fmt.Errorf("shard %d: position %d beyond %d windows", i, pos, count)
+			}
+			if seen[pos] {
+				return fmt.Errorf("shard %d: position %d owned twice", i, pos)
+			}
+			seen[pos] = true
+			if !s.byMean && (int(pos) < s.starts[i] || int(pos) >= s.starts[i+1]) {
+				return fmt.Errorf("shard %d: position %d outside range [%d, %d)", i, pos, s.starts[i], s.starts[i+1])
+			}
+		}
+	}
+	for pos, ok := range seen {
+		if !ok {
+			return fmt.Errorf("shard: position %d owned by no shard", pos)
 		}
 	}
 	return nil

@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"twinsearch/internal/core"
 	"twinsearch/internal/exec"
@@ -114,13 +116,21 @@ type Options struct {
 	MinCap, MaxCap int  // node capacities µc, Mc (defaults 10, 30)
 	BulkLoad       bool // bottom-up construction instead of insertion
 
-	// Shards splits the TS-Index into that many contiguous window-range
-	// partitions, built concurrently and searched by parallel fan-out
-	// with a deterministic merge — answers are identical to the single
-	// index; construction and search scale with cores. 0 (or 1) keeps
-	// the unchanged single-index path; a negative value selects one
-	// shard per available CPU (GOMAXPROCS). MethodTSIndex only.
+	// Shards splits the TS-Index into that many window partitions, built
+	// concurrently and searched by parallel fan-out with a deterministic
+	// merge — answers are identical to the single index; construction
+	// and search scale with cores. 0 (or 1) keeps the unchanged
+	// single-index path; a negative value selects one shard per
+	// available CPU (GOMAXPROCS). MethodTSIndex only.
 	Shards int
+
+	// PartitionByMean makes sharded partitions own mean-sorted runs of
+	// the window positions instead of contiguous ranges: each shard
+	// packs look-alike windows, so its MBTS are tighter and searches
+	// prune more, at the cost of a k-way merge (by start position)
+	// where contiguous shards simply concatenate. Answers are
+	// identical either way. Ignored unless Shards resolves above 1.
+	PartitionByMean bool
 
 	// Workers sizes the engine's query executor — the work-stealing
 	// worker pool that runs every parallel search path: sharded
@@ -163,8 +173,33 @@ type Engine struct {
 	sweep *sweepline.Sweepline
 	kv    *kvindex.Index
 	isx   *isax.Index
-	ts    *core.Index  // MethodTSIndex, Options.Shards resolving ≤ 1
-	sh    *shard.Index // MethodTSIndex, Options.Shards resolving > 1
+	// MethodTSIndex, Options.Shards resolving ≤ 1: fz is the frozen
+	// arena every search traverses; ts is the mutable pointer tree,
+	// resident only while Append needs it (it is dropped after the
+	// initial build and thawed back from fz on the first Append).
+	// Append marks fzDirty instead of re-freezing eagerly — appending
+	// value by value stays cheap — and the next search recompiles the
+	// arena once (fzMu serializes searches racing to do so, mirroring
+	// shard.Index.ensureFrozen).
+	fz      *core.Frozen
+	ts      *core.Index
+	fzDirty atomic.Bool
+	fzMu    sync.Mutex
+	sh      *shard.Index // MethodTSIndex, Options.Shards resolving > 1
+}
+
+// tsFrozen returns the single-index arena, re-freezing it first if
+// Append left it stale. Hot path cost is one atomic load.
+func (e *Engine) tsFrozen() *core.Frozen {
+	if e.fzDirty.Load() {
+		e.fzMu.Lock()
+		if e.fzDirty.Load() {
+			e.fz = e.ts.Freeze()
+			e.fzDirty.Store(false)
+		}
+		e.fzMu.Unlock()
+	}
+	return e.fz
 }
 
 // resolveShards maps the Options.Shards knob to an effective shard
@@ -214,12 +249,21 @@ func Open(data []float64, opt Options) (*Engine, error) {
 		cfg := core.Config{L: opt.L, MinCap: opt.MinCap, MaxCap: opt.MaxCap}
 		if shards := resolveShards(opt.Shards); shards > 1 {
 			e.sh, err = shard.Build(e.ext, shard.Config{
-				Config: cfg, Shards: shards, BulkLoad: opt.BulkLoad, Executor: e.ex,
+				Config: cfg, Shards: shards, BulkLoad: opt.BulkLoad,
+				PartitionByMean: opt.PartitionByMean, Executor: e.ex,
 			})
-		} else if opt.BulkLoad {
-			e.ts, err = core.BuildBulk(e.ext, cfg)
 		} else {
-			e.ts, err = core.Build(e.ext, cfg)
+			var ix *core.Index
+			if opt.BulkLoad {
+				ix, err = core.BuildBulk(e.ext, cfg)
+			} else {
+				ix, err = core.Build(e.ext, cfg)
+			}
+			if err == nil {
+				// Freeze the built tree into its flat arena and let the
+				// pointer form go; Append thaws it back on demand.
+				e.fz = ix.Freeze()
+			}
 		}
 	default:
 		err = fmt.Errorf("twinsearch: unknown method %v", opt.Method)
@@ -299,7 +343,7 @@ func (e *Engine) searchPrepared(q []float64, eps float64) []Match {
 		if e.sh != nil {
 			return e.sh.Search(q, eps)
 		}
-		return e.ts.Search(q, eps)
+		return e.tsFrozen().Search(q, eps)
 	}
 }
 
@@ -322,7 +366,7 @@ func (e *Engine) SearchTopK(q []float64, k int) ([]Match, error) {
 	if e.sh != nil {
 		return e.sh.SearchTopK(e.ext.TransformQuery(q), k), nil
 	}
-	return e.ts.SearchTopK(e.ext.TransformQuery(q), k), nil
+	return e.tsFrozen().SearchTopK(e.ext.TransformQuery(q), k), nil
 }
 
 // Subsequence returns a copy of the indexed (normalized) window at
@@ -379,8 +423,18 @@ func (e *Engine) MemoryBytes() int {
 		if e.sh != nil {
 			return e.sh.MemoryBytes()
 		}
-		return e.ts.MemoryBytes()
+		total := e.tsFrozen().MemoryBytes()
+		if e.ts != nil {
+			total += e.ts.MemoryBytes() // pointer tree resident for appends
+		}
+		return total
 	default:
 		return 0
 	}
+}
+
+// PartitionByMean reports whether the engine's shards own mean-sorted
+// position runs (see Options.PartitionByMean); always false unsharded.
+func (e *Engine) PartitionByMean() bool {
+	return e.sh != nil && e.sh.PartitionByMean()
 }
