@@ -35,6 +35,7 @@ func main() {
 		maxShow    = flag.Int("show", 20, "print at most this many matches")
 		saveIndex  = flag.String("saveindex", "", "after building, persist the TS-Index here")
 		loadIndex  = flag.String("loadindex", "", "reopen a TS-Index persisted with -saveindex instead of rebuilding")
+		mmapIndex  = flag.Bool("mmap", false, "memory-map the -loadindex file instead of reading it (near-zero open cost; pages fault in as the query touches them)")
 		approx     = flag.Int("approx", 0, "if > 0, run an approximate search probing this many leaves (TS-Index only)")
 		indexLen   = flag.Int("indexlen", 0, "index at this length instead of the query length; shorter queries then use the prefix search (TS-Index only)")
 		shards     = flag.Int("shards", 0, "index partitions built and searched in parallel (0 = one index, -1 = one per CPU; TS-Index only)")
@@ -69,7 +70,11 @@ func main() {
 		fatal(fmt.Errorf("one of -qfile or -qstart is required"))
 	}
 
-	opt := twinsearch.Options{L: *l, NormSet: true, Shards: *shards, PartitionByMean: *meanShards}
+	if *mmapIndex && *loadIndex == "" {
+		fatal(fmt.Errorf("-mmap requires -loadindex (only a saved index can be mapped)"))
+	}
+	opt := twinsearch.Options{L: *l, NormSet: true, Shards: *shards,
+		PartitionByMean: *meanShards, MMap: *mmapIndex}
 	if *indexLen > 0 {
 		if *indexLen < len(q) {
 			fatal(fmt.Errorf("-indexlen %d below query length %d", *indexLen, len(q)))
@@ -106,8 +111,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("reopened index over %d subsequences (%s, %s) in %v\n",
-			eng.NumSubsequences(), eng.Method(), eng.Norm(), time.Since(buildStart).Round(time.Millisecond))
+		how := ""
+		if eng.MappedBytes() > 0 {
+			how = fmt.Sprintf(", %d bytes mmap-resident", eng.MappedBytes())
+		}
+		fmt.Printf("reopened index over %d subsequences (%s, %s%s) in %v\n",
+			eng.NumSubsequences(), eng.Method(), eng.Norm(), how, time.Since(buildStart).Round(time.Millisecond))
 	} else {
 		eng, err = twinsearch.Open(data, opt)
 		if err != nil {
@@ -116,6 +125,9 @@ func main() {
 		fmt.Printf("indexed %d subsequences of length %d with %s (%s) in %v\n",
 			eng.NumSubsequences(), eng.L(), eng.Method(), eng.Norm(), time.Since(buildStart).Round(time.Millisecond))
 	}
+	// Release the mapped arena (and any attached store) on every exit
+	// path; fatal exits skip this, which the OS cleans up anyway.
+	defer eng.Close()
 	if *saveIndex != "" {
 		if err := eng.SaveIndexFile(*saveIndex); err != nil {
 			fatal(err)

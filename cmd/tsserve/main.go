@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"twinsearch"
@@ -27,6 +30,7 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		norm       = flag.String("norm", "global", "normalization: raw, global, persub")
 		loadIndex  = flag.String("loadindex", "", "reopen a persisted TS-Index instead of rebuilding")
+		mmapIndex  = flag.Bool("mmap", false, "memory-map the -loadindex file instead of reading it: near-zero open cost, demand paging, one physical copy shared across processes")
 		shards     = flag.Int("shards", 0, "index partitions built and searched in parallel (0 = one index, -1 = one per CPU)")
 		meanShards = flag.Bool("meanshards", false, "partition shards by window mean instead of contiguous ranges (tighter per-shard bounds; needs -shards above 1)")
 		workers    = flag.Int("workers", 0, "query-executor workers shared by all requests (0 = one per CPU)")
@@ -37,13 +41,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *mmapIndex && *loadIndex == "" {
+		fatal(fmt.Errorf("-mmap requires -loadindex (only a saved index can be mapped)"))
+	}
 
 	data, err := store.ReadFile(*seriesPath)
 	if err != nil {
 		fatal(err)
 	}
 	opt := twinsearch.Options{L: *l, NormSet: true, Shards: *shards,
-		PartitionByMean: *meanShards, Workers: *workers}
+		PartitionByMean: *meanShards, Workers: *workers, MMap: *mmapIndex}
 	switch *norm {
 	case "raw":
 		opt.Norm = twinsearch.NormNone
@@ -65,12 +72,39 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("tsserve: %d windows of length %d in %d shard(s), %d executor worker(s), ready in %v; listening on %s\n",
-		eng.NumSubsequences(), eng.L(), eng.Shards(), eng.Workers(), time.Since(start).Round(time.Millisecond), *addr)
+	mapped := ""
+	if mb := eng.MappedBytes(); mb > 0 {
+		mapped = fmt.Sprintf(" (%d bytes mmap-resident)", mb)
+	}
+	fmt.Printf("tsserve: %d windows of length %d in %d shard(s), %d executor worker(s), ready in %v%s; listening on %s\n",
+		eng.NumSubsequences(), eng.L(), eng.Shards(), eng.Workers(), time.Since(start).Round(time.Millisecond), mapped, *addr)
 
-	if err := http.ListenAndServe(*addr, server.New(eng)); err != nil {
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests before
+	// Engine.Close unmaps the index they may still be traversing.
+	srv := &http.Server{Addr: *addr, Handler: server.New(eng)}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		<-stop
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}
+	if err := <-done; err != nil {
+		// Shutdown timed out: requests may still be traversing the
+		// mapped arenas, so closing (unmapping) under them would crash.
+		// Exit and let the OS reclaim the mapping instead.
+		fmt.Fprintf(os.Stderr, "tsserve: shutdown: %v; exiting without unmapping\n", err)
+		os.Exit(1)
+	}
+	if err := eng.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("tsserve: engine closed, bye")
 }
 
 func fatal(err error) {

@@ -44,6 +44,18 @@ func OpenCollection(seriesSet [][]float64, opt Options) (*Collection, error) {
 // Len returns the number of member series.
 func (c *Collection) Len() int { return len(c.engines) }
 
+// Close releases every member engine's resources (mapped arenas,
+// attached stores — see Engine.Close), returning the first error.
+func (c *Collection) Close() error {
+	var firstErr error
+	for _, eng := range c.engines {
+		if err := eng.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Engine returns the engine for member i.
 func (c *Collection) Engine(i int) *Engine { return c.engines[i] }
 

@@ -2,12 +2,15 @@ package twinsearch
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
+	"twinsearch/internal/arena"
 	"twinsearch/internal/core"
 	"twinsearch/internal/exec"
 	"twinsearch/internal/series"
@@ -36,17 +39,46 @@ func (e *Engine) SaveIndex(w io.Writer) error {
 	return err
 }
 
-// SaveIndexFile is SaveIndex to a file path.
+// SaveIndexFile is SaveIndex to a file path, via a temp file in the
+// same directory renamed over the target. The rename makes the save
+// atomic (a crash never leaves a half-written index) and — critically
+// for engines opened with Options.MMap — never truncates the inode the
+// engine's own arenas may be mapped from: saving over the file you
+// mapped reads the old inode and atomically swaps in the new one.
 func (e *Engine) SaveIndexFile(path string) error {
-	f, err := os.Create(path)
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("twinsearch: %w", err)
 	}
-	if err := e.SaveIndex(f); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := e.SaveIndex(f); err != nil {
+		return fail(err)
+	}
+	// CreateTemp opens 0600; give the index the permissions os.Create
+	// used to (other processes mapping the shared copy need read).
+	if err := f.Chmod(0o644); err != nil {
+		return fail(fmt.Errorf("twinsearch: %w", err))
+	}
+	// Flush to stable storage before the rename commits the name: a
+	// crash must never atomically install an unwritten file.
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("twinsearch: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("twinsearch: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("twinsearch: %w", err)
+	}
+	return nil
 }
 
 // OpenSaved reconstructs a TS-Index engine from a stream produced by
@@ -100,14 +132,97 @@ func OpenSaved(data []float64, r io.Reader, opt Options) (*Engine, error) {
 	return e, nil
 }
 
-// OpenSavedFile is OpenSaved from a file path.
+// OpenSavedFile is OpenSaved from a file path. With Options.MMap it is
+// the zero-copy open: the file is memory-mapped, the header validated,
+// and every arena array pointed directly at the mapping — O(header)
+// allocation however large the index, demand paging instead of an
+// up-front read, and one physical copy shared across processes.
+// Streams that predate the aligned formats (TSIX, TSFZ v1, TSSH v1/v2)
+// and platforms without mmap fall back to the copy loader
+// transparently; answers are byte-identical either way. Call
+// Engine.Close when done — mapped engines hold the region until then.
 func OpenSavedFile(data []float64, path string, opt Options) (*Engine, error) {
+	if opt.MMap {
+		eng, err := openSavedMapped(data, path, opt)
+		if err == nil || !errors.Is(err, errNotMappable) {
+			return eng, err
+		}
+		// Legacy stream or platform: the copy path serves it.
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("twinsearch: %w", err)
 	}
 	defer f.Close()
 	return OpenSaved(data, f, opt)
+}
+
+// errNotMappable marks saved indexes the zero-copy path cannot serve
+// (pre-alignment formats, big-endian hosts, platforms without mmap);
+// OpenSavedFile falls back to the copy loader for them.
+var errNotMappable = errors.New("twinsearch: saved index cannot be mapped in place")
+
+// openSavedMapped is the Options.MMap half of OpenSavedFile.
+func openSavedMapped(data []float64, path string, opt Options) (*Engine, error) {
+	if err := opt.fill(); err != nil {
+		return nil, err
+	}
+	if opt.Method != MethodTSIndex {
+		return nil, ErrPersistUnsupported
+	}
+	if !arena.MapSupported() || !arena.LittleEndianHost() {
+		return nil, errNotMappable
+	}
+	ar, err := arena.Map(path)
+	if err != nil {
+		// Runtime mapping failures (FUSE/network mounts without mmap,
+		// mapping limits) fall back to the copy loader like the
+		// compile-time checks above: the copy path either serves the
+		// file or reports the real problem (e.g. file not found).
+		return nil, fmt.Errorf("%w: %v", errNotMappable, err)
+	}
+	eng, err := engineFromArena(data, ar, opt)
+	if err != nil {
+		ar.Close()
+		return nil, err
+	}
+	return eng, nil
+}
+
+// engineFromArena builds an engine whose index arrays are views into
+// ar. On success the engine owns ar (released by Engine.Close); on
+// error the caller still owns it.
+func engineFromArena(data []float64, ar *arena.Arena, opt Options) (*Engine, error) {
+	buf := ar.Bytes()
+	if len(buf) < 6 {
+		return nil, fmt.Errorf("twinsearch: saved index truncated (%d bytes)", len(buf))
+	}
+	magic, version := string(buf[:4]), binary.LittleEndian.Uint16(buf[4:])
+	e := &Engine{opt: opt, ext: series.NewExtractor(data, opt.Norm), ex: exec.New(opt.Workers)}
+	savedL := 0
+	switch {
+	case magic == shard.Magic && version == shard.PersistVersion:
+		sh, err := shard.OpenArena(ar, e.ext, e.ex)
+		if err != nil {
+			return nil, err
+		}
+		e.sh, savedL = sh, sh.L()
+	case magic == core.FrozenMagic && version == core.FrozenVersion:
+		fz, _, err := core.FrozenFromArena(ar, 0, e.ext)
+		if err != nil {
+			return nil, err
+		}
+		e.fz, savedL = fz, fz.L()
+	case magic == shard.Magic || magic == core.FrozenMagic || magic == core.IndexMagic:
+		return nil, errNotMappable // recognized, but a pre-alignment version
+	default:
+		return nil, fmt.Errorf("twinsearch: saved index has unknown magic %q", buf[:4])
+	}
+	if savedL != opt.L {
+		return nil, fmt.Errorf("twinsearch: saved index has L=%d, options request L=%d", savedL, opt.L)
+	}
+	e.ar = ar
+	return e, nil
 }
 
 // SearchShorter answers a twin query whose length is at most L using

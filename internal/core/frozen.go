@@ -29,18 +29,26 @@ import (
 	"container/heap"
 	"fmt"
 
+	"twinsearch/internal/arena"
 	"twinsearch/internal/mbts"
 	"twinsearch/internal/series"
 )
 
 // Frozen is the flat, read-only form of a built TS-Index. Construct
-// with Index.Freeze or LoadFrozen; mutate by Thaw-ing back to a pointer
-// Index, inserting, and re-freezing.
+// with Index.Freeze, LoadFrozen, or FrozenFromArena; mutate by Thaw-ing
+// back to a pointer Index, inserting, and re-freezing (Thaw copies, so
+// mutation never writes through a file mapping).
 type Frozen struct {
 	ext    *series.Extractor
 	cfg    Config
 	size   int
 	height int
+
+	// backing, when non-nil, is the byte region the arrays below are
+	// views into (FrozenFromArena); nil means they are ordinary heap
+	// slices. The backing's owner (the Engine) controls its lifetime —
+	// views die with it, so a Frozen must not outlive its backing.
+	backing *arena.Arena
 
 	// leafStart splits the BFS node numbering: [0, leafStart) internal,
 	// [leafStart, len(first)) leaves.
@@ -170,14 +178,42 @@ func (f *Frozen) NodeCount() int { return len(f.first) }
 // the shard layer reads it to validate partitions.
 func (f *Frozen) Positions() []int32 { return f.positions }
 
-// MemoryBytes reports the heap bytes of the arena: the flat bound
-// arrays dominate; per-node structural overhead is 8 bytes (two int32)
-// against the pointer tree's per-node struct + slice headers.
-func (f *Frozen) MemoryBytes() int {
+// arrayBytes is the byte footprint of the flat arrays themselves,
+// wherever they live.
+func (f *Frozen) arrayBytes() int {
 	return 8*(len(f.upper)+len(f.lower)) + // bounds
-		4*(len(f.first)+len(f.count)+len(f.positions)) + // structure
-		96 // struct + slice headers
+		4*(len(f.first)+len(f.count)+len(f.positions)) // structure
 }
+
+// MemoryBytes reports the heap-resident bytes of the arena. For a heap
+// frozen index the flat bound arrays dominate (per-node structural
+// overhead is 8 bytes — two int32 — against the pointer tree's per-node
+// struct + slice headers); for a file-mapped one the arrays live in the
+// page cache, not the heap, and only the struct and slice headers
+// remain (see MappedBytes for the other half).
+func (f *Frozen) MemoryBytes() int {
+	const headers = 96 // struct + slice headers
+	if f.Mapped() {
+		return headers
+	}
+	return f.arrayBytes() + headers
+}
+
+// MappedBytes reports the file-mapped footprint of the arena: the flat
+// arrays' size when they are views into an mmap'd region, 0 for a heap
+// frozen index. Mapped pages are shared with every other process
+// mapping the same index and reclaimable by the kernel, so they are
+// accounted separately from MemoryBytes.
+func (f *Frozen) MappedBytes() int {
+	if f.Mapped() {
+		return f.arrayBytes()
+	}
+	return 0
+}
+
+// Mapped reports whether the arrays are views into an mmap'd file
+// region rather than heap slices.
+func (f *Frozen) Mapped() bool { return f.backing != nil && f.backing.Mapped() }
 
 // FrozenSubtree is the frozen counterpart of Subtree: an opaque handle
 // to one disjoint piece of the arena, produced by Frontier and consumed
@@ -528,7 +564,30 @@ func (q *frozenQueue) Pop() interface{} {
 //   - every node's bounds enclose its children's bounds (internal) or
 //     the exact windows of its positions (leaf);
 //   - positions are valid window starts and total exactly size.
+//
+// The first two bullets and the position range check are CheckStructure
+// — together they make every traversal memory-safe. The containment
+// bullet (CheckContainment) additionally guarantees the bounds are
+// truthful, i.e. searches return the right answers; it extracts every
+// indexed window, so it costs O(size·L). The zero-copy open path runs
+// CheckStructure only — pointing at a multi-gigabyte mapping must not
+// re-read the whole series — and trusts containment to the writer, as
+// every database trusts its own files' payloads once the framing
+// checks out.
 func (f *Frozen) CheckInvariants() error {
+	if err := f.CheckStructure(); err != nil {
+		return err
+	}
+	return f.CheckContainment()
+}
+
+// CheckStructure validates every invariant needed for traversals to be
+// memory-safe — array sizes, prefix-contiguity, occupancy, leaf depth,
+// and position ranges — without extracting windows. Allocation-free, so
+// the mmap open path can run it on arbitrarily large arenas at
+// O(header) heap cost (it does stream the structure arrays once, which
+// doubles as page-cache warmup for the index skeleton).
+func (f *Frozen) CheckStructure() error {
 	nn := len(f.first)
 	if len(f.count) != nn {
 		return fmt.Errorf("core: frozen: %d first entries, %d count entries", nn, len(f.count))
@@ -587,24 +646,50 @@ func (f *Frozen) CheckInvariants() error {
 		return fmt.Errorf("core: frozen: %d entries reachable, %d recorded", posAt, f.size)
 	}
 
-	// Depth pass: BFS numbering means depth is monotone; compute each
-	// node's depth from its parent and require all leaves at height.
-	depth := make([]int32, nn)
-	depth[0] = 1
-	for i := 0; i < int(f.leafStart); i++ {
-		lo, c := f.first[i], f.count[i]
-		for j := int32(0); j < c; j++ {
-			depth[lo+j] = depth[i] + 1
+	// Depth pass: BFS numbering makes every level a contiguous id range
+	// ([0,1) is the root; a level's children form the next range), so
+	// walking level ranges needs no per-node depth array. All leaves
+	// must form exactly the last level, at depth == height.
+	lo, hi := int32(0), int32(1)
+	for d := 1; ; d++ {
+		if lo >= f.leafStart {
+			// Leaf level: must cover every leaf and sit at height.
+			if int(lo) != int(f.leafStart) || int(hi) != nn || d != f.height {
+				return fmt.Errorf("core: frozen: leaf level [%d, %d) at depth %d, want [%d, %d) at height %d", lo, hi, d, f.leafStart, nn, f.height)
+			}
+			break
 		}
-	}
-	for i := f.leafStart; int(i) < nn; i++ {
-		if int(depth[i]) != f.height {
-			return fmt.Errorf("core: frozen: leaf %d at depth %d, height %d", i, depth[i], f.height)
+		if int(hi) > int(f.leafStart) {
+			return fmt.Errorf("core: frozen: level [%d, %d) at depth %d mixes internal nodes and leaves", lo, hi, d)
 		}
+		if d >= f.height {
+			return fmt.Errorf("core: frozen: internal level [%d, %d) at depth %d, height is %d", lo, hi, d, f.height)
+		}
+		// Prefix-contiguity (verified above) makes the children of a
+		// level range exactly the next range.
+		lo, hi = f.first[lo], f.first[hi-1]+f.count[hi-1]
 	}
 
-	// Containment pass: bounds enclose children (internal) or the exact
-	// windows (leaf).
+	// Position range pass: every leaf entry must be a valid window
+	// start, or a traversal's verification would index past the series.
+	for _, p := range f.positions {
+		if p < 0 || int(p) >= maxPos {
+			return fmt.Errorf("core: frozen: corrupt position %d (max %d)", p, maxPos)
+		}
+	}
+	return nil
+}
+
+// CheckContainment validates the semantic half of the invariants: every
+// node's bounds enclose its children's bounds (internal) or the exact
+// windows of its positions (leaf). Requires a structurally valid arena;
+// costs O(size·L) window extractions.
+func (f *Frozen) CheckContainment() error {
+	nn := len(f.first)
+	if nn == 0 {
+		return nil
+	}
+	maxPos := series.NumSubsequences(f.ext.Len(), f.cfg.L)
 	buf := make([]float64, f.cfg.L)
 	for i := 0; i < nn; i++ {
 		up, lo := f.boundsUpper(int32(i)), f.boundsLower(int32(i))

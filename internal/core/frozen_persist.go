@@ -1,25 +1,44 @@
 package core
 
 // Frozen index persistence: the arena serializes as its backing arrays,
-// so saving is a handful of sequential writes and loading is a
-// sequential read straight into the final slices — no tree rebuild, no
-// per-node allocation. This is the stream the sharded TSSH v2 format
-// embeds per shard, and the stepping stone to memory-mapping the arena
-// (the on-disk layout IS the in-memory layout, little-endian).
+// so saving is a handful of sequential writes and loading is either a
+// sequential read straight into final heap slices (LoadFrozen) or — the
+// point of version 2 — no read at all: the stream's sections are 8-byte
+// aligned and offset-addressed, so FrozenFromArena points the arrays
+// directly at an mmap'd file region and the open costs O(header)
+// allocations however large the index is. This is the stream the
+// sharded TSSH v3 format embeds per shard.
 //
-// Format (little-endian):
+// Version 2 format (little-endian; all sections 8-byte aligned relative
+// to the stream start, which mmap's page alignment promotes to absolute
+// alignment):
 //
-//	magic "TSFZ", version u16
-//	mode u8, L u32, MinCap u32, MaxCap u32
-//	size u64, height u32, seriesLen u64
-//	nodeCount u32, leafStart u32
-//	structure: (2·nodeCount + size) × i32   — first | count | positions
-//	bounds:    (2·nodeCount·L) × f64        — upper | lower
+//	off 0   magic "TSFZ"
+//	off 4   version u16 (= 2)
+//	off 6   mode u8, reserved u8 (0)
+//	off 8   L u32, MinCap u32, MaxCap u32, height u32
+//	off 24  size u64, seriesLen u64
+//	off 40  nodeCount u32, leafStart u32
+//	off 48  firstOff, countOff, positionsOff, upperOff, lowerOff u64
+//	off 88  totalLen u64
+//	off 96  sections, each at its recorded offset, zero-padded between:
+//	        first     nodeCount × i32
+//	        count     nodeCount × i32
+//	        positions size × i32
+//	        upper     nodeCount·L × f64
+//	        lower     nodeCount·L × f64
 //
-// Like the pointer formats, the series itself is not embedded;
-// LoadFrozen validates the arena against the supplied extractor
-// (CheckInvariants) before returning it, so corrupt or hostile streams
-// cannot produce an index whose traversals read out of bounds.
+// The section offsets are recorded for self-description but are not
+// trusted: both loaders recompute the canonical layout from the counts
+// and reject any stream whose offsets disagree, so a hostile header
+// cannot alias sections or point them outside the stream. Version 1
+// (unaligned, sections implicit) is still read by LoadFrozen; the
+// writer below emits only v2.
+//
+// Like the pointer formats, the series itself is not embedded.
+// LoadFrozen validates the full invariants against the supplied
+// extractor before returning; FrozenFromArena validates the structural
+// (memory-safety) half — see Frozen.CheckStructure for the split.
 
 import (
 	"bufio"
@@ -28,6 +47,7 @@ import (
 	"io"
 	"math"
 
+	"twinsearch/internal/arena"
 	"twinsearch/internal/series"
 )
 
@@ -36,7 +56,14 @@ import (
 // twinsearch.OpenSaved).
 const FrozenMagic = "TSFZ"
 
-const frozenPersistVersion = 1
+const (
+	frozenVersion1 = 1
+	FrozenVersion  = 2
+
+	// frozenHeaderSize is the fixed v2 header length; the first section
+	// starts here, already 8-byte aligned.
+	frozenHeaderSize = 96
+)
 
 // maxFrozenHeight bounds the recorded tree height on load; with
 // MaxCap ≥ 3 even a billion-window index stays under 20 levels, so
@@ -44,8 +71,82 @@ const frozenPersistVersion = 1
 // the node-count plausibility check multiplies by it.
 const maxFrozenHeight = 64
 
-// WriteTo serializes the frozen index. It implements io.WriterTo.
+// frozenLayout is the canonical v2 section placement for an arena with
+// nn nodes, np positions, and subsequence length l. Both the writer and
+// the loaders derive it from the counts alone.
+type frozenLayout struct {
+	firstOff, countOff, positionsOff, upperOff, lowerOff, totalLen int64
+}
+
+func layoutFrozen(nn, np, l int64) frozenLayout {
+	var lo frozenLayout
+	lo.firstOff = frozenHeaderSize
+	lo.countOff = arena.Align8(lo.firstOff + 4*nn)
+	lo.positionsOff = arena.Align8(lo.countOff + 4*nn)
+	lo.upperOff = arena.Align8(lo.positionsOff + 4*np)
+	lo.lowerOff = lo.upperOff + 8*nn*l
+	lo.totalLen = lo.lowerOff + 8*nn*l
+	return lo
+}
+
+// StreamLen returns the exact byte length WriteTo will produce — the
+// layout is deterministic in the array sizes, so container formats
+// (TSSH v3) can write segment tables ahead of the segments.
+func (f *Frozen) StreamLen() int64 {
+	return layoutFrozen(int64(len(f.first)), int64(len(f.positions)), int64(f.cfg.L)).totalLen
+}
+
+// WriteTo serializes the frozen index in the current (v2, aligned)
+// format. It implements io.WriterTo.
 func (f *Frozen) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+
+	nn := int64(len(f.first))
+	lo := layoutFrozen(nn, int64(len(f.positions)), int64(f.cfg.L))
+	hdr := make([]byte, frozenHeaderSize)
+	copy(hdr, FrozenMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], FrozenVersion)
+	hdr[6] = uint8(f.ext.Mode())
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(f.cfg.L))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(f.cfg.MinCap))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(f.cfg.MaxCap))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(f.height))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(f.size))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(f.ext.Len()))
+	binary.LittleEndian.PutUint32(hdr[40:], uint32(nn))
+	binary.LittleEndian.PutUint32(hdr[44:], uint32(f.leafStart))
+	for i, off := range []int64{lo.firstOff, lo.countOff, lo.positionsOff, lo.upperOff, lo.lowerOff, lo.totalLen} {
+		binary.LittleEndian.PutUint64(hdr[48+8*i:], uint64(off))
+	}
+	if _, err := cw.Write(hdr); err != nil {
+		return cw.n, err
+	}
+	for _, sec := range []struct {
+		off int64
+		arr interface{}
+	}{
+		{lo.firstOff, f.first}, {lo.countOff, f.count}, {lo.positionsOff, f.positions},
+		{lo.upperOff, f.upper}, {lo.lowerOff, f.lower},
+	} {
+		if err := padTo(cw, sec.off); err != nil {
+			return cw.n, err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, sec.arr); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// WriteLegacyV1 serializes the frozen index in the version 1 format
+// (unaligned, sections implicit). Current code never writes it; it is
+// retained so the cross-version compatibility tests can produce real v1
+// streams and hold the loaders to them.
+func (f *Frozen) WriteLegacyV1(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	cw := &countWriter{w: bw}
 
@@ -53,7 +154,7 @@ func (f *Frozen) WriteTo(w io.Writer) (int64, error) {
 		return cw.n, err
 	}
 	hdr := []interface{}{
-		uint16(frozenPersistVersion),
+		uint16(frozenVersion1),
 		uint8(f.ext.Mode()),
 		uint32(f.cfg.L), uint32(f.cfg.MinCap), uint32(f.cfg.MaxCap),
 		uint64(f.size), uint32(f.height), uint64(f.ext.Len()),
@@ -80,10 +181,107 @@ func (f *Frozen) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
-// LoadFrozen reconstructs a frozen index from r against ext. The
-// extractor must present the same series (length) and normalization
-// mode the index was built with; the arena is fully validated before
-// use.
+// padTo writes zero bytes until the counting writer reaches off.
+func padTo(cw *countWriter, off int64) error {
+	if cw.n > off {
+		return fmt.Errorf("core: frozen writer overran section offset %d (at %d)", off, cw.n)
+	}
+	var zeros [8]byte
+	for cw.n < off {
+		n := off - cw.n
+		if n > int64(len(zeros)) {
+			n = int64(len(zeros))
+		}
+		if _, err := cw.Write(zeros[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// frozenHeader is the decoded, not-yet-validated fixed header shared by
+// both v2 entry points.
+type frozenHeader struct {
+	mode                 uint8
+	l, minCap, maxCap    uint32
+	height               uint32
+	size                 uint64
+	seriesLen            uint64
+	nodeCount, leafStart uint32
+	offs                 [6]uint64 // first, count, positions, upper, lower, totalLen
+}
+
+func decodeFrozenHeader(hdr []byte) frozenHeader {
+	var h frozenHeader
+	h.mode = hdr[6]
+	h.l = binary.LittleEndian.Uint32(hdr[8:])
+	h.minCap = binary.LittleEndian.Uint32(hdr[12:])
+	h.maxCap = binary.LittleEndian.Uint32(hdr[16:])
+	h.height = binary.LittleEndian.Uint32(hdr[20:])
+	h.size = binary.LittleEndian.Uint64(hdr[24:])
+	h.seriesLen = binary.LittleEndian.Uint64(hdr[32:])
+	h.nodeCount = binary.LittleEndian.Uint32(hdr[40:])
+	h.leafStart = binary.LittleEndian.Uint32(hdr[44:])
+	for i := range h.offs {
+		h.offs[i] = binary.LittleEndian.Uint64(hdr[48+8*i:])
+	}
+	return h
+}
+
+// validateFrozenHeader runs every header-level check shared by the copy
+// and zero-copy loaders: extractor agreement, parameter plausibility
+// (nothing in the header may command a large allocation or an
+// out-of-range index), and — for v2 — that the recorded section offsets
+// are exactly the canonical layout.
+func validateFrozenHeader(h frozenHeader, ext *series.Extractor, checkOffsets bool) (Config, error) {
+	if series.NormMode(h.mode) != ext.Mode() {
+		return Config{}, fmt.Errorf("core: load frozen: index built under %v, extractor is %v", series.NormMode(h.mode), ext.Mode())
+	}
+	if int(h.seriesLen) != ext.Len() {
+		return Config{}, fmt.Errorf("core: load frozen: index built over %d points, series has %d", h.seriesLen, ext.Len())
+	}
+	cfg := Config{L: int(h.l), MinCap: int(h.minCap), MaxCap: int(h.maxCap)}
+	if err := cfg.fill(); err != nil {
+		return Config{}, fmt.Errorf("core: load frozen: %w", err)
+	}
+	if ext.Len() < cfg.L {
+		return Config{}, fmt.Errorf("core: load frozen: series length %d shorter than subsequence length %d", ext.Len(), cfg.L)
+	}
+	maxPos := series.NumSubsequences(ext.Len(), cfg.L)
+	// Plausibility gates before anything allocates or indexes: a hostile
+	// header must not command a multi-gigabyte allocation. A legitimate
+	// tree has at most size leaves and fewer internal nodes per level
+	// than the level below, so (size+1)·(height+1) over-covers every
+	// valid shape.
+	if h.size > uint64(maxPos) {
+		return Config{}, fmt.Errorf("core: load frozen: %d entries for a series with %d windows", h.size, maxPos)
+	}
+	if h.height > maxFrozenHeight {
+		return Config{}, fmt.Errorf("core: load frozen: implausible height %d", h.height)
+	}
+	if uint64(h.nodeCount) > (h.size+1)*uint64(h.height+1) {
+		return Config{}, fmt.Errorf("core: load frozen: implausible node count %d for %d entries", h.nodeCount, h.size)
+	}
+	if uint64(h.leafStart) > uint64(h.nodeCount) {
+		return Config{}, fmt.Errorf("core: load frozen: leafStart %d exceeds node count %d", h.leafStart, h.nodeCount)
+	}
+	if checkOffsets {
+		lo := layoutFrozen(int64(h.nodeCount), int64(h.size), int64(cfg.L))
+		want := [6]uint64{uint64(lo.firstOff), uint64(lo.countOff), uint64(lo.positionsOff),
+			uint64(lo.upperOff), uint64(lo.lowerOff), uint64(lo.totalLen)}
+		if h.offs != want {
+			return Config{}, fmt.Errorf("core: load frozen: section offsets %v differ from the canonical layout %v", h.offs, want)
+		}
+	}
+	return cfg, nil
+}
+
+// LoadFrozen reconstructs a frozen index from r against ext, copying
+// the arrays into fresh heap slices (the byte-order-independent path;
+// FrozenFromArena is the zero-copy one). Version 1 and 2 streams are
+// both accepted. The extractor must present the same series (length)
+// and normalization mode the index was built with; the arena is fully
+// validated before use.
 func LoadFrozen(r io.Reader, ext *series.Extractor) (*Frozen, error) {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
@@ -96,8 +294,88 @@ func LoadFrozen(r io.Reader, ext *series.Extractor) (*Frozen, error) {
 	if string(magic) != FrozenMagic {
 		return nil, fmt.Errorf("core: load frozen: bad magic %q", magic)
 	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("core: load frozen header: %w", err)
+	}
+	switch version {
+	case frozenVersion1:
+		return loadFrozenV1(br, ext)
+	case FrozenVersion:
+	default:
+		return nil, fmt.Errorf("core: load frozen: unsupported version %d", version)
+	}
+
+	// v2: the 6 bytes consumed so far are magic+version; read the rest
+	// of the fixed header, then the sections in stream order.
+	hdr := make([]byte, frozenHeaderSize)
+	if _, err := io.ReadFull(br, hdr[6:]); err != nil {
+		return nil, fmt.Errorf("core: load frozen header: %w", err)
+	}
+	h := decodeFrozenHeader(hdr)
+	cfg, err := validateFrozenHeader(h, ext, true)
+	if err != nil {
+		return nil, err
+	}
+	f := &Frozen{ext: ext, cfg: cfg, size: int(h.size), height: int(h.height),
+		leafStart: int32(h.leafStart)}
+	nn := int(h.nodeCount)
+	lo := layoutFrozen(int64(nn), int64(h.size), int64(cfg.L))
+
+	// Walk the sections in stream order, skipping the alignment padding
+	// between them. The chunked readers grow their output as bytes
+	// actually arrive, so a hostile header claiming a huge arena costs
+	// only what the stream ships.
+	at := int64(frozenHeaderSize)
+	skipTo := func(to int64) error {
+		if _, err := io.CopyN(io.Discard, br, to-at); err != nil {
+			return err
+		}
+		at = to
+		return nil
+	}
+	intSections := []struct {
+		off  int64
+		n    int
+		dst  *[]int32
+		name string
+	}{
+		{lo.firstOff, nn, &f.first, "first"},
+		{lo.countOff, nn, &f.count, "count"},
+		{lo.positionsOff, int(h.size), &f.positions, "positions"},
+	}
+	for _, sec := range intSections {
+		if err := skipTo(sec.off); err != nil {
+			return nil, fmt.Errorf("core: load frozen %s: %w", sec.name, err)
+		}
+		arr, err := readInt32s(br, sec.n)
+		if err != nil {
+			return nil, fmt.Errorf("core: load frozen %s: %w", sec.name, err)
+		}
+		*sec.dst = arr
+		at += int64(sec.n) * 4
+	}
+	if err := skipTo(lo.upperOff); err != nil {
+		return nil, fmt.Errorf("core: load frozen bounds: %w", err)
+	}
+	// upper and lower are adjacent (lowerOff = upperOff + 8·nn·L), so one
+	// backing array serves both.
+	bounds, err := readFloat64s(br, 2*nn*cfg.L)
+	if err != nil {
+		return nil, fmt.Errorf("core: load frozen bounds: %w", err)
+	}
+	f.upper = bounds[: len(bounds)/2 : len(bounds)/2]
+	f.lower = bounds[len(bounds)/2:]
+	if err := f.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("core: load frozen: reconstructed index is inconsistent with the supplied series: %w", err)
+	}
+	return f, nil
+}
+
+// loadFrozenV1 reads the remainder of a version 1 stream (magic and
+// version already consumed).
+func loadFrozenV1(br *bufio.Reader, ext *series.Extractor) (*Frozen, error) {
 	var (
-		version              uint16
 		mode                 uint8
 		l, minCap, maxCap    uint32
 		size                 uint64
@@ -105,53 +383,24 @@ func LoadFrozen(r io.Reader, ext *series.Extractor) (*Frozen, error) {
 		seriesLen            uint64
 		nodeCount, leafStart uint32
 	)
-	for _, v := range []interface{}{&version, &mode, &l, &minCap, &maxCap,
+	for _, v := range []interface{}{&mode, &l, &minCap, &maxCap,
 		&size, &height, &seriesLen, &nodeCount, &leafStart} {
 		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
 			return nil, fmt.Errorf("core: load frozen header: %w", err)
 		}
 	}
-	if version != frozenPersistVersion {
-		return nil, fmt.Errorf("core: load frozen: unsupported version %d", version)
-	}
-	if series.NormMode(mode) != ext.Mode() {
-		return nil, fmt.Errorf("core: load frozen: index built under %v, extractor is %v", series.NormMode(mode), ext.Mode())
-	}
-	if int(seriesLen) != ext.Len() {
-		return nil, fmt.Errorf("core: load frozen: index built over %d points, series has %d", seriesLen, ext.Len())
-	}
-	cfg := Config{L: int(l), MinCap: int(minCap), MaxCap: int(maxCap)}
-	if err := cfg.fill(); err != nil {
-		return nil, fmt.Errorf("core: load frozen: %w", err)
-	}
-	if ext.Len() < cfg.L {
-		return nil, fmt.Errorf("core: load frozen: series length %d shorter than subsequence length %d", ext.Len(), cfg.L)
-	}
-	maxPos := series.NumSubsequences(ext.Len(), cfg.L)
-	// Plausibility gates before the arrays allocate: a hostile header
-	// must not command a multi-gigabyte allocation. A legitimate tree
-	// has at most size leaves and fewer internal nodes per level than
-	// the level below, so (size+1)·(height+1) over-covers every valid
-	// shape.
-	if size > uint64(maxPos) {
-		return nil, fmt.Errorf("core: load frozen: %d entries for a series with %d windows", size, maxPos)
-	}
-	if height > maxFrozenHeight {
-		return nil, fmt.Errorf("core: load frozen: implausible height %d", height)
-	}
-	if uint64(nodeCount) > (size+1)*uint64(height+1) {
-		return nil, fmt.Errorf("core: load frozen: implausible node count %d for %d entries", nodeCount, size)
-	}
-	if uint64(leafStart) > uint64(nodeCount) {
-		return nil, fmt.Errorf("core: load frozen: leafStart %d exceeds node count %d", leafStart, nodeCount)
+	h := frozenHeader{mode: mode, l: l, minCap: minCap, maxCap: maxCap,
+		height: height, size: size, seriesLen: seriesLen,
+		nodeCount: nodeCount, leafStart: leafStart}
+	cfg, err := validateFrozenHeader(h, ext, false)
+	if err != nil {
+		return nil, err
 	}
 
 	f := &Frozen{ext: ext, cfg: cfg, size: int(size), height: int(height),
 		leafStart: int32(leafStart)}
 	// One backing array per element type; the named slices alias into
-	// it, so each sequential read lands directly in its final home. The
-	// readers grow their output as bytes actually arrive, so a hostile
-	// header claiming a huge arena costs only what the stream ships.
+	// it, so each sequential read lands directly in its final home.
 	ints, err := readInt32s(br, int(2*uint64(nodeCount)+size))
 	if err != nil {
 		return nil, fmt.Errorf("core: load frozen structure: %w", err)
@@ -169,6 +418,64 @@ func LoadFrozen(r io.Reader, ext *series.Extractor) (*Frozen, error) {
 		return nil, fmt.Errorf("core: load frozen: reconstructed index is inconsistent with the supplied series: %w", err)
 	}
 	return f, nil
+}
+
+// FrozenFromArena is the zero-copy open path: it interprets the TSFZ v2
+// stream at byte offset off of ar as a Frozen whose arrays are views
+// directly into the arena — no decoding, no copying, O(header) heap
+// allocation however large the index. It returns the frozen index and
+// the stream's total length (so callers walking a container format can
+// find the next segment).
+//
+// The caller owns ar and must keep it alive (and unclosed) for the
+// Frozen's lifetime. Only v2 streams on little-endian hosts qualify;
+// anything else returns an error and the caller falls back to
+// LoadFrozen. The structural (memory-safety) invariants are validated
+// before the index is returned; the O(size·L) containment validation is
+// skipped — see Frozen.CheckStructure.
+func FrozenFromArena(ar *arena.Arena, off int64, ext *series.Extractor) (*Frozen, int64, error) {
+	buf := ar.Bytes()
+	if off < 0 || off > int64(len(buf)) || int64(len(buf))-off < frozenHeaderSize {
+		return nil, 0, fmt.Errorf("core: frozen arena: %d-byte region at offset %d too small for a header", len(buf), off)
+	}
+	hdr := buf[off : off+frozenHeaderSize]
+	if string(hdr[:4]) != FrozenMagic {
+		return nil, 0, fmt.Errorf("core: frozen arena: bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != FrozenVersion {
+		return nil, 0, fmt.Errorf("core: frozen arena: version %d streams cannot be mapped in place (zero-copy needs the aligned v%d format)", v, FrozenVersion)
+	}
+	h := decodeFrozenHeader(hdr)
+	cfg, err := validateFrozenHeader(h, ext, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	lo := layoutFrozen(int64(h.nodeCount), int64(h.size), int64(cfg.L))
+	if lo.totalLen > int64(len(buf))-off {
+		return nil, 0, fmt.Errorf("core: frozen arena: stream of %d bytes truncated at %d", lo.totalLen, int64(len(buf))-off)
+	}
+	f := &Frozen{ext: ext, cfg: cfg, size: int(h.size), height: int(h.height),
+		leafStart: int32(h.leafStart), backing: ar}
+	nn := int(h.nodeCount)
+	if f.first, err = ar.Int32s(off+lo.firstOff, nn); err != nil {
+		return nil, 0, fmt.Errorf("core: frozen arena: %w", err)
+	}
+	if f.count, err = ar.Int32s(off+lo.countOff, nn); err != nil {
+		return nil, 0, fmt.Errorf("core: frozen arena: %w", err)
+	}
+	if f.positions, err = ar.Int32s(off+lo.positionsOff, int(h.size)); err != nil {
+		return nil, 0, fmt.Errorf("core: frozen arena: %w", err)
+	}
+	if f.upper, err = ar.Float64s(off+lo.upperOff, nn*cfg.L); err != nil {
+		return nil, 0, fmt.Errorf("core: frozen arena: %w", err)
+	}
+	if f.lower, err = ar.Float64s(off+lo.lowerOff, nn*cfg.L); err != nil {
+		return nil, 0, fmt.Errorf("core: frozen arena: %w", err)
+	}
+	if err := f.CheckStructure(); err != nil {
+		return nil, 0, fmt.Errorf("core: frozen arena: stream is inconsistent with the supplied series: %w", err)
+	}
+	return f, lo.totalLen, nil
 }
 
 // readChunkBytes is the transfer granularity of the array readers: big

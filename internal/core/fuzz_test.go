@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"twinsearch/internal/arena"
 	"twinsearch/internal/datasets"
 	"twinsearch/internal/series"
 )
@@ -47,10 +48,14 @@ func FuzzLoad(f *testing.F) {
 	})
 }
 
-// FuzzLoadFrozen is FuzzLoad for the flat-arena deserializer: arbitrary
-// byte streams must be rejected with an error or yield an arena whose
-// invariants hold — never a panic, an out-of-range index, or an arena
-// that contradicts the series.
+// FuzzLoadFrozen is FuzzLoad for the flat-arena deserializers — the
+// copy loader (LoadFrozen, v1+v2 streams) and the zero-copy one
+// (FrozenFromArena, aligned v2): arbitrary byte streams must be
+// rejected with an error or yield an arena that traverses safely —
+// never a panic or an out-of-range index. The copy loader additionally
+// guarantees full invariants (bound containment included); the
+// zero-copy path guarantees the structural half, so its accepted
+// arenas are checked against CheckStructure and then traversed.
 func FuzzLoadFrozen(f *testing.F) {
 	ts := datasets.RandomWalk(91, 600)
 	ext := series.NewExtractor(ts, series.NormGlobal)
@@ -58,33 +63,52 @@ func FuzzLoadFrozen(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	fz := ix.Freeze()
 	var valid bytes.Buffer
-	if _, err := ix.Freeze().WriteTo(&valid); err != nil {
+	if _, err := fz.WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	var validV1 bytes.Buffer
+	if _, err := fz.WriteLegacyV1(&validV1); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(valid.Bytes())
+	f.Add(validV1.Bytes())
 	f.Add(valid.Bytes()[:20])
+	f.Add(valid.Bytes()[:frozenHeaderSize])
 	f.Add([]byte("TSFZ garbage"))
 	f.Add([]byte{})
-	mutated := append([]byte(nil), valid.Bytes()...)
-	if len(mutated) > 100 {
-		mutated[48] ^= 0xFF // structure arrays
-		mutated[99] ^= 0x0F
+	for _, off := range []int{6, 24, 48, 90, 99} { // mode, size, offsets, sections
+		mutated := append([]byte(nil), valid.Bytes()...)
+		if len(mutated) > off {
+			mutated[off] ^= 0xFF
+		}
+		f.Add(mutated)
 	}
-	f.Add(mutated)
 
 	f.Fuzz(func(t *testing.T, stream []byte) {
 		got, err := LoadFrozen(bytes.NewReader(stream), ext)
+		if err == nil {
+			if err := got.CheckInvariants(); err != nil {
+				t.Fatalf("LoadFrozen accepted an inconsistent stream: %v", err)
+			}
+			// An accepted arena must also traverse safely end to end.
+			q := ext.ExtractCopy(0, got.L())
+			got.Search(q, 0.5)
+			got.SearchTopK(q, 5)
+		}
+
+		mapped, _, err := FrozenFromArena(arena.FromBytes(stream), 0, ext)
 		if err != nil {
 			return // rejected: fine
 		}
-		if err := got.CheckInvariants(); err != nil {
-			t.Fatalf("LoadFrozen accepted an inconsistent stream: %v", err)
+		if err := mapped.CheckStructure(); err != nil {
+			t.Fatalf("FrozenFromArena accepted a structurally invalid stream: %v", err)
 		}
-		// An accepted arena must also traverse safely end to end.
-		q := ext.ExtractCopy(0, got.L())
-		got.Search(q, 0.5)
-		got.SearchTopK(q, 5)
+		q := ext.ExtractCopy(0, mapped.L())
+		mapped.Search(q, 0.5)
+		mapped.SearchTopK(q, 5)
+		mapped.SearchApprox(q, 0.5, 3)
 	})
 }
 

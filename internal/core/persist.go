@@ -34,7 +34,7 @@ import (
 )
 
 const (
-	persistMagic   = "TSIX"
+	IndexMagic     = "TSIX"
 	persistVersion = 1
 )
 
@@ -43,7 +43,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	cw := &countWriter{w: bw}
 
-	if _, err := cw.Write([]byte(persistMagic)); err != nil {
+	if _, err := cw.Write([]byte(IndexMagic)); err != nil {
 		return cw.n, err
 	}
 	hdr := []interface{}{
@@ -112,7 +112,7 @@ func Load(r io.Reader, ext *series.Extractor) (*Index, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
-	if string(magic) != persistMagic {
+	if string(magic) != IndexMagic {
 		return nil, fmt.Errorf("core: load: bad magic %q", magic)
 	}
 	var (

@@ -6,8 +6,12 @@ import (
 	"os"
 	"time"
 
+	"twinsearch/internal/arena"
+	"twinsearch/internal/core"
 	"twinsearch/internal/datasets"
+	"twinsearch/internal/exec"
 	"twinsearch/internal/series"
+	"twinsearch/internal/shard"
 	"twinsearch/internal/store"
 	"twinsearch/internal/sweepline"
 )
@@ -431,6 +435,92 @@ func (r *Runner) FigureSkew() []Row {
 				BuildMs: b.buildTime.Seconds() * 1000, MemBytes: b.memBytes,
 			})
 		}
+	}
+	return rows
+}
+
+// FigureColdOpen — beyond the paper: the cost of bringing a saved
+// sharded index back to life, copy loader versus mmap. The copy rows
+// decode the whole stream into heap arenas up front (open time and
+// resident bytes are O(index)); the mmap rows validate the header,
+// point the arenas at the mapping, and let queries fault pages in on
+// demand (open is O(header), residency is whatever the workload
+// touches, shared across processes). AvgResults is the parity check;
+// MemBytes reports heap-resident bytes, where the two open paths
+// differ most.
+func (r *Runner) FigureColdOpen() []Row {
+	const shards = 4
+	d := r.EEG()
+	r.logf("Cold-open experiment: %s", d.Name)
+	ext := r.extractor(d, series.NormGlobal)
+	queries := r.workload(d, ext, DefaultL)
+
+	ix, err := shard.Build(ext, shard.Config{
+		Config: core.Config{L: DefaultL}, Shards: shards, Executor: exec.New(r.Workers)})
+	if err != nil {
+		r.logf("  build failed (%v)", err)
+		return nil
+	}
+	f, err := os.CreateTemp("", "twinsearch-coldopen-*.tsidx")
+	if err != nil {
+		r.logf("  temp index file unavailable (%v)", err)
+		return nil
+	}
+	path := f.Name()
+	if _, err := ix.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		r.logf("  save failed (%v)", err)
+		return nil
+	}
+	f.Close()
+	defer os.Remove(path)
+
+	open := func(mmap bool) (*shard.Index, func(), error) {
+		if !mmap {
+			sf, err := os.Open(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			defer sf.Close()
+			re, err := shard.Load(sf, ext, exec.New(r.Workers))
+			return re, func() {}, err
+		}
+		ar, err := arena.Map(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		re, err := shard.OpenArena(ar, ext, exec.New(r.Workers))
+		if err != nil {
+			ar.Close()
+			return nil, nil, err
+		}
+		return re, func() { ar.Close() }, nil
+	}
+
+	var rows []Row
+	for _, mmap := range []bool{false, true} {
+		label := "open=copy"
+		if mmap {
+			label = "open=mmap"
+		}
+		start := time.Now()
+		re, release, err := open(mmap)
+		if err != nil {
+			r.logf("  %s: skipped (%v)", label, err)
+			continue
+		}
+		openTime := time.Since(start)
+		r.logf("  %s in %v (heap %d B, mapped %d B)", label, openTime.Round(time.Microsecond),
+			re.MemoryBytes(), re.MappedBytes())
+		avgMs, avgRes, avgCands := measure(built{method: TSIndex, s: shardAdapter{re}},
+			queries, d.DefaultEpsNorm)
+		rows = append(rows, Row{
+			Figure: "coldopen", Dataset: d.Name, Method: "TS-Index", Param: label,
+			AvgQueryMs: avgMs, AvgResults: avgRes, AvgCandidates: avgCands,
+			BuildMs: openTime.Seconds() * 1000, MemBytes: re.MemoryBytes(),
+		})
+		release()
 	}
 	return rows
 }

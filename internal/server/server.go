@@ -63,13 +63,19 @@ func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status":       "ok",
-		"method":       h.eng.Method().String(),
-		"norm":         h.eng.Norm().String(),
-		"l":            h.eng.L(),
-		"series_len":   h.eng.SeriesLen(),
-		"windows":      h.eng.NumSubsequences(),
+		"status":     "ok",
+		"method":     h.eng.Method().String(),
+		"norm":       h.eng.Norm().String(),
+		"l":          h.eng.L(),
+		"series_len": h.eng.SeriesLen(),
+		"windows":    h.eng.NumSubsequences(),
+		// memory_bytes is the whole index footprint; heap_bytes and
+		// mapped_bytes split it into pages this process pays for
+		// exclusively versus pages served from an mmap'd saved index
+		// (shared across processes, reclaimable by the kernel).
 		"memory_bytes": h.eng.MemoryBytes(),
+		"heap_bytes":   h.eng.HeapBytes(),
+		"mapped_bytes": h.eng.MappedBytes(),
 		"shards":       h.eng.Shards(),
 		// How sharded partitions own the position space: "mean" packs
 		// look-alike windows per shard (tighter bounds, k-way merge),

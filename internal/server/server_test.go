@@ -279,6 +279,16 @@ func TestShardedServer(t *testing.T) {
 	if w, ok := health["workers"].(float64); !ok || int(w) != sharded.Workers() {
 		t.Fatalf("healthz workers = %v, want %d", health["workers"], sharded.Workers())
 	}
+	// The memory split: heap + mapped must cover the total, and a
+	// heap-built engine maps nothing.
+	heap, _ := health["heap_bytes"].(float64)
+	mapped, ok := health["mapped_bytes"].(float64)
+	if !ok || mapped != 0 {
+		t.Fatalf("healthz mapped_bytes = %v, want 0 for a built engine", health["mapped_bytes"])
+	}
+	if total, _ := health["memory_bytes"].(float64); total != heap+mapped {
+		t.Fatalf("healthz memory_bytes %v != heap %v + mapped %v", total, heap, mapped)
+	}
 
 	for _, path := range []string{"/search", "/topk"} {
 		req := map[string]interface{}{"query": ts[1000:1100]}

@@ -1,0 +1,225 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twinsearch/internal/arena"
+	"twinsearch/internal/core"
+	"twinsearch/internal/datasets"
+	"twinsearch/internal/series"
+)
+
+// TestOpenArenaDifferential opens a saved v3 stream through a real mmap
+// and requires every search path to agree with the heap-loaded index
+// byte for byte, for both partition schemes; Insert must copy-on-thaw
+// (the mapped file stays byte-identical) and migrate the touched shard
+// off the mapping.
+func TestOpenArenaDifferential(t *testing.T) {
+	if !arena.MapSupported() {
+		t.Skip("mmap unsupported on this platform")
+	}
+	ts := datasets.RandomWalk(71, 1800)
+	const l = 40
+	for _, byMean := range []bool{false, true} {
+		t.Run(fmt.Sprintf("mean=%v", byMean), func(t *testing.T) {
+			ext := series.NewExtractor(append([]float64(nil), ts...), series.NormGlobal)
+			sh, err := Build(ext, Config{Config: core.Config{L: l}, Shards: 3, PartitionByMean: byMean})
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), "index.tssh")
+			f, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sh.WriteTo(f); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			before, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ar, err := arena.Map(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ar.Close()
+			got, err := OpenArena(ar, ext, nil)
+			if err != nil {
+				t.Fatalf("OpenArena: %v", err)
+			}
+			if got.MappedBytes() == 0 {
+				t.Fatal("mapped index reports no mapped bytes")
+			}
+			if got.MemoryBytes() >= got.MappedBytes() {
+				t.Fatalf("mapped index heap bytes %d not below mapped bytes %d", got.MemoryBytes(), got.MappedBytes())
+			}
+			if got.PartitionByMean() != byMean {
+				t.Fatal("partition scheme lost through the arena open")
+			}
+
+			q := ext.ExtractCopy(444, l)
+			wantM, wantS := sh.SearchStats(q, 0.5)
+			gotM, gotS := got.SearchStats(q, 0.5)
+			if !sameMatches(wantM, gotM) || wantS != gotS {
+				t.Fatal("SearchStats diverged between heap and mapped index")
+			}
+			if w, g := sh.SearchTopK(q, 9), got.SearchTopK(q, 9); !sameMatches(w, g) {
+				t.Fatal("SearchTopK diverged between heap and mapped index")
+			}
+			wp, werr := sh.SearchPrefix(q[:l/2], 0.5)
+			gp, gerr := got.SearchPrefix(q[:l/2], 0.5)
+			if (werr == nil) != (gerr == nil) || !sameMatches(wp, gp) {
+				t.Fatal("SearchPrefix diverged between heap and mapped index")
+			}
+			// With the budget covering every leaf, the approximate search
+			// is exhaustive and deterministic on both forms.
+			budget := got.Len()
+			wa, _ := sh.SearchApprox(q, 0.5, budget)
+			ga, _ := got.SearchApprox(q, 0.5, budget)
+			if !sameMatches(wa, ga) {
+				t.Fatal("SearchApprox diverged between heap and mapped index")
+			}
+
+			// Copy-on-thaw: growing the mapped index must leave the file
+			// untouched and move the mutated shard's arena to the heap.
+			oldCount := series.NumSubsequences(ext.Len(), l)
+			ext.Append(0.5, -1.5, 2.5)
+			for p := oldCount; p < series.NumSubsequences(ext.Len(), l); p++ {
+				got.Insert(p)
+			}
+			if n := len(got.Search(q, 0.5)); n < len(wantM) {
+				t.Fatalf("post-append search lost results: %d < %d", n, len(wantM))
+			}
+			if got.MappedBytes() >= 4*(len(before)/5) && got.NumShards() > 1 {
+				// At least the mutated shard must have left the mapping.
+				t.Fatalf("append did not migrate any shard off the mapping (%d of %d bytes still mapped)", got.MappedBytes(), len(before))
+			}
+			after, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(before, after) {
+				t.Fatal("append wrote through the mapped file")
+			}
+		})
+	}
+}
+
+// TestShardLoadV2BackCompat hand-writes the version-2 sharded stream
+// (TSFZ v1 shard payloads, no segment table) and checks Load still
+// accepts it while OpenArena refuses it as unmappable.
+func TestShardLoadV2BackCompat(t *testing.T) {
+	ts := datasets.RandomWalk(56, 1200)
+	const l = 30
+	ext := series.NewExtractor(ts, series.NormGlobal)
+	count := series.NumSubsequences(len(ts), l)
+	bounds := []int{0, count / 3, count}
+
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	bw.WriteString(Magic)
+	binary.Write(bw, binary.LittleEndian, uint16(2))
+	bw.WriteByte(0) // partition: contiguous ranges
+	binary.Write(bw, binary.LittleEndian, uint32(len(bounds)-1))
+	for _, b := range bounds {
+		binary.Write(bw, binary.LittleEndian, uint64(b))
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(bounds); i++ {
+		ix, err := core.BuildRange(ext, core.Config{L: l}, bounds[i], bounds[i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ix.Freeze().WriteLegacyV1(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, err := Load(bytes.NewReader(buf.Bytes()), ext, nil)
+	if err != nil {
+		t.Fatalf("v2 stream rejected: %v", err)
+	}
+	ref, err := core.Build(ext, core.Config{L: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ext.ExtractCopy(200, l)
+	if want, have := ref.Search(q, 0.5), got.Search(q, 0.5); !sameMatches(want, have) {
+		t.Fatal("v2-loaded index answers differently")
+	}
+
+	if _, err := OpenArena(arena.FromBytes(buf.Bytes()), ext, nil); err == nil {
+		t.Fatal("OpenArena accepted a pre-alignment v2 stream")
+	}
+}
+
+// TestOpenArenaRejectsCorruptStreams damages a valid v3 stream in the
+// container layer (the segment layer is fuzzed in core): every case
+// must fail cleanly.
+func TestOpenArenaRejectsCorruptStreams(t *testing.T) {
+	ts := datasets.RandomWalk(57, 1300)
+	const l = 32
+	ext := series.NewExtractor(ts, series.NormGlobal)
+	sh, err := Build(ext, Config{Config: core.Config{L: l}, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sh.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	segTableOff := 8 + 4 + 8*4 // magic+ver+part+pad, count, 4 boundaries
+
+	mutate := func(off int, val byte) []byte {
+		c := append([]byte(nil), full...)
+		c[off] = val
+		return c
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"header truncated": full[:10],
+		"bad magic":        append([]byte("NOPE"), full[4:]...),
+		"bad partition":    mutate(6, 9),
+		"zero shards": func() []byte {
+			c := append([]byte(nil), full...)
+			binary.LittleEndian.PutUint32(c[8:], 0)
+			return c
+		}(),
+		"segment table lies": func() []byte {
+			c := append([]byte(nil), full...)
+			n := binary.LittleEndian.Uint64(c[segTableOff:])
+			binary.LittleEndian.PutUint64(c[segTableOff:], n+8)
+			return c
+		}(),
+		"misaligned segment length": func() []byte {
+			c := append([]byte(nil), full...)
+			binary.LittleEndian.PutUint64(c[segTableOff:], 12345)
+			return c
+		}(),
+		"segments truncated": full[:len(full)-16],
+	}
+	for name, stream := range cases {
+		if _, err := OpenArena(arena.FromBytes(stream), ext, nil); err == nil {
+			t.Errorf("OpenArena accepted %s", name)
+		}
+		if _, err := Load(bytes.NewReader(stream), ext, nil); err == nil {
+			t.Errorf("Load accepted %s", name)
+		}
+	}
+	// A v1/v2 magic+version is not corruption for Load, only for
+	// OpenArena — covered in TestShardLoadV2BackCompat.
+}

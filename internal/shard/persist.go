@@ -1,33 +1,38 @@
 package shard
 
-// Sharded index persistence: a small header naming the partition,
-// followed by each shard's self-delimiting stream. Version 2 stores
-// every shard as its frozen arena (core/frozen_persist.go) — saving
-// writes the flat arrays as-is and loading is a few sequential reads
-// per shard straight into the final slices, no tree rebuild. Version 1
-// streams (pointer trees, core/persist.go) are still accepted and are
-// frozen on load. Like the single-index formats, the series itself is
-// not embedded; Load revalidates each shard against the supplied
-// extractor.
+// Sharded index persistence: a small header naming the partition, a
+// segment table, and each shard's frozen stream. Version 3 makes the
+// container mappable: the header records every segment's byte length,
+// segments start 8-byte aligned relative to the file start, and each
+// segment is an aligned TSFZ v2 stream — so OpenArena can point every
+// shard's arrays straight into one mmap'd file region with O(header)
+// allocation, while Load still reads any version by copy. Version 2
+// (TSFZ v1 segments, no table) and version 1 (pointer-tree TSIX
+// segments) are still accepted by Load and frozen on the way in. Like
+// the single-index formats, the series itself is not embedded; both
+// loaders revalidate each shard against the supplied extractor.
 //
-// Format (little-endian):
+// Version 3 format (little-endian):
 //
-//	magic "TSSH", version u16
-//	v2: partition u8 (0 = contiguous ranges, 1 = mean-sorted runs)
-//	shardCount u32
-//	contiguous: (shardCount+1) × u64 range boundaries
-//	mean:       (shardCount−1) × f64 routing cut keys
-//	shardCount × shard streams:
-//	  v2: core.Frozen streams ("TSFZ", see core/frozen_persist.go)
-//	  v1: core.Index streams ("TSIX", see core/persist.go)
+//	off 0  magic "TSSH", version u16
+//	off 6  partition u8 (0 = contiguous ranges, 1 = mean-sorted runs),
+//	       reserved u8 (0)
+//	off 8  shardCount u32
+//	       contiguous: (shardCount+1) × u64 range boundaries
+//	       mean:       (shardCount−1) × f64 routing cut keys
+//	       shardCount × u64 segment byte lengths
+//	       zero padding to the next multiple of 8
+//	       shardCount × segments (TSFZ v2, each length a multiple of 8)
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
 
+	"twinsearch/internal/arena"
 	"twinsearch/internal/core"
 	"twinsearch/internal/exec"
 	"twinsearch/internal/series"
@@ -39,7 +44,8 @@ const Magic = "TSSH"
 
 const (
 	persistVersion1 = 1
-	persistVersion  = 2
+	persistVersion2 = 2
+	PersistVersion  = 3
 )
 
 const (
@@ -52,7 +58,22 @@ const (
 // corrupt or hostile stream, rejected before allocation.
 const maxShards = 1 << 20
 
-// WriteTo serializes the sharded index in the current (frozen, v2)
+// headerLen returns the byte length of the v3 fixed header plus
+// partition array and segment table for count shards — the unpadded
+// offset of the first segment.
+func headerLen(count int, byMean bool) int64 {
+	n := int64(8) // magic, version, partition, reserved, shardCount is at 8
+	n += 4        // shardCount
+	if byMean {
+		n += 8 * int64(count-1)
+	} else {
+		n += 8 * int64(count+1)
+	}
+	n += 8 * int64(count) // segment table
+	return n
+}
+
+// WriteTo serializes the sharded index in the current (v3, mappable)
 // format, re-freezing any shards left stale by Insert first. It
 // implements io.WriterTo.
 func (s *Index) WriteTo(w io.Writer) (int64, error) {
@@ -62,14 +83,14 @@ func (s *Index) WriteTo(w io.Writer) (int64, error) {
 	if _, err := bw.Write([]byte(Magic)); err != nil {
 		return cw.n, err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint16(persistVersion)); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint16(PersistVersion)); err != nil {
 		return cw.n, err
 	}
 	part := uint8(partitionRange)
 	if s.byMean {
 		part = partitionMean
 	}
-	if err := binary.Write(bw, binary.LittleEndian, part); err != nil {
+	if _, err := bw.Write([]byte{part, 0}); err != nil {
 		return cw.n, err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint32(len(s.frozen))); err != nil {
@@ -86,22 +107,137 @@ func (s *Index) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
+	// Segment table: frozen stream lengths are deterministic, so the
+	// table precedes the segments without buffering them.
+	for _, f := range s.frozen {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(f.StreamLen())); err != nil {
+			return cw.n, err
+		}
+	}
+	hl := headerLen(len(s.frozen), s.byMean)
+	for pad := arena.Align8(hl) - hl; pad > 0; pad-- {
+		if err := bw.WriteByte(0); err != nil {
+			return cw.n, err
+		}
+	}
 	if err := bw.Flush(); err != nil {
 		return cw.n, err
 	}
 	for i, f := range s.frozen {
-		if _, err := f.WriteTo(cw); err != nil {
+		n, err := f.WriteTo(cw)
+		if err != nil {
 			return cw.n, fmt.Errorf("shard: writing shard %d: %w", i, err)
+		}
+		if n != f.StreamLen() {
+			return cw.n, fmt.Errorf("shard: shard %d wrote %d bytes, table says %d", i, n, f.StreamLen())
 		}
 	}
 	return cw.n, nil
 }
 
+// shardHeader is the decoded container header shared by both loaders.
+type shardHeader struct {
+	version uint16
+	byMean  bool
+	count   int
+	starts  []int
+	cuts    []float64
+	segLens []int64 // v3 only
+}
+
+// readShardHeader decodes and validates the container header from br,
+// leaving the reader positioned at the first segment.
+func readShardHeader(br *bufio.Reader) (shardHeader, error) {
+	var h shardHeader
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return h, fmt.Errorf("shard: load: %w", err)
+	}
+	if string(magic) != Magic {
+		return h, fmt.Errorf("shard: load: bad magic %q", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &h.version); err != nil {
+		return h, fmt.Errorf("shard: load header: %w", err)
+	}
+	switch h.version {
+	case persistVersion1, persistVersion2, PersistVersion:
+	default:
+		return h, fmt.Errorf("shard: load: unsupported version %d", h.version)
+	}
+	if h.version >= persistVersion2 {
+		var part uint8
+		if err := binary.Read(br, binary.LittleEndian, &part); err != nil {
+			return h, fmt.Errorf("shard: load header: %w", err)
+		}
+		switch part {
+		case partitionRange:
+		case partitionMean:
+			h.byMean = true
+		default:
+			return h, fmt.Errorf("shard: load: unknown partition scheme %d", part)
+		}
+		if h.version >= PersistVersion {
+			// v3 has a reserved alignment byte after the partition.
+			if _, err := br.Discard(1); err != nil {
+				return h, fmt.Errorf("shard: load header: %w", err)
+			}
+		}
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return h, fmt.Errorf("shard: load header: %w", err)
+	}
+	if count == 0 || count > maxShards {
+		return h, fmt.Errorf("shard: load: implausible shard count %d", count)
+	}
+	h.count = int(count)
+	if h.byMean {
+		h.cuts = make([]float64, h.count-1)
+		if err := binary.Read(br, binary.LittleEndian, h.cuts); err != nil {
+			return h, fmt.Errorf("shard: load mean cuts: %w", err)
+		}
+		for i, c := range h.cuts {
+			if math.IsNaN(c) {
+				return h, fmt.Errorf("shard: load: NaN mean cut %d", i)
+			}
+		}
+	} else {
+		h.starts = make([]int, h.count+1)
+		for i := range h.starts {
+			var b uint64
+			if err := binary.Read(br, binary.LittleEndian, &b); err != nil {
+				return h, fmt.Errorf("shard: load boundaries: %w", err)
+			}
+			h.starts[i] = int(b)
+		}
+	}
+	if h.version >= PersistVersion {
+		h.segLens = make([]int64, h.count)
+		for i := range h.segLens {
+			var n uint64
+			if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+				return h, fmt.Errorf("shard: load segment table: %w", err)
+			}
+			if n == 0 || n%8 != 0 || n > math.MaxInt64 {
+				return h, fmt.Errorf("shard: load: implausible segment length %d for shard %d", n, i)
+			}
+			h.segLens[i] = int64(n)
+		}
+		hl := headerLen(h.count, h.byMean)
+		if _, err := br.Discard(int(arena.Align8(hl) - hl)); err != nil {
+			return h, fmt.Errorf("shard: load header: %w", err)
+		}
+	}
+	return h, nil
+}
+
 // Load reconstructs a sharded index from a stream produced by WriteTo
-// (either version), scheduling its queries on ex (nil selects the
-// process-wide default executor). The extractor must present the same
-// series and normalization the index was built with; every shard
-// stream is validated exactly as its single-index loader validates it.
+// (any version), copying every shard into heap arenas, and schedules
+// its queries on ex (nil selects the process-wide default executor).
+// The extractor must present the same series and normalization the
+// index was built with; every shard stream is validated exactly as its
+// single-index loader validates it. OpenArena is the zero-copy
+// counterpart.
 func Load(r io.Reader, ext *series.Extractor, ex *exec.Executor) (*Index, error) {
 	// One buffered reader shared down into the per-shard loaders (which
 	// reuse an existing *bufio.Reader instead of re-wrapping, so shard
@@ -110,70 +246,17 @@ func Load(r io.Reader, ext *series.Extractor, ex *exec.Executor) (*Index, error)
 	if !ok {
 		br = bufio.NewReader(r)
 	}
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("shard: load: %w", err)
-	}
-	if string(magic) != Magic {
-		return nil, fmt.Errorf("shard: load: bad magic %q", magic)
-	}
-	var version uint16
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("shard: load header: %w", err)
-	}
-	if version != persistVersion1 && version != persistVersion {
-		return nil, fmt.Errorf("shard: load: unsupported version %d", version)
-	}
-	byMean := false
-	if version >= persistVersion {
-		var part uint8
-		if err := binary.Read(br, binary.LittleEndian, &part); err != nil {
-			return nil, fmt.Errorf("shard: load header: %w", err)
-		}
-		switch part {
-		case partitionRange:
-		case partitionMean:
-			byMean = true
-		default:
-			return nil, fmt.Errorf("shard: load: unknown partition scheme %d", part)
-		}
-	}
-	var count uint32
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("shard: load header: %w", err)
-	}
-	if count == 0 || count > maxShards {
-		return nil, fmt.Errorf("shard: load: implausible shard count %d", count)
-	}
-	var starts []int
-	var cuts []float64
-	if byMean {
-		cuts = make([]float64, count-1)
-		if err := binary.Read(br, binary.LittleEndian, cuts); err != nil {
-			return nil, fmt.Errorf("shard: load mean cuts: %w", err)
-		}
-		for i, c := range cuts {
-			if math.IsNaN(c) {
-				return nil, fmt.Errorf("shard: load: NaN mean cut %d", i)
-			}
-		}
-	} else {
-		starts = make([]int, count+1)
-		for i := range starts {
-			var b uint64
-			if err := binary.Read(br, binary.LittleEndian, &b); err != nil {
-				return nil, fmt.Errorf("shard: load boundaries: %w", err)
-			}
-			starts[i] = int(b)
-		}
+	h, err := readShardHeader(br)
+	if err != nil {
+		return nil, err
 	}
 
-	frozen := make([]*core.Frozen, count)
+	frozen := make([]*core.Frozen, h.count)
 	l := 0
 	for i := range frozen {
 		var f *core.Frozen
 		var err error
-		if version == persistVersion1 {
+		if h.version == persistVersion1 {
 			// v1 shards are pointer-tree streams; freeze on load.
 			var ix *core.Index
 			ix, err = core.Load(br, ext)
@@ -186,6 +269,12 @@ func Load(r io.Reader, ext *series.Extractor, ex *exec.Executor) (*Index, error)
 		if err != nil {
 			return nil, fmt.Errorf("shard: loading shard %d: %w", i, err)
 		}
+		if h.segLens != nil && f.StreamLen() != h.segLens[i] {
+			// The v3 table must agree with the streams it frames: a
+			// mismatch means the container was edited or corrupted, even
+			// if each segment still parses.
+			return nil, fmt.Errorf("shard: shard %d spans %d bytes, table says %d", i, f.StreamLen(), h.segLens[i])
+		}
 		if i == 0 {
 			l = f.L()
 		} else if f.L() != l {
@@ -194,12 +283,7 @@ func Load(r io.Reader, ext *series.Extractor, ex *exec.Executor) (*Index, error)
 		frozen[i] = f
 	}
 
-	if ex == nil {
-		ex = exec.Default()
-	}
-	s := &Index{ext: ext, l: l, frozen: frozen,
-		pointer: make([]*core.Index, count), dirtyShard: make([]bool, count),
-		byMean: byMean, starts: starts, cuts: cuts, ex: ex}
+	s := newLoaded(ext, l, frozen, h, ex)
 	// Partition invariants only: each shard stream was just validated in
 	// full by its own loader, so re-walking every arena here would only
 	// double the load cost.
@@ -207,6 +291,77 @@ func Load(r io.Reader, ext *series.Extractor, ex *exec.Executor) (*Index, error)
 		return nil, fmt.Errorf("shard: load: %w", err)
 	}
 	return s, nil
+}
+
+// OpenArena is the zero-copy open path: it interprets a TSSH v3 stream
+// occupying the whole arena as a sharded index whose per-shard arrays
+// are views directly into the region — opening a multi-gigabyte index
+// costs O(header) allocations and faults pages in on demand. The
+// caller owns ar and must keep it alive (and unclosed) for the index's
+// lifetime.
+//
+// Only v3 streams qualify (v1/v2 predate the aligned segment layout);
+// callers fall back to Load for those. Each shard's structural
+// invariants and the partition shape are validated; the O(windows)
+// ownership scan and O(size·L) bound-containment walk are trusted to
+// the writer, exactly as FrozenFromArena documents.
+func OpenArena(ar *arena.Arena, ext *series.Extractor, ex *exec.Executor) (*Index, error) {
+	buf := ar.Bytes()
+	if len(buf) < 12 {
+		return nil, fmt.Errorf("shard: arena: %d-byte region too small for a header", len(buf))
+	}
+	if string(buf[:4]) != Magic {
+		return nil, fmt.Errorf("shard: arena: bad magic %q", buf[:4])
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:]); v != PersistVersion {
+		return nil, fmt.Errorf("shard: arena: version %d streams cannot be mapped in place (zero-copy needs the aligned v%d format)", v, PersistVersion)
+	}
+	// The header is small and byte-order sensitive; decode it through
+	// the same reader the copy loader uses rather than aliasing it.
+	br := bufio.NewReader(bytes.NewReader(buf))
+	h, err := readShardHeader(br)
+	if err != nil {
+		return nil, err
+	}
+
+	off := arena.Align8(headerLen(h.count, h.byMean))
+	frozen := make([]*core.Frozen, h.count)
+	l := 0
+	for i := range frozen {
+		if off > int64(len(buf)) {
+			return nil, fmt.Errorf("shard: arena: segment %d starts at %d, region has %d bytes", i, off, len(buf))
+		}
+		f, n, err := core.FrozenFromArena(ar, off, ext)
+		if err != nil {
+			return nil, fmt.Errorf("shard: mapping shard %d: %w", i, err)
+		}
+		if n != h.segLens[i] {
+			return nil, fmt.Errorf("shard: arena: shard %d spans %d bytes, table says %d", i, n, h.segLens[i])
+		}
+		if i == 0 {
+			l = f.L()
+		} else if f.L() != l {
+			return nil, fmt.Errorf("shard: shard %d has L=%d, shard 0 has L=%d", i, f.L(), l)
+		}
+		frozen[i] = f
+		off += n
+	}
+
+	s := newLoaded(ext, l, frozen, h, ex)
+	if err := s.checkPartitionShape(); err != nil {
+		return nil, fmt.Errorf("shard: arena: %w", err)
+	}
+	return s, nil
+}
+
+// newLoaded assembles a loaded Index from its parts.
+func newLoaded(ext *series.Extractor, l int, frozen []*core.Frozen, h shardHeader, ex *exec.Executor) *Index {
+	if ex == nil {
+		ex = exec.Default()
+	}
+	return &Index{ext: ext, l: l, frozen: frozen,
+		pointer: make([]*core.Index, len(frozen)), dirtyShard: make([]bool, len(frozen)),
+		byMean: h.byMean, starts: h.starts, cuts: h.cuts, ex: ex}
 }
 
 // countWriter tracks bytes written for WriteTo's contract.

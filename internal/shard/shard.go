@@ -731,9 +731,10 @@ func (s *Index) Range(i int) (lo, hi int, ok bool) {
 // Extractor exposes the extractor the index was built over.
 func (s *Index) Extractor() *series.Extractor { return s.ext }
 
-// MemoryBytes sums the per-shard arena footprints, plus the pointer
-// trees of any shards thawed for insertion (both forms are resident on
-// the streaming path).
+// MemoryBytes sums the per-shard heap-resident arena footprints, plus
+// the pointer trees of any shards thawed for insertion (both forms are
+// resident on the streaming path). File-mapped shard arenas are counted
+// by MappedBytes instead.
 func (s *Index) MemoryBytes() int {
 	s.ensureFrozen() // order the frozen[] reads against refreezes
 	total := 0
@@ -742,6 +743,19 @@ func (s *Index) MemoryBytes() int {
 		if s.pointer[i] != nil {
 			total += s.pointer[i].MemoryBytes()
 		}
+	}
+	return total
+}
+
+// MappedBytes sums the file-mapped footprints of the shard arenas: the
+// flat arrays of every shard still backed by an mmap'd region (see
+// OpenArena). Shards re-frozen after Insert move their arrays to the
+// heap and drop out of this figure.
+func (s *Index) MappedBytes() int {
+	s.ensureFrozen()
+	total := 0
+	for _, f := range s.frozen {
+		total += f.MappedBytes()
 	}
 	return total
 }
@@ -760,14 +774,24 @@ func (s *Index) CheckInvariants() error {
 	return s.checkPartition()
 }
 
-// checkPartition validates the partition invariants alone: every
-// window position is owned by exactly one shard, contiguous ranges
-// cover [0, count) in order (contiguous mode), and mean-routing cuts
-// are sorted (mean mode).
-func (s *Index) checkPartition() error {
+// checkPartitionShape validates the O(shards) partition invariants:
+// contiguous ranges cover [0, count) in order with per-shard window
+// counts matching their range widths (contiguous mode), mean-routing
+// cuts are sorted and shard sizes sum to the window count (mean mode).
+// The zero-copy open path (OpenArena) stops here — walking every
+// position of a mapped multi-gigabyte index would defeat the cheap
+// open — while checkPartition adds the full ownership scan.
+func (s *Index) checkPartitionShape() error {
 	s.ensureFrozen()
 	p := len(s.frozen)
 	count := series.NumSubsequences(s.ext.Len(), s.l)
+	total := 0
+	for _, f := range s.frozen {
+		total += f.Len()
+	}
+	if total != count {
+		return fmt.Errorf("shard: shards hold %d windows, series has %d", total, count)
+	}
 	if s.byMean {
 		if len(s.cuts) != p-1 {
 			return fmt.Errorf("shard: %d mean cuts for %d shards", len(s.cuts), p)
@@ -777,27 +801,39 @@ func (s *Index) checkPartition() error {
 				return fmt.Errorf("shard: mean cut %d (%g) below cut %d (%g)", i, s.cuts[i], i-1, s.cuts[i-1])
 			}
 		}
-	} else {
-		if len(s.starts) != p+1 {
-			return fmt.Errorf("shard: %d boundaries for %d shards", len(s.starts), p)
+		return nil
+	}
+	if len(s.starts) != p+1 {
+		return fmt.Errorf("shard: %d boundaries for %d shards", len(s.starts), p)
+	}
+	if s.starts[0] != 0 {
+		return fmt.Errorf("shard: first range starts at %d, want 0", s.starts[0])
+	}
+	if got := s.starts[p]; got != count {
+		return fmt.Errorf("shard: ranges end at %d, series has %d windows", got, count)
+	}
+	for i, f := range s.frozen {
+		if s.starts[i] >= s.starts[i+1] {
+			return fmt.Errorf("shard %d: empty or inverted range [%d, %d)", i, s.starts[i], s.starts[i+1])
 		}
-		if s.starts[0] != 0 {
-			return fmt.Errorf("shard: first range starts at %d, want 0", s.starts[0])
-		}
-		if got := s.starts[p]; got != count {
-			return fmt.Errorf("shard: ranges end at %d, series has %d windows", got, count)
+		if got, want := f.Len(), s.starts[i+1]-s.starts[i]; got != want {
+			return fmt.Errorf("shard %d: holds %d windows, range [%d, %d) spans %d", i, got, s.starts[i], s.starts[i+1], want)
 		}
 	}
+	return nil
+}
+
+// checkPartition validates the partition invariants alone: the shape
+// checks above plus the full ownership scan — every window position
+// owned by exactly one shard, inside its owner's range in contiguous
+// mode.
+func (s *Index) checkPartition() error {
+	if err := s.checkPartitionShape(); err != nil {
+		return err
+	}
+	count := series.NumSubsequences(s.ext.Len(), s.l)
 	seen := make([]bool, count)
 	for i, f := range s.frozen {
-		if !s.byMean {
-			if s.starts[i] >= s.starts[i+1] {
-				return fmt.Errorf("shard %d: empty or inverted range [%d, %d)", i, s.starts[i], s.starts[i+1])
-			}
-			if got, want := f.Len(), s.starts[i+1]-s.starts[i]; got != want {
-				return fmt.Errorf("shard %d: holds %d windows, range [%d, %d) spans %d", i, got, s.starts[i], s.starts[i+1], want)
-			}
-		}
 		for _, pos := range f.Positions() {
 			if int(pos) >= count {
 				return fmt.Errorf("shard %d: position %d beyond %d windows", i, pos, count)

@@ -1,0 +1,384 @@
+package twinsearch
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twinsearch/internal/arena"
+	"twinsearch/internal/core"
+	"twinsearch/internal/datasets"
+	"twinsearch/internal/series"
+)
+
+// savedStreams produces one saved-index stream per historical format
+// over the same series, oldest first: TSIX (v0 pointer tree), TSFZ v1,
+// TSSH v1 (pointer shards), TSSH v2 (TSFZ v1 shards), and the current
+// TSFZ v2 / TSSH v3 the engine writes today.
+func savedStreams(t *testing.T, data []float64, l int) map[string][]byte {
+	t.Helper()
+	ext := series.NewExtractor(data, series.NormGlobal)
+	ix, err := core.Build(ext, core.Config{L: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := series.NumSubsequences(len(data), l)
+	bounds := []int{0, count / 2, count}
+	shardTrees := make([]*core.Index, len(bounds)-1)
+	for i := range shardTrees {
+		if shardTrees[i], err = core.BuildRange(ext, core.Config{L: l}, bounds[i], bounds[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	streams := map[string][]byte{}
+	write := func(name string, fn func(w *bytes.Buffer) error) {
+		var buf bytes.Buffer
+		if err := fn(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		streams[name] = buf.Bytes()
+	}
+	write("TSIX", func(w *bytes.Buffer) error { _, err := ix.WriteTo(w); return err })
+	write("TSFZ v1", func(w *bytes.Buffer) error { _, err := ix.Freeze().WriteLegacyV1(w); return err })
+	write("TSSH v1", func(w *bytes.Buffer) error {
+		bw := bufio.NewWriter(w)
+		bw.WriteString("TSSH")
+		binary.Write(bw, binary.LittleEndian, uint16(1))
+		binary.Write(bw, binary.LittleEndian, uint32(len(shardTrees)))
+		for _, b := range bounds {
+			binary.Write(bw, binary.LittleEndian, uint64(b))
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		for _, sx := range shardTrees {
+			if _, err := sx.WriteTo(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	write("TSSH v2", func(w *bytes.Buffer) error {
+		bw := bufio.NewWriter(w)
+		bw.WriteString("TSSH")
+		binary.Write(bw, binary.LittleEndian, uint16(2))
+		bw.WriteByte(0) // contiguous partition
+		binary.Write(bw, binary.LittleEndian, uint32(len(shardTrees)))
+		for _, b := range bounds {
+			binary.Write(bw, binary.LittleEndian, uint64(b))
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		for _, sx := range shardTrees {
+			if _, err := sx.Freeze().WriteLegacyV1(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	single, err := Open(data, Options{L: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	write("TSFZ v2", func(w *bytes.Buffer) error { return single.SaveIndex(w) })
+	sharded, err := Open(data, Options{L: l, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	write("TSSH v3", func(w *bytes.Buffer) error { return sharded.SaveIndex(w) })
+	return streams
+}
+
+// checkEngineParity requires got to answer exactly like want on every
+// engine search path.
+func checkEngineParity(t *testing.T, label string, want, got *Engine, q []float64, eps float64) {
+	t.Helper()
+	type path struct {
+		name string
+		run  func(e *Engine) ([]Match, error)
+	}
+	budget := want.NumSubsequences() // exhaustive: approx is deterministic
+	paths := []path{
+		{"Search", func(e *Engine) ([]Match, error) { return e.Search(q, eps) }},
+		{"SearchTopK", func(e *Engine) ([]Match, error) { return e.SearchTopK(q, 8) }},
+		{"SearchShorter", func(e *Engine) ([]Match, error) { return e.SearchShorter(q[:len(q)/2], eps) }},
+		{"SearchApprox", func(e *Engine) ([]Match, error) { return e.SearchApprox(q, eps, budget) }},
+		{"SearchBatch", func(e *Engine) ([]Match, error) {
+			rs := e.SearchBatch([][]float64{q}, eps, 0)
+			return rs[0].Matches, rs[0].Err
+		}},
+	}
+	for _, p := range paths {
+		w, werr := p.run(want)
+		g, gerr := p.run(got)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("%s/%s: errors diverged: %v vs %v", label, p.name, werr, gerr)
+		}
+		if len(w) != len(g) {
+			t.Fatalf("%s/%s: %d vs %d matches", label, p.name, len(w), len(g))
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("%s/%s: match %d differs: %v vs %v", label, p.name, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestSavedFormatMatrix opens every historical stream format through
+// both entry points — OpenSaved (copy) and OpenSavedFile with
+// Options.MMap (zero-copy where the format allows, transparent
+// fallback where it doesn't) — and requires byte-identical answers to
+// a freshly built engine on all five search paths.
+func TestSavedFormatMatrix(t *testing.T) {
+	data := datasets.RandomWalk(83, 1700)
+	const l = 44
+	fresh, err := Open(data, Options{L: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := append([]float64(nil), data[500:500+l]...)
+	dir := t.TempDir()
+
+	for name, stream := range savedStreams(t, data, l) {
+		t.Run(name, func(t *testing.T) {
+			viaCopy, err := OpenSaved(data, bytes.NewReader(stream), Options{L: l})
+			if err != nil {
+				t.Fatalf("OpenSaved: %v", err)
+			}
+			checkEngineParity(t, name+"/copy", fresh, viaCopy, q, 0.5)
+
+			path := filepath.Join(dir, name+".tsidx")
+			if err := os.WriteFile(path, stream, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			viaMMap, err := OpenSavedFile(data, path, Options{L: l, MMap: true})
+			if err != nil {
+				t.Fatalf("OpenSavedFile(MMap): %v", err)
+			}
+			defer viaMMap.Close()
+			mappable := name == "TSFZ v2" || name == "TSSH v3"
+			if arena.MapSupported() && arena.LittleEndianHost() {
+				if mappable && viaMMap.MappedBytes() == 0 {
+					t.Errorf("%s: MMap open of a mappable format reports no mapped bytes", name)
+				}
+				if !mappable && viaMMap.MappedBytes() != 0 {
+					t.Errorf("%s: MMap open of a legacy format reports %d mapped bytes", name, viaMMap.MappedBytes())
+				}
+			}
+			if viaMMap.MemoryBytes() != viaMMap.HeapBytes()+viaMMap.MappedBytes() {
+				t.Errorf("%s: MemoryBytes %d != HeapBytes %d + MappedBytes %d",
+					name, viaMMap.MemoryBytes(), viaMMap.HeapBytes(), viaMMap.MappedBytes())
+			}
+			checkEngineParity(t, name+"/mmap", fresh, viaMMap, q, 0.5)
+		})
+	}
+}
+
+// TestMMapEngineAppendAndClose exercises the mutation path on a mapped
+// engine: Append must copy-on-thaw (never write through the mapping),
+// the refrozen shard must migrate to the heap, and Close must release
+// cleanly and stay idempotent.
+func TestMMapEngineAppendAndClose(t *testing.T) {
+	if !arena.MapSupported() || !arena.LittleEndianHost() {
+		t.Skip("zero-copy open unsupported on this platform")
+	}
+	data := datasets.RandomWalk(84, 1500)
+	const l = 36
+	built, err := Open(data, Options{L: l, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.tssh")
+	if err := built.SaveIndexFile(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The engine must not alias the slice the caller handed it once
+	// appends grow the series; give it a private copy.
+	eng, err := OpenSavedFile(append([]float64(nil), data...), path, Options{L: l, Shards: 3, MMap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mappedBefore := eng.MappedBytes()
+	if mappedBefore == 0 {
+		t.Fatal("mapped engine reports no mapped bytes")
+	}
+	q := append([]float64(nil), data[100:100+l]...)
+	want, err := eng.Search(q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Append a copy of the query window's values: the new trailing
+	// window becomes a guaranteed twin.
+	if err := eng.Append(q...); err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Search(q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want)+1 {
+		t.Fatalf("post-append search found %d twins, want %d", len(got), len(want)+1)
+	}
+	if got[len(got)-1].Start != eng.SeriesLen()-l {
+		t.Fatalf("appended twin missing: last match at %d, want %d", got[len(got)-1].Start, eng.SeriesLen()-l)
+	}
+	if eng.MappedBytes() >= mappedBefore {
+		t.Fatalf("append did not migrate the mutated shard off the mapping (%d >= %d)", eng.MappedBytes(), mappedBefore)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("append wrote through the mapped index file")
+	}
+
+	if err := eng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestSaveOverMappedFile re-saves a mapped engine over the very file
+// it is mapped from: SaveIndexFile's temp-and-rename must read the old
+// inode (no truncation under the mapping, no SIGBUS) and leave a valid
+// index behind.
+func TestSaveOverMappedFile(t *testing.T) {
+	if !arena.MapSupported() || !arena.LittleEndianHost() {
+		t.Skip("zero-copy open unsupported on this platform")
+	}
+	data := datasets.RandomWalk(86, 1400)
+	const l = 36
+	built, err := Open(data, Options{L: l, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.tssh")
+	if err := built.SaveIndexFile(path); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := OpenSavedFile(append([]float64(nil), data...), path, Options{L: l, MMap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	q := append([]float64(nil), data[200:200+l]...)
+	want, err := eng.Search(q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow the engine, then save over its own backing file.
+	if err := eng.Append(q...); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SaveIndexFile(path); err != nil {
+		t.Fatalf("re-save over the mapped file: %v", err)
+	}
+	// The mapped engine keeps answering from the old inode...
+	got, err := eng.Search(q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want)+1 {
+		t.Fatalf("post-save search found %d twins, want %d", len(got), len(want)+1)
+	}
+	// ...and the new file reopens as a valid index including the append.
+	re, err := OpenSavedFile(append(append([]float64(nil), data...), q...), path, Options{L: l, MMap: true})
+	if err != nil {
+		t.Fatalf("reopening the re-saved index: %v", err)
+	}
+	defer re.Close()
+	ms, err := re.Search(q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(want)+1 {
+		t.Fatalf("re-saved index has %d twins, want %d", len(ms), len(want)+1)
+	}
+}
+
+// BenchmarkColdOpen measures bringing a saved sharded index back to
+// life, copy versus mmap. The interesting columns are ns/op and B/op:
+// the copy open decodes and allocates the whole arena, the mmap open
+// allocates O(header) for the index and lets the first queries fault
+// pages in. Both variants share an O(series) floor — the engine's
+// extractor z-normalizes the raw series into a fresh slice — so the
+// index-side contrast is (B/op − seriesBytes): O(arena) for copy,
+// O(header) for mmap (the harness FigureColdOpen isolates it exactly).
+func BenchmarkColdOpen(b *testing.B) {
+	data := datasets.RandomWalk(85, 200_000)
+	const l = 100
+	eng, err := Open(data, Options{L: l, Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	path := filepath.Join(dir, "index.tssh")
+	if err := eng.SaveIndexFile(path); err != nil {
+		b.Fatal(err)
+	}
+	q := append([]float64(nil), data[1000:1000+l]...)
+
+	for _, variant := range []struct {
+		name  string
+		mmap  bool
+		query bool
+	}{
+		{"copy/open", false, false},
+		{"mmap/open", true, false},
+		{"copy/open+query", false, true},
+		{"mmap/open+query", true, true},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				re, err := OpenSavedFile(data, path, Options{L: l, MMap: variant.mmap})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if variant.query {
+					if _, err := re.Search(q, 0.3); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := re.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ExampleOptions_mMap documents the zero-copy serving pattern.
+func ExampleOptions_mMap() {
+	data := datasets.RandomWalk(1, 2000)
+	eng, _ := Open(data, Options{L: 50, Shards: 2})
+	path := filepath.Join(os.TempDir(), "twins-example.tssh")
+	_ = eng.SaveIndexFile(path)
+	defer os.Remove(path)
+
+	// A second process (or a restart) serves the same index without
+	// re-reading it: open is a map + header validation.
+	served, _ := OpenSavedFile(data, path, Options{L: 50, MMap: true})
+	defer served.Close()
+	ms, _ := served.Search(data[100:150], 0.5)
+	fmt.Println(len(ms) > 0)
+	// Output: true
+}

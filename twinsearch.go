@@ -30,11 +30,13 @@ package twinsearch
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"twinsearch/internal/arena"
 	"twinsearch/internal/core"
 	"twinsearch/internal/exec"
 	"twinsearch/internal/isax"
@@ -141,6 +143,17 @@ type Options struct {
 	// Answers never depend on the worker count.
 	Workers int
 
+	// MMap makes OpenSavedFile memory-map the saved index instead of
+	// reading it: the engine's frozen arenas become views into the
+	// mapped file, so opening a multi-gigabyte index costs O(header)
+	// allocations, pages fault in on demand, and N processes serving
+	// the same index share one physical copy. Requires the current
+	// aligned formats (TSFZ v2 / TSSH v3) and a little-endian host;
+	// anything else silently falls back to the copy loader, which
+	// yields byte-identical answers. Call Engine.Close to release the
+	// mapping. Ignored by every entry point except OpenSavedFile.
+	MMap bool
+
 	// iSAX knobs (MethodISAX).
 	Segments     int // PAA segments m (default 10)
 	LeafCapacity int // leaf capacity (default 10,000)
@@ -186,6 +199,33 @@ type Engine struct {
 	fzDirty atomic.Bool
 	fzMu    sync.Mutex
 	sh      *shard.Index // MethodTSIndex, Options.Shards resolving > 1
+
+	// ar is the mapped file region backing the index when the engine
+	// was opened with Options.MMap; the engine owns it and Close
+	// releases it. nil for every heap-resident engine.
+	ar *arena.Arena
+}
+
+// Close releases the resources an engine may hold beyond the heap: the
+// mapped index region (Options.MMap) and the series store attached to
+// the extractor, if it is closeable (e.g. a store.Disk serving
+// disk-resident verification). Heap-only engines close trivially.
+// Close is idempotent; no search, append, or save may run on the
+// engine during or after it — a mapped engine's arenas point into the
+// region being unmapped.
+func (e *Engine) Close() error {
+	var firstErr error
+	if e.ar != nil {
+		firstErr = e.ar.Close()
+		e.ar = nil
+	}
+	if c, ok := e.ext.Backing().(io.Closer); ok {
+		e.ext.DetachStore()
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // tsFrozen returns the single-index arena, re-freezing it first if
@@ -411,9 +451,17 @@ func (e *Engine) NumSubsequences() int {
 	return series.NumSubsequences(e.ext.Len(), e.opt.L)
 }
 
-// MemoryBytes estimates the heap footprint of the index structure
-// (0 for the sweepline, which has none).
+// MemoryBytes estimates the total footprint of the index structure —
+// heap-resident plus file-mapped bytes (0 for the sweepline, which has
+// none). HeapBytes and MappedBytes report the two halves separately.
 func (e *Engine) MemoryBytes() int {
+	return e.HeapBytes() + e.MappedBytes()
+}
+
+// HeapBytes estimates the heap-resident bytes of the index structure:
+// everything this process pays for exclusively. A mapped engine's flat
+// arrays live in the page cache instead and appear under MappedBytes.
+func (e *Engine) HeapBytes() int {
 	switch e.opt.Method {
 	case MethodKVIndex:
 		return e.kv.MemoryBytes() + e.kv.AuxiliaryBytes()
@@ -431,6 +479,22 @@ func (e *Engine) MemoryBytes() int {
 	default:
 		return 0
 	}
+}
+
+// MappedBytes reports the file-mapped bytes of the index structure:
+// arena arrays served straight from an mmap'd saved index
+// (Options.MMap). These pages are shared with other processes mapping
+// the same file and reclaimable by the kernel, so they are accounted
+// separately from HeapBytes. Shards or trees re-frozen after Append
+// migrate to the heap and leave this figure.
+func (e *Engine) MappedBytes() int {
+	if e.opt.Method != MethodTSIndex {
+		return 0
+	}
+	if e.sh != nil {
+		return e.sh.MappedBytes()
+	}
+	return e.tsFrozen().MappedBytes()
 }
 
 // PartitionByMean reports whether the engine's shards own mean-sorted
