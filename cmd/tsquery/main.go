@@ -13,8 +13,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"time"
 
@@ -36,21 +40,27 @@ func main() {
 		saveIndex  = flag.String("saveindex", "", "after building, persist the TS-Index here")
 		loadIndex  = flag.String("loadindex", "", "reopen a TS-Index persisted with -saveindex instead of rebuilding")
 		mmapIndex  = flag.Bool("mmap", false, "memory-map the -loadindex file instead of reading it (near-zero open cost; pages fault in as the query touches them)")
+		prefetch   = flag.Bool("prefetch", false, "warm a memory-mapped index at open (madvise + bounded touch) instead of paying page faults during the query")
+		remote     = flag.String("remote", "", "query a running tsserve (standalone or coordinator) at this base URL instead of building anything locally")
 		approx     = flag.Int("approx", 0, "if > 0, run an approximate search probing this many leaves (TS-Index only)")
 		indexLen   = flag.Int("indexlen", 0, "index at this length instead of the query length; shorter queries then use the prefix search (TS-Index only)")
 		shards     = flag.Int("shards", 0, "index partitions built and searched in parallel (0 = one index, -1 = one per CPU; TS-Index only)")
 		meanShards = flag.Bool("meanshards", false, "partition shards by window mean instead of contiguous ranges (tighter per-shard bounds; needs -shards above 1)")
 	)
 	flag.Parse()
-	if *seriesPath == "" {
-		fmt.Fprintln(os.Stderr, "tsquery: -series is required")
+	if *seriesPath == "" && !(*remote != "" && *qFile != "") {
+		fmt.Fprintln(os.Stderr, "tsquery: -series is required (except with -remote -qfile)")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	data, err := store.ReadFile(*seriesPath)
-	if err != nil {
-		fatal(err)
+	var data []float64
+	var err error
+	if *seriesPath != "" {
+		data, err = store.ReadFile(*seriesPath)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	var q []float64
@@ -70,11 +80,21 @@ func main() {
 		fatal(fmt.Errorf("one of -qfile or -qstart is required"))
 	}
 
+	if *remote != "" {
+		// The server owns the index; this process only ships the raw
+		// query and renders the answer.
+		if *approx > 0 || *indexLen > 0 || *saveIndex != "" || *loadIndex != "" {
+			fatal(fmt.Errorf("-remote queries use the server's index; -approx, -indexlen, -saveindex, and -loadindex do not apply"))
+		}
+		queryRemote(*remote, q, *eps, *topk, *maxShow)
+		return
+	}
+
 	if *mmapIndex && *loadIndex == "" {
 		fatal(fmt.Errorf("-mmap requires -loadindex (only a saved index can be mapped)"))
 	}
 	opt := twinsearch.Options{L: *l, NormSet: true, Shards: *shards,
-		PartitionByMean: *meanShards, MMap: *mmapIndex}
+		PartitionByMean: *meanShards, MMap: *mmapIndex, Prefetch: *prefetch}
 	if *indexLen > 0 {
 		if *indexLen < len(q) {
 			fatal(fmt.Errorf("-indexlen %d below query length %d", *indexLen, len(q)))
@@ -163,6 +183,67 @@ func main() {
 	for i, m := range matches {
 		if i >= *maxShow {
 			fmt.Printf("  ... %d more\n", len(matches)-*maxShow)
+			break
+		}
+		fmt.Printf("  start=%d\n", m.Start)
+	}
+}
+
+// queryRemote sends the query to a running tsserve's public JSON API
+// (/search or /topk) and prints the matches like a local run would. It
+// works against any role that serves the public API — a standalone
+// server or a cluster coordinator.
+func queryRemote(base string, q []float64, eps float64, topk, maxShow int) {
+	path, body := "/search", map[string]interface{}{"query": q, "eps": eps}
+	if topk > 0 {
+		path, body = "/topk", map[string]interface{}{"query": q, "k": topk}
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			fatal(fmt.Errorf("%s: %s", path, e.Error))
+		}
+		fatal(fmt.Errorf("%s: %s", path, resp.Status))
+	}
+	var out struct {
+		Count   int `json:"count"`
+		Matches []struct {
+			Start int      `json:"start"`
+			Dist  *float64 `json:"dist"`
+		} `json:"matches"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if topk > 0 {
+		fmt.Printf("top-%d nearest via %s in %v:\n", topk, base, elapsed.Round(time.Microsecond))
+		for _, m := range out.Matches {
+			d := -1.0
+			if m.Dist != nil {
+				d = *m.Dist
+			}
+			fmt.Printf("  start=%-10d chebyshev=%.6f\n", m.Start, d)
+		}
+		return
+	}
+	fmt.Printf("%d twins at eps=%g via %s in %v\n", out.Count, eps, base, elapsed.Round(time.Microsecond))
+	for i, m := range out.Matches {
+		if i >= maxShow {
+			fmt.Printf("  ... %d more\n", out.Count-maxShow)
 			break
 		}
 		fmt.Printf("  start=%d\n", m.Start)

@@ -2,6 +2,7 @@ package twinsearch
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"twinsearch/internal/arena"
 	"twinsearch/internal/core"
@@ -28,8 +30,14 @@ var ErrPersistUnsupported = errors.New("twinsearch: index persistence requires M
 // to disk as-is, so loading is a few sequential reads per shard;
 // OpenSaved also accepts the pointer-tree formats older versions wrote.
 func (e *Engine) SaveIndex(w io.Writer) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
 	if e.opt.Method != MethodTSIndex {
 		return ErrPersistUnsupported
+	}
+	if e.cl != nil {
+		return errors.New("twinsearch: a cluster-backed engine serves an already-saved index; save from the process that built it")
 	}
 	if e.sh != nil {
 		_, err := e.sh.WriteTo(w)
@@ -186,6 +194,11 @@ func openSavedMapped(data []float64, path string, opt Options) (*Engine, error) 
 		ar.Close()
 		return nil, err
 	}
+	if opt.Prefetch {
+		// Warm the mapping before the first query pays the page-fault
+		// tail: advise the kernel, then touch a bounded prefix.
+		ar.Prefetch(0)
+	}
 	return eng, nil
 }
 
@@ -232,6 +245,9 @@ func engineFromArena(data []float64, ar *arena.Arena, opt Options) (*Engine, err
 // the shorter length are scanned directly. Exact. Requires
 // MethodTSIndex and a normalization other than NormPerSubsequence.
 func (e *Engine) SearchShorter(q []float64, eps float64) ([]Match, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
 	if e.opt.Method != MethodTSIndex {
 		return nil, errors.New("twinsearch: SearchShorter requires MethodTSIndex")
 	}
@@ -239,6 +255,9 @@ func (e *Engine) SearchShorter(q []float64, eps float64) ([]Match, error) {
 	// poison the early-abandoning comparisons; validate like Search.
 	if eps < 0 || math.IsNaN(eps) {
 		return nil, fmt.Errorf("twinsearch: invalid threshold %v", eps)
+	}
+	if e.cl != nil {
+		return e.cl.SearchPrefix(context.Background(), e.ext.TransformQuery(q), eps)
 	}
 	if e.sh != nil {
 		return e.sh.SearchPrefix(e.ext.TransformQuery(q), eps)
@@ -253,6 +272,9 @@ func (e *Engine) SearchShorter(q []float64, eps float64) ([]Match, error) {
 // nearest leaves. Requires MethodTSIndex and a positive leafBudget;
 // Search is the exact counterpart.
 func (e *Engine) SearchApprox(q []float64, eps float64, leafBudget int) ([]Match, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
 	if e.opt.Method != MethodTSIndex {
 		return nil, errors.New("twinsearch: SearchApprox requires MethodTSIndex")
 	}
@@ -264,6 +286,10 @@ func (e *Engine) SearchApprox(q []float64, eps float64, leafBudget int) ([]Match
 	}
 	if len(q) != e.opt.L {
 		return nil, fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)
+	}
+	if e.cl != nil {
+		ms, _, err := e.cl.SearchApprox(context.Background(), e.ext.TransformQuery(q), eps, leafBudget)
+		return ms, err
 	}
 	if e.sh != nil {
 		ms, _ := e.sh.SearchApprox(e.ext.TransformQuery(q), eps, leafBudget)
@@ -290,8 +316,14 @@ func (e *Engine) SearchApprox(q []float64, eps float64, leafBudget int) ([]Match
 // re-freezes once, so appending value by value costs the insertions
 // alone however the appends are batched.
 func (e *Engine) Append(values ...float64) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
 	if e.opt.Method != MethodTSIndex {
 		return errors.New("twinsearch: Append requires MethodTSIndex")
+	}
+	if e.cl != nil {
+		return errors.New("twinsearch: a cluster-backed engine is read-only; append at the process that owns the index")
 	}
 	if len(values) == 0 {
 		return nil
@@ -342,6 +374,32 @@ func (e *Engine) SearchBatch(queries [][]float64, eps float64, parallelism int) 
 	if len(queries) == 0 {
 		return out
 	}
+	if e.closed.Load() {
+		for i := range out {
+			out[i] = BatchResult{Query: i, Err: ErrClosed}
+		}
+		return out
+	}
+	if e.cl != nil {
+		// Cluster fan-out is network-bound: plain per-query goroutines,
+		// each fanning across the nodes with its own timeouts.
+		var wg sync.WaitGroup
+		for i, q := range queries {
+			tq, err := e.validateQuery(q, eps)
+			if err != nil {
+				out[i] = BatchResult{Query: i, Err: err}
+				continue
+			}
+			wg.Add(1)
+			go func(i int, tq []float64) {
+				defer wg.Done()
+				ms, err := e.cl.Search(context.Background(), tq, eps)
+				out[i] = BatchResult{Query: i, Matches: ms, Err: err}
+			}(i, tq)
+		}
+		wg.Wait()
+		return out
+	}
 	ex := e.ex
 	if parallelism > 0 {
 		// More workers than queries would idle (each query's units can
@@ -369,7 +427,8 @@ func (e *Engine) SearchBatch(queries [][]float64, eps float64, parallelism int) 
 			continue
 		}
 		g.Go(func(*exec.Ctx) {
-			out[i] = BatchResult{Query: i, Matches: e.searchPrepared(tq, eps)}
+			ms, err := e.searchPreparedCtx(context.Background(), tq, eps)
+			out[i] = BatchResult{Query: i, Matches: ms, Err: err}
 		})
 	}
 	g.Wait()

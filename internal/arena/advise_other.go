@@ -1,0 +1,7 @@
+//go:build !linux && !darwin && !freebsd
+
+package arena
+
+// advise is a no-op where madvise is unavailable; Prefetch's touch pass
+// still warms the region, one fault at a time.
+func advise([]byte) {}

@@ -1,0 +1,13 @@
+//go:build linux || darwin || freebsd
+
+package arena
+
+import "syscall"
+
+// advise hints the kernel the whole mapped region will be needed soon,
+// so readahead can batch the page-ins the touch pass (and the queries
+// after it) would otherwise fault one by one. Best effort: madvise
+// failing (e.g. on unusual mappings) only loses the hint.
+func advise(buf []byte) {
+	_ = syscall.Madvise(buf, syscall.MADV_WILLNEED)
+}

@@ -1,0 +1,631 @@
+// Package cluster is the distributed query tier over a saved sharded
+// TS-Index (TSSH v3): one saved index, many processes. A **node** opens
+// only its assigned shard subset — selective mmap via the segment
+// table, O(assigned) cost — and serves the shard RPC (internal/server's
+// /shard/* endpoints). A **coordinator** fans each query across every
+// node through a pooled HTTP client with per-node timeouts and
+// recombines with the same deterministic merges the local fan-out uses,
+// so a cluster answers byte-identically to a single local engine:
+// range-style paths k-way merge the nodes' disjoint start-sorted lists,
+// top-k runs two-phase with a shared bound (the seed node's k-th
+// distance is broadcast to prune the rest — exactly the bound one local
+// work unit publishes to another, so the merged result is unchanged),
+// and approximate search splits the global leaf budget across nodes in
+// proportion to their window counts.
+//
+// The topology is static (a JSON file mapping node addresses to shard
+// ranges) and failures are loud: a node that cannot be reached within
+// its timeout fails the whole query with an error naming it — never a
+// silent partial answer, never a hang.
+//
+// The decomposition mirrors the relational-join view of search-space
+// partitioning (cf. Relational E-Matching): partition, evaluate
+// partitions independently, recombine order-preservingly.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"time"
+
+	"twinsearch/internal/core"
+	"twinsearch/internal/exec"
+	"twinsearch/internal/series"
+	"twinsearch/internal/shard"
+)
+
+// Options configures OpenCoordinator.
+type Options struct {
+	// Timeout bounds every per-node RPC (0 selects 10s). A node that
+	// cannot answer within it fails the query cleanly.
+	Timeout time.Duration
+	// PingTimeout bounds the liveness probes behind Health (0 → 2s).
+	PingTimeout time.Duration
+	// Workers sizes the executor local (LocalAddr) backends run on.
+	Workers int
+	// NoMMap / Prefetch apply to local backends; see NodeOptions.
+	NoMMap   bool
+	Prefetch bool
+	// Client overrides the HTTP client (tests inject failure modes);
+	// nil selects a client with a pooled transport owned by the
+	// coordinator.
+	Client *http.Client
+}
+
+const (
+	defaultTimeout     = 10 * time.Second
+	defaultPingTimeout = 2 * time.Second
+)
+
+// backendRef is one opened topology entry.
+type backendRef struct {
+	spec NodeSpec
+	b    shard.Backend
+	node *Node // non-nil for local entries; owns the arena
+}
+
+// Coordinator fans queries over the topology's backends. Methods are
+// safe for concurrent use.
+type Coordinator struct {
+	ext      *series.Extractor
+	l        int
+	byMean   bool
+	total    int // shard count of the saved index
+	windows  int // windows served across all backends
+	backends []backendRef
+
+	timeout, pingTimeout time.Duration
+	client               *http.Client
+	ownTransport         *http.Transport
+}
+
+// OpenCoordinator opens every topology entry — LocalAddr entries become
+// in-process subsets of the index file, the rest are dialed and
+// cross-checked (same L, normalization, series length, and shard
+// assignment as the topology claims) — and verifies the assignment
+// partitions the index's shards exactly and the per-node window counts
+// sum to the series'. ext must present the same series the index was
+// built over; queries are fanned out pre-transformed.
+func OpenCoordinator(topo *Topology, ext *series.Extractor, l int, o Options) (*Coordinator, error) {
+	if o.Timeout <= 0 {
+		o.Timeout = defaultTimeout
+	}
+	if o.PingTimeout <= 0 {
+		o.PingTimeout = defaultPingTimeout
+	}
+	c := &Coordinator{ext: ext, l: l, timeout: o.Timeout, pingTimeout: o.PingTimeout, client: o.Client}
+	if c.client == nil {
+		c.ownTransport = &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}
+		c.client = &http.Client{Transport: c.ownTransport}
+	}
+	fail := func(err error) (*Coordinator, error) {
+		c.Close()
+		return nil, err
+	}
+
+	total, byMean := -1, false
+	var ex *exec.Executor // shared by every local entry
+	for _, spec := range topo.Nodes {
+		var ref backendRef
+		ref.spec = spec
+		if spec.Addr == LocalAddr {
+			if ex == nil {
+				ex = exec.New(o.Workers)
+			}
+			n, err := openLocalEntry(topo, spec.Name, ext, ex, o)
+			if err != nil {
+				return fail(err)
+			}
+			ref.node, ref.b = n, n.Sub
+			if total == -1 {
+				total, byMean = n.Sub.TotalShards(), n.Sub.PartitionByMean()
+			} else if total != n.Sub.TotalShards() || byMean != n.Sub.PartitionByMean() {
+				return fail(fmt.Errorf("cluster: node %q serves a different index (%d/%v shards vs %d/%v)",
+					spec.Name, n.Sub.TotalShards(), n.Sub.PartitionByMean(), total, byMean))
+			}
+		} else {
+			rm, h, err := dialRemote(c.client, spec, ext, l, o.Timeout)
+			if err != nil {
+				return fail(err)
+			}
+			ref.b = rm
+			nodeByMean := h.Partition == "mean"
+			if total == -1 {
+				total, byMean = h.TotalShards, nodeByMean
+			} else if total != h.TotalShards || byMean != nodeByMean {
+				return fail(fmt.Errorf("cluster: node %q serves a different index (%d/%s shards vs %d total)",
+					spec.Name, h.TotalShards, h.Partition, total))
+			}
+		}
+		c.backends = append(c.backends, ref)
+		c.windows += ref.b.Windows()
+	}
+	c.total, c.byMean = total, byMean
+
+	if err := topo.checkCoverage(total); err != nil {
+		return fail(err)
+	}
+	if count := series.NumSubsequences(ext.Len(), l); c.windows != count {
+		return fail(fmt.Errorf("cluster: nodes serve %d windows, series has %d", c.windows, count))
+	}
+	return c, nil
+}
+
+// openLocalEntry opens a LocalAddr topology entry on the shared
+// executor.
+func openLocalEntry(topo *Topology, name string, ext *series.Extractor, ex *exec.Executor, o Options) (*Node, error) {
+	spec, err := topo.Node(name)
+	if err != nil {
+		return nil, err
+	}
+	if topo.Index == "" {
+		return nil, fmt.Errorf("cluster: topology names no index file for local node %q", name)
+	}
+	ar, err := openIndexArena(topo.Index, o.NoMMap)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := shard.OpenArenaShards(ar, ext, ex, spec.Shards)
+	if err != nil {
+		ar.Close()
+		return nil, fmt.Errorf("cluster: node %q: %w", name, err)
+	}
+	if o.Prefetch {
+		ar.Prefetch(0)
+	}
+	return &Node{Name: name, Sub: sub, ar: ar}, nil
+}
+
+// Close releases local backends' arenas and the coordinator's idle
+// connections. No query may run during or after it.
+func (c *Coordinator) Close() error {
+	var firstErr error
+	for _, ref := range c.backends {
+		if ref.node != nil {
+			if err := ref.node.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if c.ownTransport != nil {
+		c.ownTransport.CloseIdleConnections()
+	}
+	return firstErr
+}
+
+// TotalShards returns the shard count of the saved index being served.
+func (c *Coordinator) TotalShards() int { return c.total }
+
+// PartitionByMean reports the saved index's partition scheme.
+func (c *Coordinator) PartitionByMean() bool { return c.byMean }
+
+// Windows returns the total indexed windows across all nodes.
+func (c *Coordinator) Windows() int { return c.windows }
+
+// L returns the indexed subsequence length.
+func (c *Coordinator) L() int { return c.l }
+
+// MemoryBytes sums the heap footprints of the local backends (remote
+// nodes spend their memory in other processes).
+func (c *Coordinator) MemoryBytes() int {
+	total := 0
+	for _, ref := range c.backends {
+		total += ref.b.MemoryBytes()
+	}
+	return total
+}
+
+// MappedBytes sums the file-mapped footprints of the local backends.
+func (c *Coordinator) MappedBytes() int {
+	total := 0
+	for _, ref := range c.backends {
+		total += ref.b.MappedBytes()
+	}
+	return total
+}
+
+// Peers returns the static node view (no liveness probe; see Health).
+func (c *Coordinator) Peers() []PeerStatus {
+	out := make([]PeerStatus, len(c.backends))
+	for i, ref := range c.backends {
+		out[i] = PeerStatus{Name: ref.spec.Name, Addr: ref.spec.Addr,
+			Shards: ref.b.ShardIDs(), Windows: ref.b.Windows(), Alive: true}
+	}
+	return out
+}
+
+// Health probes every node's liveness: local backends are alive by
+// construction, remote ones answer /healthz within PingTimeout or are
+// reported down with the error.
+func (c *Coordinator) Health(ctx context.Context) []PeerStatus {
+	out := c.Peers()
+	done := make(chan int, len(c.backends))
+	for i, ref := range c.backends {
+		if ref.node != nil {
+			done <- i
+			continue
+		}
+		go func(i int, rm *remote) {
+			pctx, cancel := context.WithTimeout(ctx, c.pingTimeout)
+			defer cancel()
+			if _, err := rm.health(pctx); err != nil {
+				out[i].Alive = false
+				out[i].Error = err.Error()
+			}
+			done <- i
+		}(i, ref.b.(*remote))
+	}
+	for range c.backends {
+		<-done
+	}
+	return out
+}
+
+// fan runs fn once per backend concurrently, each under the per-node
+// timeout, and returns the lowest-indexed error (wrapped with the
+// node's name) — deterministic whichever node failed first in time.
+func (c *Coordinator) fan(ctx context.Context, fn func(ctx context.Context, b shard.Backend, i int) error) error {
+	errs := make([]error, len(c.backends))
+	done := make(chan struct{}, len(c.backends))
+	for i, ref := range c.backends {
+		go func(i int, b shard.Backend) {
+			defer func() { done <- struct{}{} }()
+			nctx, cancel := context.WithTimeout(ctx, c.timeout)
+			defer cancel()
+			errs[i] = fn(nctx, b, i)
+		}(i, ref.b)
+	}
+	for range c.backends {
+		<-done
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("cluster: node %q: %w", c.backends[i].spec.Name, err)
+		}
+	}
+	return ctx.Err()
+}
+
+// Search returns all twins of q at eps across the cluster, sorted by
+// start — byte-identical to a single local engine over the same saved
+// index.
+func (c *Coordinator) Search(ctx context.Context, q []float64, eps float64) ([]series.Match, error) {
+	ms, _, err := c.SearchStats(ctx, q, eps)
+	return ms, err
+}
+
+// SearchStats is Search with traversal counters summed across every
+// node's work units.
+func (c *Coordinator) SearchStats(ctx context.Context, q []float64, eps float64) ([]series.Match, core.Stats, error) {
+	per := make([][]series.Match, len(c.backends))
+	stats := make([]core.Stats, len(c.backends))
+	err := c.fan(ctx, func(ctx context.Context, b shard.Backend, i int) error {
+		var err error
+		per[i], stats[i], err = b.SearchStats(ctx, q, eps)
+		return err
+	})
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	var st core.Stats
+	for _, x := range stats {
+		st = shard.AddStats(st, x)
+	}
+	return shard.MergeByStart(per), st, nil
+}
+
+// SearchTopK returns the k nearest across the cluster in (dist, start)
+// order, in two phases: the node serving the most windows answers
+// unbounded, then its k-th distance is broadcast as the pruning bound
+// for every other node — the same monotone bound local work units share
+// through core.SharedBound, so the merged result is exactly the
+// single-engine top-k.
+func (c *Coordinator) SearchTopK(ctx context.Context, q []float64, k int) ([]series.Match, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	seed := 0
+	for i, ref := range c.backends {
+		if ref.b.Windows() > c.backends[seed].b.Windows() {
+			seed = i
+		}
+	}
+	lists := make([][]series.Match, len(c.backends))
+
+	// Phase 1: the seed node, unbounded.
+	sctx, cancel := context.WithTimeout(ctx, c.timeout)
+	first, err := c.backends[seed].b.SearchTopK(sctx, q, k, math.Inf(1))
+	cancel()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %q: %w", c.backends[seed].spec.Name, err)
+	}
+	lists[seed] = first
+	bound := math.Inf(1)
+	if len(first) >= k {
+		bound = first[k-1].Dist
+	}
+
+	// Phase 2: everyone else, pruning against the seed's k-th distance.
+	err = c.fan(ctx, func(ctx context.Context, b shard.Backend, i int) error {
+		if i == seed {
+			return nil
+		}
+		var err error
+		lists[i], err = b.SearchTopK(ctx, q, k, bound)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return shard.MergeTopK(lists, k), nil
+}
+
+// SearchPrefix answers a query shorter than the indexed length: the
+// truncated-bound tree halves fan across the nodes, and the tail
+// windows that exist only at the shorter length — which belong to no
+// shard — are scanned exactly once, here at the coordinator (it holds
+// the full series).
+func (c *Coordinator) SearchPrefix(ctx context.Context, q []float64, eps float64) ([]series.Match, error) {
+	if err := c.validatePrefix(q); err != nil {
+		return nil, err
+	}
+	per := make([][]series.Match, len(c.backends))
+	err := c.fan(ctx, func(ctx context.Context, b shard.Backend, i int) error {
+		var err error
+		per[i], err = b.SearchPrefixTree(ctx, q, eps)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return core.ScanPrefixTail(c.ext, c.l, q, eps, shard.MergeByStart(per)), nil
+}
+
+// validatePrefix mirrors core's prefix-query validation with the
+// coordinator's own parameters (no arena in this process to ask).
+func (c *Coordinator) validatePrefix(q []float64) error {
+	if len(q) > c.l {
+		return fmt.Errorf("core: prefix query length %d exceeds indexed length %d", len(q), c.l)
+	}
+	if len(q) == 0 {
+		return fmt.Errorf("core: empty query")
+	}
+	if c.ext.Mode() == series.NormPerSubsequence {
+		return fmt.Errorf("core: prefix queries are unsupported under per-subsequence normalization")
+	}
+	return nil
+}
+
+// SearchApprox probes at most leafBudget leaves across the cluster and
+// returns a possibly incomplete subset of the twins. The global budget
+// splits across nodes in proportion to their window counts (an atomic
+// allowance cannot span processes), floor-divided with the remainder
+// going to the earliest nodes — deterministic, and never exceeding the
+// requested total. Nodes whose share is zero are skipped.
+func (c *Coordinator) SearchApprox(ctx context.Context, q []float64, eps float64, leafBudget int) ([]series.Match, core.Stats, error) {
+	if leafBudget <= 0 {
+		leafBudget = 1
+	}
+	shares := c.splitBudget(leafBudget)
+	per := make([][]series.Match, len(c.backends))
+	stats := make([]core.Stats, len(c.backends))
+	err := c.fan(ctx, func(ctx context.Context, b shard.Backend, i int) error {
+		if shares[i] == 0 {
+			return nil
+		}
+		var err error
+		per[i], stats[i], err = b.SearchApprox(ctx, q, eps, shares[i])
+		return err
+	})
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	var st core.Stats
+	for _, x := range stats {
+		st = shard.AddStats(st, x)
+	}
+	return shard.MergeByStart(per), st, nil
+}
+
+// splitBudget divides a leaf budget across backends proportionally to
+// their window counts: floor shares first, then one extra to the
+// earliest backends until the total is spent. sum(shares) == budget.
+func (c *Coordinator) splitBudget(budget int) []int {
+	shares := make([]int, len(c.backends))
+	spent := 0
+	for i, ref := range c.backends {
+		shares[i] = budget * ref.b.Windows() / c.windows
+		spent += shares[i]
+	}
+	for i := 0; spent < budget && i < len(shares); i++ {
+		shares[i]++
+		spent++
+	}
+	return shares
+}
+
+// --- remote backend ---
+
+// remote speaks the shard RPC to one node over HTTP. It implements
+// shard.Backend; ctx deadlines abort the request (the transport closes
+// the connection), so a dead node costs one timeout, never a hang.
+type remote struct {
+	name    string
+	base    string
+	shards  []int
+	windows int
+	client  *http.Client
+}
+
+var _ shard.Backend = (*remote)(nil)
+
+// dialRemote connects to a node and cross-checks its health report
+// against the topology entry and the coordinator's series.
+func dialRemote(client *http.Client, spec NodeSpec, ext *series.Extractor, l int, timeout time.Duration) (*remote, NodeHealth, error) {
+	rm := &remote{name: spec.Name, base: spec.Addr, shards: spec.Shards, client: client}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	h, err := rm.health(ctx)
+	if err != nil {
+		return nil, h, fmt.Errorf("cluster: node %q (%s): %w", spec.Name, spec.Addr, err)
+	}
+	if h.Role != "node" {
+		return nil, h, fmt.Errorf("cluster: node %q (%s) reports role %q, want a shard node", spec.Name, spec.Addr, h.Role)
+	}
+	if h.L != l {
+		return nil, h, fmt.Errorf("cluster: node %q indexes L=%d, coordinator expects %d", spec.Name, h.L, l)
+	}
+	if h.Norm != ext.Mode().String() {
+		return nil, h, fmt.Errorf("cluster: node %q normalizes %q, coordinator %q", spec.Name, h.Norm, ext.Mode().String())
+	}
+	if h.SeriesLen != ext.Len() {
+		return nil, h, fmt.Errorf("cluster: node %q serves a %d-point series, coordinator holds %d", spec.Name, h.SeriesLen, ext.Len())
+	}
+	if !equalInts(h.Shards, spec.Shards) {
+		return nil, h, fmt.Errorf("cluster: node %q serves shards %v, topology assigns %v", spec.Name, h.Shards, spec.Shards)
+	}
+	rm.windows = h.Windows
+	return rm, h, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as, bs := append([]int(nil), a...), append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// health fetches and decodes the node's /healthz.
+func (r *remote) health(ctx context.Context) (NodeHealth, error) {
+	var h NodeHealth
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return h, fmt.Errorf("healthz: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return h, fmt.Errorf("healthz: %w", err)
+	}
+	return h, nil
+}
+
+// post sends one shard RPC and decodes the response, translating
+// non-200 answers into the node's own error text.
+func (r *remote) post(ctx context.Context, path string, reqBody, respBody interface{}) error {
+	raw, err := json.Marshal(reqBody)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", path, e.Error)
+		}
+		return fmt.Errorf("%s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(respBody)
+}
+
+// Search implements shard.Backend.
+func (r *remote) Search(ctx context.Context, q []float64, eps float64) ([]series.Match, error) {
+	ms, _, err := r.SearchStats(ctx, q, eps)
+	return ms, err
+}
+
+// SearchStats implements shard.Backend.
+func (r *remote) SearchStats(ctx context.Context, q []float64, eps float64) ([]series.Match, core.Stats, error) {
+	var resp SearchResponse
+	if err := r.post(ctx, "/shard/search", SearchRequest{Query: q, Eps: eps}, &resp); err != nil {
+		return nil, core.Stats{}, err
+	}
+	var st core.Stats
+	if resp.Stats != nil {
+		st = *resp.Stats
+	}
+	return fromWire(resp.Matches), st, nil
+}
+
+// SearchTopK implements shard.Backend.
+func (r *remote) SearchTopK(ctx context.Context, q []float64, k int, bound float64) ([]series.Match, error) {
+	req := TopKRequest{Query: q, K: k}
+	if !math.IsInf(bound, 1) {
+		req.Bound = &bound
+	}
+	var resp SearchResponse
+	if err := r.post(ctx, "/shard/topk", req, &resp); err != nil {
+		return nil, err
+	}
+	return fromWire(resp.Matches), nil
+}
+
+// SearchPrefixTree implements shard.Backend.
+func (r *remote) SearchPrefixTree(ctx context.Context, q []float64, eps float64) ([]series.Match, error) {
+	var resp SearchResponse
+	if err := r.post(ctx, "/shard/prefix", SearchRequest{Query: q, Eps: eps}, &resp); err != nil {
+		return nil, err
+	}
+	return fromWire(resp.Matches), nil
+}
+
+// SearchApprox implements shard.Backend.
+func (r *remote) SearchApprox(ctx context.Context, q []float64, eps float64, leafBudget int) ([]series.Match, core.Stats, error) {
+	var resp SearchResponse
+	if err := r.post(ctx, "/shard/approx", ApproxRequest{Query: q, Eps: eps, LeafBudget: leafBudget}, &resp); err != nil {
+		return nil, core.Stats{}, err
+	}
+	var st core.Stats
+	if resp.Stats != nil {
+		st = *resp.Stats
+	}
+	return fromWire(resp.Matches), st, nil
+}
+
+// Windows implements shard.Backend.
+func (r *remote) Windows() int { return r.windows }
+
+// ShardIDs implements shard.Backend.
+func (r *remote) ShardIDs() []int { return append([]int(nil), r.shards...) }
+
+// MemoryBytes implements shard.Backend: a remote node's memory lives in
+// its own process.
+func (r *remote) MemoryBytes() int { return 0 }
+
+// MappedBytes implements shard.Backend.
+func (r *remote) MappedBytes() int { return 0 }

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+
+	"twinsearch/internal/arena"
+	"twinsearch/internal/exec"
+	"twinsearch/internal/series"
+	"twinsearch/internal/shard"
+)
+
+// Node is one shard node's state: the selectively opened subset of the
+// saved index it serves, plus the identity the topology gave it.
+// internal/server mounts the shard RPC over it.
+type Node struct {
+	Name string
+	Sub  *shard.Subset
+
+	ar *arena.Arena // owned when OpenNode mapped/read the index file
+}
+
+// NodeOptions configures OpenNode.
+type NodeOptions struct {
+	// Workers sizes the node's query executor (0 = one per CPU).
+	Workers int
+	// NoMMap forces the copy path: the index file is read into a heap
+	// arena instead of being memory-mapped. The default prefers the
+	// mapping (selective open then costs O(assigned segments), and N
+	// nodes on one machine share one physical copy) and falls back to
+	// the heap on platforms without mmap.
+	NoMMap bool
+	// Prefetch warms the mapping after a selective open — see
+	// arena.Prefetch. Pointless (but harmless) with NoMMap.
+	Prefetch bool
+}
+
+// OpenNode opens the shard subset the topology assigns to name: the
+// index file is mapped (or read, see NodeOptions.NoMMap) and only the
+// assigned segments are interpreted — unassigned segments are skipped
+// via the segment table, so startup cost and mapped footprint scale
+// with the assignment, not the index. ext must present the same series
+// and normalization the index was built with.
+func OpenNode(topo *Topology, name string, ext *series.Extractor, o NodeOptions) (*Node, error) {
+	spec, err := topo.Node(name)
+	if err != nil {
+		return nil, err
+	}
+	if topo.Index == "" {
+		return nil, fmt.Errorf("cluster: topology names no index file")
+	}
+	ar, err := openIndexArena(topo.Index, o.NoMMap)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := shard.OpenArenaShards(ar, ext, exec.New(o.Workers), spec.Shards)
+	if err != nil {
+		ar.Close()
+		return nil, fmt.Errorf("cluster: node %q: %w", name, err)
+	}
+	if o.Prefetch {
+		ar.Prefetch(0)
+	}
+	return &Node{Name: name, Sub: sub, ar: ar}, nil
+}
+
+// openIndexArena produces the byte region a subset opens from: an mmap
+// of the file when the platform supports zero-copy, a heap read
+// otherwise.
+func openIndexArena(path string, noMMap bool) (*arena.Arena, error) {
+	if !noMMap && arena.MapSupported() && arena.LittleEndianHost() {
+		ar, err := arena.Map(path)
+		if err == nil {
+			return ar, nil
+		}
+		// Mapping can fail at runtime (FUSE mounts, mapping limits);
+		// the copy path serves the file or reports the real problem.
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return arena.FromBytes(raw), nil
+}
+
+// Health reports the node's /healthz document.
+func (n *Node) Health() NodeHealth {
+	return NodeHealth{
+		Status:      "ok",
+		Role:        "node",
+		Name:        n.Name,
+		L:           n.Sub.L(),
+		Norm:        n.Sub.Extractor().Mode().String(),
+		SeriesLen:   n.Sub.Extractor().Len(),
+		Windows:     n.Sub.Windows(),
+		Shards:      n.Sub.ShardIDs(),
+		TotalShards: n.Sub.TotalShards(),
+		Partition:   partitionName(n.Sub.PartitionByMean()),
+		HeapBytes:   n.Sub.MemoryBytes(),
+		MappedBytes: n.Sub.MappedBytes(),
+	}
+}
+
+func partitionName(byMean bool) string {
+	if byMean {
+		return "mean"
+	}
+	return "range"
+}
+
+// Close releases the node's arena (unmapping the index region). No
+// search may run on the subset during or after it.
+func (n *Node) Close() error {
+	if n.ar == nil {
+		return nil
+	}
+	ar := n.ar
+	n.ar = nil
+	return ar.Close()
+}

@@ -1,0 +1,208 @@
+package cluster
+
+// The shard RPC's server half: the HTTP face of one cluster node. A
+// node serves an assigned subset of a saved index's shards (Node /
+// shard.Subset) and exposes the five search paths to the coordinator:
+//
+//	GET  /healthz       → NodeHealth (role "node", assignment)
+//	POST /shard/search  → SearchRequest → SearchResponse (+stats)
+//	POST /shard/topk    → TopKRequest   → SearchResponse
+//	POST /shard/prefix  → SearchRequest → SearchResponse (tree only)
+//	POST /shard/approx  → ApproxRequest → SearchResponse (+stats)
+//
+// Queries arrive pre-transformed (the coordinator normalizes once) and
+// responses follow the shard.Backend contract, so the coordinator's
+// merges reproduce the single-engine answer bit for bit. Every handler
+// runs under r.Context(): a coordinator that gives up (timeout, death)
+// cancels the node-side fan-out instead of leaving it to burn executor
+// time. internal/server mounts this handler for tsserve's node role;
+// it lives here so the client and server halves of the protocol share
+// one package.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync/atomic"
+
+	"twinsearch/internal/core"
+	"twinsearch/internal/series"
+)
+
+// NodeRPC serves one cluster node's shard RPC. It implements
+// http.Handler.
+type NodeRPC struct {
+	n     *Node
+	mux   *http.ServeMux
+	drain atomic.Bool
+}
+
+// NewNodeRPC wraps a node in its RPC handler.
+func NewNodeRPC(n *Node) *NodeRPC {
+	h := &NodeRPC{n: n, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/healthz", h.health)
+	h.mux.HandleFunc("/shard/search", h.search)
+	h.mux.HandleFunc("/shard/topk", h.topk)
+	h.mux.HandleFunc("/shard/prefix", h.prefix)
+	h.mux.HandleFunc("/shard/approx", h.approx)
+	return h
+}
+
+// BeginDrain makes every subsequent query answer 503 while /healthz
+// keeps working — the graceful-shutdown window in which in-flight
+// requests finish and the coordinator routes around the node.
+func (h *NodeRPC) BeginDrain() { h.drain.Store(true) }
+
+// ServeHTTP implements http.Handler.
+func (h *NodeRPC) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.drain.Load() && r.URL.Path != "/healthz" {
+		rpcError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	h.mux.ServeHTTP(w, r)
+}
+
+var errDraining = errors.New("server is draining for shutdown")
+
+// rpcJSON / rpcError mirror internal/server's body shapes — the
+// {"error": ...} form the remote client decodes.
+func rpcJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func rpcError(w http.ResponseWriter, status int, err error) {
+	rpcJSON(w, status, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}
+
+func (h *NodeRPC) health(w http.ResponseWriter, r *http.Request) {
+	hd := h.n.Health()
+	if h.drain.Load() {
+		hd.Status = "draining"
+	}
+	rpcJSON(w, http.StatusOK, hd)
+}
+
+// decodeRPC decodes one POSTed request body, enforcing method and
+// well-formedness uniformly across the shard endpoints.
+func decodeRPC(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		rpcError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		rpcError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// writeRPC writes a search result, translating errors: context endings
+// (the caller hung up or timed out) are 503, everything else is the
+// node refusing the request (400).
+func writeRPC(w http.ResponseWriter, ms []series.Match, st *core.Stats, err error) {
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		rpcError(w, status, err)
+		return
+	}
+	rpcJSON(w, http.StatusOK, SearchResponse{Matches: toWire(ms), Stats: st})
+}
+
+func (h *NodeRPC) search(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !decodeRPC(w, r, &req) {
+		return
+	}
+	if err := validateRPCQuery(req.Query, h.n.Sub.L(), req.Eps); err != nil {
+		rpcError(w, http.StatusBadRequest, err)
+		return
+	}
+	ms, st, err := h.n.Sub.SearchStats(r.Context(), req.Query, req.Eps)
+	writeRPC(w, ms, &st, err)
+}
+
+func (h *NodeRPC) topk(w http.ResponseWriter, r *http.Request) {
+	var req TopKRequest
+	if !decodeRPC(w, r, &req) {
+		return
+	}
+	if err := validateRPCQuery(req.Query, h.n.Sub.L(), 0); err != nil {
+		rpcError(w, http.StatusBadRequest, err)
+		return
+	}
+	bound := math.Inf(1)
+	if req.Bound != nil {
+		if math.IsNaN(*req.Bound) || *req.Bound < 0 {
+			rpcError(w, http.StatusBadRequest, fmt.Errorf("invalid bound %v", *req.Bound))
+			return
+		}
+		bound = *req.Bound
+	}
+	ms, err := h.n.Sub.SearchTopK(r.Context(), req.Query, req.K, bound)
+	writeRPC(w, ms, nil, err)
+}
+
+func (h *NodeRPC) prefix(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !decodeRPC(w, r, &req) {
+		return
+	}
+	// Prefix queries are shorter than L by design; the subset validates
+	// the length itself. Screen the values and threshold only.
+	if err := validateRPCValues(req.Query, req.Eps); err != nil {
+		rpcError(w, http.StatusBadRequest, err)
+		return
+	}
+	ms, err := h.n.Sub.SearchPrefixTree(r.Context(), req.Query, req.Eps)
+	writeRPC(w, ms, nil, err)
+}
+
+func (h *NodeRPC) approx(w http.ResponseWriter, r *http.Request) {
+	var req ApproxRequest
+	if !decodeRPC(w, r, &req) {
+		return
+	}
+	if err := validateRPCQuery(req.Query, h.n.Sub.L(), req.Eps); err != nil {
+		rpcError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.LeafBudget <= 0 {
+		rpcError(w, http.StatusBadRequest, fmt.Errorf("leaf budget %d; a positive probe count is required", req.LeafBudget))
+		return
+	}
+	ms, st, err := h.n.Sub.SearchApprox(r.Context(), req.Query, req.Eps, req.LeafBudget)
+	writeRPC(w, ms, &st, err)
+}
+
+// validateRPCQuery screens a full-length RPC query before it reaches
+// the subset: the shard layer panics on length mismatches (its callers
+// validate), and non-finite values would poison the early-abandoning
+// comparisons, so the node refuses both at the door.
+func validateRPCQuery(q []float64, l int, eps float64) error {
+	if len(q) != l {
+		return fmt.Errorf("query length %d, node indexes L=%d", len(q), l)
+	}
+	return validateRPCValues(q, eps)
+}
+
+func validateRPCValues(q []float64, eps float64) error {
+	if eps < 0 || math.IsNaN(eps) {
+		return fmt.Errorf("invalid threshold %v", eps)
+	}
+	for i, v := range q {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("non-finite query value %v at position %d", v, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LocalAddr is the sentinel node address meaning "serve these shards in
+// the coordinator process itself": the coordinator opens the subset
+// from the topology's index file instead of dialing anything.
+const LocalAddr = "local"
+
+// ShardList is a set of global shard indices. In JSON it unmarshals
+// from either an explicit array ([0,1,4]) or a compact range string
+// ("0-3,7"); it always normalizes to ascending order without
+// duplicates.
+type ShardList []int
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *ShardList) UnmarshalJSON(b []byte) error {
+	var ids []int
+	if err := json.Unmarshal(b, &ids); err == nil {
+		*s = normalizeShards(ids)
+		return nil
+	}
+	var spec string
+	if err := json.Unmarshal(b, &spec); err != nil {
+		return fmt.Errorf("cluster: shards must be an array of indices or a range string like \"0-3,7\"")
+	}
+	ids, err := ParseShardRanges(spec)
+	if err != nil {
+		return err
+	}
+	*s = ids
+	return nil
+}
+
+// ParseShardRanges parses a compact shard spec: comma-separated single
+// indices and inclusive lo-hi ranges, e.g. "0-3,7" → [0 1 2 3 7].
+func ParseShardRanges(spec string) ([]int, error) {
+	var ids []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("cluster: empty entry in shard spec %q", spec)
+		}
+		lo, hi, found := strings.Cut(part, "-")
+		a, err := strconv.Atoi(strings.TrimSpace(lo))
+		if err != nil || a < 0 {
+			return nil, fmt.Errorf("cluster: bad shard index %q in spec %q", lo, spec)
+		}
+		b := a
+		if found {
+			if b, err = strconv.Atoi(strings.TrimSpace(hi)); err != nil || b < a {
+				return nil, fmt.Errorf("cluster: bad shard range %q in spec %q", part, spec)
+			}
+		}
+		if b-a >= 1<<20 {
+			return nil, fmt.Errorf("cluster: implausible shard range %q", part)
+		}
+		for i := a; i <= b; i++ {
+			ids = append(ids, i)
+		}
+	}
+	return normalizeShards(ids), nil
+}
+
+func normalizeShards(ids []int) []int {
+	sort.Ints(ids)
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// NodeSpec names one shard node: where to reach it and which global
+// shards of the saved index it serves. Addr is an http base URL
+// ("http://10.0.0.5:8081") or LocalAddr.
+type NodeSpec struct {
+	Name   string    `json:"name"`
+	Addr   string    `json:"addr"`
+	Shards ShardList `json:"shards"`
+}
+
+// Topology is the static cluster layout: the saved TSSH v3 index every
+// node opens its slice of, and the node → shard-set assignment. The
+// assignment must partition the index's shards exactly — validated
+// against the real shard count when a coordinator or node opens it.
+type Topology struct {
+	// Index is the path of the saved sharded index (TSSH v3). Relative
+	// paths are resolved against the topology file's directory by
+	// LoadTopology.
+	Index string     `json:"index"`
+	Nodes []NodeSpec `json:"nodes"`
+}
+
+// ParseTopology decodes and validates a topology document. Coverage of
+// the index's full shard range needs the shard count, which only the
+// index file knows, so only per-document invariants are checked here:
+// unique non-empty names, non-empty addresses and shard sets, and no
+// shard assigned to two nodes.
+func ParseTopology(r io.Reader) (*Topology, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var t Topology
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("cluster: topology: %w", err)
+	}
+	if len(t.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: topology lists no nodes")
+	}
+	names := make(map[string]bool, len(t.Nodes))
+	owner := make(map[int]string)
+	for i, n := range t.Nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("cluster: topology node %d has no name", i)
+		}
+		if names[n.Name] {
+			return nil, fmt.Errorf("cluster: topology names node %q twice", n.Name)
+		}
+		names[n.Name] = true
+		if n.Addr == "" {
+			return nil, fmt.Errorf("cluster: topology node %q has no addr", n.Name)
+		}
+		if len(n.Shards) == 0 {
+			return nil, fmt.Errorf("cluster: topology node %q serves no shards", n.Name)
+		}
+		for _, id := range n.Shards {
+			// The range-string parser already refuses negatives; the
+			// JSON-array form must too, or checkCoverage would index a
+			// slice with the bad id instead of reporting it.
+			if id < 0 {
+				return nil, fmt.Errorf("cluster: topology node %q serves negative shard %d", n.Name, id)
+			}
+			if prev, dup := owner[id]; dup {
+				return nil, fmt.Errorf("cluster: shard %d assigned to both %q and %q", id, prev, n.Name)
+			}
+			owner[id] = n.Name
+		}
+	}
+	return &t, nil
+}
+
+// LoadTopology reads a topology file, resolving a relative index path
+// against the file's own directory so the document works from any cwd.
+func LoadTopology(path string) (*Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	defer f.Close()
+	t, err := ParseTopology(f)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	if t.Index != "" && !filepath.IsAbs(t.Index) {
+		t.Index = filepath.Join(filepath.Dir(path), t.Index)
+	}
+	return t, nil
+}
+
+// Node returns the spec with the given name.
+func (t *Topology) Node(name string) (NodeSpec, error) {
+	for _, n := range t.Nodes {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	return NodeSpec{}, fmt.Errorf("cluster: topology has no node %q", name)
+}
+
+// checkCoverage verifies the assignment partitions [0, total) exactly.
+// The negative-id check repeats ParseTopology's so topologies built
+// programmatically (never parsed) fail cleanly too.
+func (t *Topology) checkCoverage(total int) error {
+	seen := make([]string, total)
+	for _, n := range t.Nodes {
+		for _, id := range n.Shards {
+			if id < 0 || id >= total {
+				return fmt.Errorf("cluster: node %q serves shard %d, index has %d", n.Name, id, total)
+			}
+			seen[id] = n.Name
+		}
+	}
+	for id, name := range seen {
+		if name == "" {
+			return fmt.Errorf("cluster: shard %d of %d assigned to no node", id, total)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"twinsearch/internal/shard"
+)
+
+func TestParseShardRanges(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"0", []int{0}},
+		{"0-3", []int{0, 1, 2, 3}},
+		{"0-1,3", []int{0, 1, 3}},
+		{"3, 0-1", []int{0, 1, 3}},
+		{"2,2,2", []int{2}}, // duplicates collapse
+	}
+	for _, c := range cases {
+		got, err := ParseShardRanges(c.in)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("%q → %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "x", "3-1", "-1", "1-", ",", "0-9999999"} {
+		if _, err := ParseShardRanges(bad); err == nil {
+			t.Errorf("%q parsed", bad)
+		}
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	good := `{"index":"idx.tsidx","nodes":[
+		{"name":"a","addr":"http://h1:1","shards":"0-1"},
+		{"name":"b","addr":"http://h2:2","shards":[2,3]}]}`
+	topo, err := ParseTopology(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Nodes) != 2 || !reflect.DeepEqual([]int(topo.Nodes[0].Shards), []int{0, 1}) {
+		t.Fatalf("topology = %+v", topo)
+	}
+	if n, err := topo.Node("b"); err != nil || n.Addr != "http://h2:2" {
+		t.Fatalf("Node(b) = %+v, %v", n, err)
+	}
+	if _, err := topo.Node("zzz"); err == nil {
+		t.Fatal("unknown node resolved")
+	}
+
+	bad := map[string]string{
+		"no nodes":       `{"index":"i"}`,
+		"dup name":       `{"nodes":[{"name":"a","addr":"x","shards":[0]},{"name":"a","addr":"y","shards":[1]}]}`,
+		"no name":        `{"nodes":[{"addr":"x","shards":[0]}]}`,
+		"no addr":        `{"nodes":[{"name":"a","shards":[0]}]}`,
+		"no shards":      `{"nodes":[{"name":"a","addr":"x"}]}`,
+		"dup shard":      `{"nodes":[{"name":"a","addr":"x","shards":[0]},{"name":"b","addr":"y","shards":[0]}]}`,
+		"unknown fields": `{"nodes":[{"name":"a","addr":"x","shards":[0],"weight":2}]}`,
+		"bad shards":     `{"nodes":[{"name":"a","addr":"x","shards":true}]}`,
+		"negative shard": `{"nodes":[{"name":"a","addr":"x","shards":[-1,0]}]}`,
+	}
+	for name, doc := range bad {
+		if _, err := ParseTopology(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestLoadTopologyResolvesIndex checks a relative index path resolves
+// against the topology file's directory, not the process cwd.
+func TestLoadTopologyResolvesIndex(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "topo.json")
+	doc := `{"index":"idx.tsidx","nodes":[{"name":"a","addr":"local","shards":[0]}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "idx.tsidx"); topo.Index != want {
+		t.Fatalf("index resolved to %q, want %q", topo.Index, want)
+	}
+}
+
+func TestCheckCoverage(t *testing.T) {
+	topo := &Topology{Nodes: []NodeSpec{
+		{Name: "a", Addr: "x", Shards: []int{0, 1}},
+		{Name: "b", Addr: "y", Shards: []int{2}},
+	}}
+	if err := topo.checkCoverage(3); err != nil {
+		t.Fatalf("complete coverage rejected: %v", err)
+	}
+	if err := topo.checkCoverage(4); err == nil {
+		t.Fatal("hole accepted")
+	}
+	if err := topo.checkCoverage(2); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	neg := &Topology{Nodes: []NodeSpec{{Name: "a", Addr: "x", Shards: []int{-1, 0, 1, 2}}}}
+	if err := neg.checkCoverage(3); err == nil {
+		t.Fatal("negative shard accepted (programmatic topology)")
+	}
+}
+
+func TestSplitBudget(t *testing.T) {
+	c := &Coordinator{windows: 100, backends: []backendRef{
+		{b: fakeWindows{n: 50}}, {b: fakeWindows{n: 30}}, {b: fakeWindows{n: 20}},
+	}}
+	for _, budget := range []int{1, 7, 100, 250} {
+		shares := c.splitBudget(budget)
+		sum := 0
+		for _, s := range shares {
+			sum += s
+		}
+		if sum != budget {
+			t.Fatalf("budget %d: shares %v sum to %d", budget, shares, sum)
+		}
+	}
+	// Saturation: a budget ≥ 2× windows guarantees every node at least
+	// its window count — the determinism precondition the differential
+	// tests rely on.
+	shares := c.splitBudget(200)
+	for i, want := range []int{100, 60, 40} {
+		if shares[i] != want {
+			t.Fatalf("shares = %v", shares)
+		}
+	}
+}
+
+// fakeWindows is a Backend stub for budget math: only Windows works
+// (the embedded nil interface panics on anything else).
+type fakeWindows struct {
+	shard.Backend
+	n int
+}
+
+func (f fakeWindows) Windows() int { return f.n }

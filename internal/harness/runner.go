@@ -1,12 +1,15 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"os"
 	"time"
 
 	"twinsearch/internal/arena"
+	"twinsearch/internal/cluster"
 	"twinsearch/internal/core"
 	"twinsearch/internal/datasets"
 	"twinsearch/internal/exec"
@@ -476,7 +479,7 @@ func (r *Runner) FigureColdOpen() []Row {
 	f.Close()
 	defer os.Remove(path)
 
-	open := func(mmap bool) (*shard.Index, func(), error) {
+	open := func(mmap, warm bool) (*shard.Index, func(), error) {
 		if !mmap {
 			sf, err := os.Open(path)
 			if err != nil {
@@ -495,17 +498,20 @@ func (r *Runner) FigureColdOpen() []Row {
 			ar.Close()
 			return nil, nil, err
 		}
+		if warm {
+			// The prefetch knob (Options.Prefetch): pay a bounded warmup
+			// inside the open instead of page faults during the queries.
+			ar.Prefetch(0)
+		}
 		return re, func() { ar.Close() }, nil
 	}
 
 	var rows []Row
-	for _, mmap := range []bool{false, true} {
-		label := "open=copy"
-		if mmap {
-			label = "open=mmap"
-		}
+	for _, label := range []string{"open=copy", "open=mmap", "open=mmap+warm"} {
+		mmap := label != "open=copy"
+		warm := label == "open=mmap+warm"
 		start := time.Now()
-		re, release, err := open(mmap)
+		re, release, err := open(mmap, warm)
 		if err != nil {
 			r.logf("  %s: skipped (%v)", label, err)
 			continue
@@ -520,6 +526,116 @@ func (r *Runner) FigureColdOpen() []Row {
 			AvgQueryMs: avgMs, AvgResults: avgRes, AvgCandidates: avgCands,
 			BuildMs: openTime.Seconds() * 1000, MemBytes: re.MemoryBytes(),
 		})
+		release()
+	}
+	return rows
+}
+
+// clusterAdapter measures the distributed tier through the harness's
+// searcher interface.
+type clusterAdapter struct{ cl *cluster.Coordinator }
+
+func (a clusterAdapter) search(q []float64, eps float64) (int, int) {
+	ms, st, err := a.cl.SearchStats(context.Background(), q, eps)
+	if err != nil {
+		return 0, 0
+	}
+	return len(ms), st.Candidates
+}
+
+// FigureCluster — beyond the paper: the distributed shard tier
+// (internal/cluster) against the local engine it must answer
+// identically to. One saved 4-shard index is served by N in-process
+// HTTP nodes (real wire format, loopback transport), each selectively
+// mapping only its assigned segments; a coordinator fans every query
+// out and merges. The "local" row is the same index searched in
+// process; the nodes=N rows carry the per-query RPC + merge overhead
+// (the price of horizontal memory scaling), BuildMs reports
+// cluster-assembly time, and AvgResults is the cross-check — every row
+// must agree.
+func (r *Runner) FigureCluster() []Row {
+	const shards = 4
+	d := r.EEG()
+	r.logf("Cluster experiment: %s", d.Name)
+	ext := r.extractor(d, series.NormGlobal)
+	queries := r.workload(d, ext, DefaultL)
+	eps := d.DefaultEpsNorm
+
+	ix, err := shard.Build(ext, shard.Config{
+		Config: core.Config{L: DefaultL}, Shards: shards, Executor: exec.New(r.Workers)})
+	if err != nil {
+		r.logf("  build failed (%v)", err)
+		return nil
+	}
+	f, err := os.CreateTemp("", "twinsearch-cluster-*.tsidx")
+	if err != nil {
+		r.logf("  temp index file unavailable (%v)", err)
+		return nil
+	}
+	path := f.Name()
+	if _, err := ix.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		r.logf("  save failed (%v)", err)
+		return nil
+	}
+	f.Close()
+	defer os.Remove(path)
+
+	var rows []Row
+	avgMs, avgRes, avgCands := measure(built{method: TSIndex, s: shardAdapter{ix}}, queries, eps)
+	rows = append(rows, Row{Figure: "cluster", Dataset: d.Name, Method: "TS-Index",
+		Param: "local", AvgQueryMs: avgMs, AvgResults: avgRes, AvgCandidates: avgCands})
+	r.logf("  local: %.3f ms/query", avgMs)
+
+	for _, nodes := range []int{1, 2, 4} {
+		start := time.Now()
+		topo := &cluster.Topology{Index: path}
+		for i := 0; i < nodes; i++ {
+			var run []int
+			for s := i * shards / nodes; s < (i+1)*shards/nodes; s++ {
+				run = append(run, s)
+			}
+			topo.Nodes = append(topo.Nodes, cluster.NodeSpec{
+				Name: fmt.Sprintf("n%d", i), Addr: "pending", Shards: run})
+		}
+		var cleanup []func()
+		fail := false
+		for i := range topo.Nodes {
+			n, err := cluster.OpenNode(topo, topo.Nodes[i].Name, ext, cluster.NodeOptions{Workers: r.Workers})
+			if err != nil {
+				r.logf("  nodes=%d: open failed (%v)", nodes, err)
+				fail = true
+				break
+			}
+			srv := httptest.NewServer(cluster.NewNodeRPC(n))
+			topo.Nodes[i].Addr = srv.URL
+			// Reverse-order release: the server must stop routing
+			// requests into the subset before its arena unmaps.
+			cleanup = append(cleanup, func() { n.Close() }, srv.Close)
+		}
+		release := func() {
+			for i := len(cleanup) - 1; i >= 0; i-- {
+				cleanup[i]()
+			}
+		}
+		if fail {
+			release()
+			continue
+		}
+		cl, err := cluster.OpenCoordinator(topo, ext, DefaultL, cluster.Options{Workers: r.Workers})
+		if err != nil {
+			r.logf("  nodes=%d: coordinator failed (%v)", nodes, err)
+			release()
+			continue
+		}
+		openMs := time.Since(start).Seconds() * 1000
+		avgMs, avgRes, avgCands := measure(built{method: TSIndex, s: clusterAdapter{cl}}, queries, eps)
+		r.logf("  nodes=%d: %.3f ms/query (cluster up in %.1f ms)", nodes, avgMs, openMs)
+		rows = append(rows, Row{Figure: "cluster", Dataset: d.Name, Method: "TS-Index",
+			Param: fmt.Sprintf("nodes=%d", nodes), AvgQueryMs: avgMs,
+			AvgResults: avgRes, AvgCandidates: avgCands, BuildMs: openMs})
+		cl.Close()
 		release()
 	}
 	return rows

@@ -1,0 +1,24 @@
+package server
+
+// The shard RPC endpoints of a cluster node — tsserve's node role
+// serves these. The handler implementation lives in internal/cluster
+// (cluster.NodeRPC) so the client and server halves of the wire
+// protocol share one package and cannot drift; this is the serving
+// surface:
+//
+//	GET  /healthz       → cluster.NodeHealth (role "node", assignment)
+//	POST /shard/search  → cluster.SearchRequest → SearchResponse (+stats)
+//	POST /shard/topk    → cluster.TopKRequest   → SearchResponse
+//	POST /shard/prefix  → cluster.SearchRequest → SearchResponse (tree only)
+//	POST /shard/approx  → cluster.ApproxRequest → SearchResponse (+stats)
+//
+// Like the engine handler, a NodeHandler supports BeginDrain: during
+// graceful shutdown new queries get 503 while /healthz keeps answering.
+
+import "twinsearch/internal/cluster"
+
+// NodeHandler serves one cluster node's shard RPC.
+type NodeHandler = cluster.NodeRPC
+
+// NewNode wraps a cluster node in its RPC handler.
+func NewNode(n *cluster.Node) *NodeHandler { return cluster.NewNodeRPC(n) }

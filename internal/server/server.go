@@ -13,20 +13,24 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"twinsearch"
 )
 
 // Handler is an http.Handler serving one engine.
 type Handler struct {
-	mu  sync.RWMutex
-	eng *twinsearch.Engine
-	mux *http.ServeMux
+	mu    sync.RWMutex
+	eng   *twinsearch.Engine
+	mux   *http.ServeMux
+	drain atomic.Bool
 }
 
 // New wraps an engine.
@@ -40,10 +44,22 @@ func New(eng *twinsearch.Engine) *Handler {
 	return h
 }
 
+// BeginDrain makes every subsequent query answer 503 while /healthz
+// keeps working: call it when graceful shutdown starts, so in-flight
+// requests finish, load balancers see the drain, and no new query can
+// race Engine.Close's unmap.
+func (h *Handler) BeginDrain() { h.drain.Store(true) }
+
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.drain.Load() && r.URL.Path != "/healthz" {
+		writeErr(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
 	h.mux.ServeHTTP(w, r)
 }
+
+var errDraining = errors.New("server is draining for shutdown")
 
 type errorBody struct {
 	Error string `json:"error"`
@@ -61,9 +77,13 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 
 func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
 	h.mu.RLock()
-	defer h.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status":     "ok",
+	status := "ok"
+	if h.drain.Load() {
+		status = "draining"
+	}
+	role := "standalone"
+	body := map[string]interface{}{
+		"status":     status,
 		"method":     h.eng.Method().String(),
 		"norm":       h.eng.Norm().String(),
 		"l":          h.eng.L(),
@@ -85,7 +105,22 @@ func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
 		// server handles — sharded fan-out units, batch work, and
 		// approximate probes all schedule onto these workers.
 		"workers": h.eng.Workers(),
-	})
+	}
+	cl := h.eng.Cluster()
+	// Release the engine lock before the peer probes: Health dials
+	// every remote node (up to PingTimeout each), and holding even a
+	// read lock that long would let one queued Append writer stall
+	// every new search behind a health check.
+	h.mu.RUnlock()
+	if cl != nil {
+		// Coordinator engines report the cluster view: which node owns
+		// which shards, and whether each peer answered a liveness probe
+		// just now.
+		role = "coordinator"
+		body["nodes"] = cl.Health(r.Context())
+	}
+	body["role"] = role
+	writeJSON(w, http.StatusOK, body)
 }
 
 func partitionName(byMean bool) string {
@@ -132,14 +167,27 @@ func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
+	// r.Context() flows into the fan-out: a client that disconnects (or
+	// a proxy that times out) cancels the remaining work units instead
+	// of burning executor time on an unwanted answer.
 	h.mu.RLock()
-	ms, err := h.eng.Search(req.Query, req.Eps)
+	ms, err := h.eng.SearchCtx(r.Context(), req.Query, req.Eps)
 	h.mu.RUnlock()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, searchStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toBody(ms))
+}
+
+// searchStatus maps engine errors to HTTP: context endings and
+// unreachable cluster nodes are the service's unavailability (503),
+// everything else is the client's request being refused (400).
+func searchStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, twinsearch.ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
 }
 
 type topkRequest struct {
@@ -158,10 +206,10 @@ func (h *Handler) topk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.mu.RLock()
-	ms, err := h.eng.SearchTopK(req.Query, req.K)
+	ms, err := h.eng.SearchTopKCtx(r.Context(), req.Query, req.K)
 	h.mu.RUnlock()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, searchStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toBody(ms))

@@ -27,6 +27,7 @@ package shard
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -341,14 +342,8 @@ func (s *Index) Search(q []float64, eps float64) []series.Match {
 // tree packs differently, and nodes above a unit's subtree root are
 // never visited); the match set does not.
 func (s *Index) SearchStats(q []float64, eps float64) ([]series.Match, core.Stats) {
-	s.ensureFrozen()
-	if len(s.frozen) == 1 {
-		return s.frozen[0].SearchStats(q, eps)
-	}
-	g := s.ex.NewGroup()
-	p := s.QueueSearch(g, q, eps)
-	g.Wait()
-	return p.Resolve()
+	ms, st, _ := s.SearchStatsCtx(nil, q, eps) // nil ctx never cancels
+	return ms, st
 }
 
 // PendingSearch holds the per-unit results of one enqueued range
@@ -367,23 +362,7 @@ type PendingSearch struct {
 // only after g.Wait() returns.
 func (s *Index) QueueSearch(g *exec.Group, q []float64, eps float64) *PendingSearch {
 	s.ensureFrozen()
-	fr := s.unitFrontiers()
-	p := &PendingSearch{
-		res:    make([][][]series.Match, len(fr)),
-		st:     make([][]core.Stats, len(fr)),
-		byMean: s.byMean,
-	}
-	for i, units := range fr {
-		p.res[i] = make([][]series.Match, len(units))
-		p.st[i] = make([]core.Stats, len(units))
-		f := s.frozen[i]
-		for j, u := range units {
-			g.Go(func(*exec.Ctx) {
-				p.res[i][j], p.st[i][j] = f.SearchStatsFrom(u, q, eps)
-			})
-		}
-	}
-	return p
+	return queueSearchUnits(g, nil, s.frozen, s.unitFrontiers(), s.byMean, q, eps)
 }
 
 // Resolve merges the unit results deterministically: units of one
@@ -486,34 +465,8 @@ func mergeByStart(per [][]series.Match, total int) []series.Match {
 // bound (the best k-th distance any unit has admitted so far), and the
 // per-unit lists are combined by a k-way merge.
 func (s *Index) SearchTopK(q []float64, k int) []series.Match {
-	if k <= 0 {
-		return nil
-	}
-	s.ensureFrozen()
-	if len(s.frozen) == 1 {
-		return s.frozen[0].SearchTopK(q, k)
-	}
-	fr := s.unitFrontiers()
-	n := 0
-	for _, units := range fr {
-		n += len(units)
-	}
-	shared := core.NewSharedBound()
-	lists := make([][]series.Match, n)
-	g := s.ex.NewGroup()
-	at := 0
-	for i, units := range fr {
-		f := s.frozen[i]
-		for _, u := range units {
-			slot := at
-			at++
-			g.Go(func(*exec.Ctx) {
-				lists[slot] = f.SearchTopKSharedFrom(u, q, k, shared)
-			})
-		}
-	}
-	g.Wait()
-	return mergeTopK(lists, k)
+	ms, _ := s.SearchTopKCtx(nil, q, k, math.Inf(1))
+	return ms
 }
 
 // mergeTopK k-way-merges start-disjoint, distance-sorted lists and
@@ -587,37 +540,12 @@ func (h *startHeap) Pop() interface{} {
 // (shard, subtree) units and the tail windows that exist only at the
 // shorter length are scanned once, here.
 func (s *Index) SearchPrefix(q []float64, eps float64) ([]series.Match, error) {
-	s.ensureFrozen()
-	if err := s.frozen[0].ValidatePrefix(q); err != nil {
+	tree, err := s.SearchPrefixTreeCtx(nil, q, eps)
+	if err != nil {
 		return nil, err
 	}
-	if len(s.frozen) == 1 {
-		return s.frozen[0].SearchPrefix(q, eps)
-	}
-	fr := s.unitFrontiers()
-	res := make([][][]series.Match, len(fr))
-	g := s.ex.NewGroup()
-	for i, units := range fr {
-		res[i] = make([][]series.Match, len(units))
-		f := s.frozen[i]
-		for j, u := range units {
-			g.Go(func(*exec.Ctx) {
-				res[i][j] = f.SearchPrefixTreeFrom(u, q, eps)
-			})
-		}
-	}
-	g.Wait()
-	per := make([][]series.Match, len(fr))
-	for i := range res {
-		var ms []series.Match
-		for _, unit := range res[i] {
-			ms = append(ms, unit...)
-		}
-		series.SortMatches(ms)
-		per[i] = ms
-	}
 	// The merged list is in position order and the tail starts extend it.
-	return core.ScanPrefixTail(s.ext, s.l, q, eps, mergePartitioned(per, s.byMean)), nil
+	return core.ScanPrefixTail(s.ext, s.l, q, eps, tree), nil
 }
 
 // SearchApprox probes at most leafBudget nearest leaves across all
@@ -630,28 +558,8 @@ func (s *Index) SearchPrefix(q []float64, eps float64) ([]series.Match, error) {
 // depends on scheduling, so the subset may vary between runs; every
 // match is a true twin and total leaves probed never exceed the budget.
 func (s *Index) SearchApprox(q []float64, eps float64, leafBudget int) ([]series.Match, core.Stats) {
-	if leafBudget <= 0 {
-		leafBudget = 1
-	}
-	s.ensureFrozen()
-	if len(s.frozen) == 1 {
-		return s.frozen[0].SearchApprox(q, eps, leafBudget)
-	}
-	budget := core.NewLeafBudget(leafBudget)
-	per := make([][]series.Match, len(s.frozen))
-	stats := make([]core.Stats, len(s.frozen))
-	g := s.ex.NewGroup()
-	for i, f := range s.frozen {
-		g.Go(func(*exec.Ctx) {
-			per[i], stats[i] = f.SearchApproxShared(q, eps, budget)
-		})
-	}
-	g.Wait()
-	var st core.Stats
-	for _, x := range stats {
-		st = addStats(st, x)
-	}
-	return mergePartitioned(per, s.byMean), st
+	ms, st, _ := s.SearchApproxCtx(nil, q, eps, leafBudget)
+	return ms, st
 }
 
 // Insert adds the window starting at p to the shard owning that

@@ -28,6 +28,7 @@
 package twinsearch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -35,8 +36,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"twinsearch/internal/arena"
+	"twinsearch/internal/cluster"
 	"twinsearch/internal/core"
 	"twinsearch/internal/exec"
 	"twinsearch/internal/isax"
@@ -154,6 +157,34 @@ type Options struct {
 	// mapping. Ignored by every entry point except OpenSavedFile.
 	MMap bool
 
+	// Prefetch warms a memory-mapped index right after OpenSavedFile
+	// maps it: madvise(MADV_WILLNEED) over the region plus a bounded
+	// sequential touch pass (see arena.Prefetch). It trades the
+	// page-fault latency tail of the first queries for a fixed warmup
+	// cost at open. Ignored without MMap (heap engines are already
+	// resident).
+	Prefetch bool
+
+	// Topology points Open at a cluster topology file instead of a
+	// local index: the engine becomes a distributed-query coordinator
+	// that fans every search across the shard nodes listed there
+	// (internal/cluster) and merges deterministically — answers are
+	// byte-identical to a local engine over the same saved index. The
+	// engine still needs the full series (data) for query
+	// normalization, verification-free merging, and the prefix tail
+	// scan. Cluster engines are read-only: Append and SaveIndex return
+	// errors. Requires MethodTSIndex; Shards/BulkLoad are ignored
+	// (the saved index fixed them). MMap/Prefetch/Workers apply to
+	// topology entries served in-process (addr "local").
+	Topology string
+
+	// ClusterTimeout bounds every per-node RPC of a Topology engine; a
+	// node that cannot answer within it fails the query with an error
+	// naming it. 0 selects the cluster default (10s). The bound is per
+	// node and absolute: it also caps any longer deadline on the
+	// caller's context.
+	ClusterTimeout time.Duration
+
 	// iSAX knobs (MethodISAX).
 	Segments     int // PAA segments m (default 10)
 	LeafCapacity int // leaf capacity (default 10,000)
@@ -200,23 +231,55 @@ type Engine struct {
 	fzMu    sync.Mutex
 	sh      *shard.Index // MethodTSIndex, Options.Shards resolving > 1
 
+	// cl serves queries when the engine was opened with
+	// Options.Topology: a distributed coordinator fanning out to shard
+	// nodes instead of any local index.
+	cl *cluster.Coordinator
+
 	// ar is the mapped file region backing the index when the engine
 	// was opened with Options.MMap; the engine owns it and Close
 	// releases it. nil for every heap-resident engine.
 	ar *arena.Arena
+
+	// closed guards use-after-Close: every search/mutation entry point
+	// fails with ErrClosed instead of reaching arenas that may point
+	// into an unmapped region. closeMu makes concurrent Close calls
+	// idempotent.
+	closed  atomic.Bool
+	closeMu sync.Mutex
 }
 
+// ErrClosed is returned by every search, append, and save entry point
+// once Engine.Close has run: a closed engine's arenas may point into an
+// unmapped file region, so the guard turns a potential fault into a
+// clean error.
+var ErrClosed = errors.New("twinsearch: engine is closed")
+
 // Close releases the resources an engine may hold beyond the heap: the
-// mapped index region (Options.MMap) and the series store attached to
-// the extractor, if it is closeable (e.g. a store.Disk serving
-// disk-resident verification). Heap-only engines close trivially.
-// Close is idempotent; no search, append, or save may run on the
-// engine during or after it — a mapped engine's arenas point into the
-// region being unmapped.
+// mapped index region (Options.MMap), the cluster coordinator's local
+// mappings and idle connections (Options.Topology), and the series
+// store attached to the extractor, if it is closeable (e.g. a
+// store.Disk serving disk-resident verification). Heap-only engines
+// close trivially. Close is idempotent, safe to race with itself, and
+// every call after the first returns nil; searches, appends, and saves
+// beginning after Close fail with ErrClosed. A search still in flight
+// when Close lands is not protected — quiesce first (tsserve drains
+// before closing).
 func (e *Engine) Close() error {
+	e.closeMu.Lock()
+	defer e.closeMu.Unlock()
+	if e.closed.Load() {
+		return nil
+	}
+	e.closed.Store(true)
 	var firstErr error
+	if e.cl != nil {
+		firstErr = e.cl.Close()
+	}
 	if e.ar != nil {
-		firstErr = e.ar.Close()
+		if err := e.ar.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 		e.ar = nil
 	}
 	if c, ok := e.ext.Backing().(io.Closer); ok {
@@ -273,6 +336,24 @@ func Open(data []float64, opt Options) (*Engine, error) {
 		return nil, fmt.Errorf("twinsearch: Options.Shards requires MethodTSIndex, got %v", opt.Method)
 	}
 	e := &Engine{opt: opt, ext: series.NewExtractor(data, opt.Norm), ex: exec.New(opt.Workers)}
+	if opt.Topology != "" {
+		if opt.Method != MethodTSIndex {
+			return nil, fmt.Errorf("twinsearch: Options.Topology requires MethodTSIndex, got %v", opt.Method)
+		}
+		topo, err := cluster.LoadTopology(opt.Topology)
+		if err != nil {
+			return nil, err
+		}
+		cl, err := cluster.OpenCoordinator(topo, e.ext, opt.L, cluster.Options{
+			Timeout: opt.ClusterTimeout,
+			Workers: opt.Workers, NoMMap: !opt.MMap, Prefetch: opt.Prefetch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.cl = cl
+		return e, nil
+	}
 	var err error
 	switch opt.Method {
 	case MethodSweepline:
@@ -328,11 +409,22 @@ func OpenFile(path string, opt Options) (*Engine, error) {
 // most eps, ordered by start position. q is in the raw value space of
 // the input series and must have length L with finite values.
 func (e *Engine) Search(q []float64, eps float64) ([]Match, error) {
+	return e.SearchCtx(context.Background(), q, eps)
+}
+
+// SearchCtx is Search honoring cancellation: when ctx ends, queued
+// fan-out work units are skipped, in-flight remote calls abort, and the
+// call returns ctx.Err() — the hook internal/server uses to stop
+// burning executor time for disconnected clients.
+func (e *Engine) SearchCtx(ctx context.Context, q []float64, eps float64) ([]Match, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
 	tq, err := e.validateQuery(q, eps)
 	if err != nil {
 		return nil, err
 	}
-	return e.searchPrepared(tq, eps), nil
+	return e.searchPreparedCtx(ctx, tq, eps)
 }
 
 // validateQuery runs the full raw-query validation and returns the
@@ -358,6 +450,9 @@ func (e *Engine) validateQuery(q []float64, eps float64) ([]float64, error) {
 // normalized value space (e.g. returned by PrepareQuery, or sampled from
 // the normalized series). Most callers want Search.
 func (e *Engine) SearchPrepared(q []float64, eps float64) ([]Match, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
 	if len(q) != e.opt.L {
 		return nil, fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)
 	}
@@ -367,23 +462,31 @@ func (e *Engine) SearchPrepared(q []float64, eps float64) ([]Match, error) {
 	if eps < 0 || math.IsNaN(eps) {
 		return nil, fmt.Errorf("twinsearch: invalid threshold %v", eps)
 	}
-	return e.searchPrepared(q, eps), nil
+	return e.searchPreparedCtx(context.Background(), q, eps)
 }
 
-// searchPrepared dispatches a validated, transformed query.
-func (e *Engine) searchPrepared(q []float64, eps float64) []Match {
+// searchPreparedCtx dispatches a validated, transformed query. Only the
+// fanned-out paths (sharded and cluster engines) observe ctx mid-query;
+// the single-structure methods check it once up front.
+func (e *Engine) searchPreparedCtx(ctx context.Context, q []float64, eps float64) ([]Match, error) {
+	if e.cl != nil {
+		return e.cl.Search(ctx, q, eps)
+	}
+	if e.sh != nil {
+		return e.sh.SearchCtx(ctx, q, eps)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch e.opt.Method {
 	case MethodSweepline:
-		return e.sweep.Search(q, eps)
+		return e.sweep.Search(q, eps), nil
 	case MethodKVIndex:
-		return e.kv.Search(q, eps)
+		return e.kv.Search(q, eps), nil
 	case MethodISAX:
-		return e.isx.Search(q, eps)
+		return e.isx.Search(q, eps), nil
 	default:
-		if e.sh != nil {
-			return e.sh.Search(q, eps)
-		}
-		return e.tsFrozen().Search(q, eps)
+		return e.tsFrozen().Search(q, eps), nil
 	}
 }
 
@@ -397,14 +500,28 @@ func (e *Engine) PrepareQuery(q []float64) []float64 {
 // distance (ascending), with exact distances filled in. Only TS-Index
 // supports it.
 func (e *Engine) SearchTopK(q []float64, k int) ([]Match, error) {
+	return e.SearchTopKCtx(context.Background(), q, k)
+}
+
+// SearchTopKCtx is SearchTopK honoring cancellation (see SearchCtx).
+func (e *Engine) SearchTopKCtx(ctx context.Context, q []float64, k int) ([]Match, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
 	if e.opt.Method != MethodTSIndex {
 		return nil, ErrTopKUnsupported
 	}
 	if len(q) != e.opt.L {
 		return nil, fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)
 	}
+	if e.cl != nil {
+		return e.cl.SearchTopK(ctx, e.ext.TransformQuery(q), k)
+	}
 	if e.sh != nil {
-		return e.sh.SearchTopK(e.ext.TransformQuery(q), k), nil
+		return e.sh.SearchTopKCtx(ctx, e.ext.TransformQuery(q), k, math.Inf(1))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return e.tsFrozen().SearchTopK(e.ext.TransformQuery(q), k), nil
 }
@@ -429,11 +546,19 @@ func (e *Engine) Norm() NormMode { return e.opt.Norm }
 // parallel: 1 for every unsharded engine (including non-TS-Index
 // methods), the effective shard count otherwise.
 func (e *Engine) Shards() int {
+	if e.cl != nil {
+		return e.cl.TotalShards()
+	}
 	if e.sh != nil {
 		return e.sh.NumShards()
 	}
 	return 1
 }
+
+// Cluster exposes the distributed coordinator behind an engine opened
+// with Options.Topology (nil for every local engine) — internal/server
+// reads it to report role and peer liveness.
+func (e *Engine) Cluster() *cluster.Coordinator { return e.cl }
 
 // Workers returns the size of the engine's query executor — the
 // worker pool shared by sharded fan-out, SearchBatch, and approximate
@@ -468,6 +593,9 @@ func (e *Engine) HeapBytes() int {
 	case MethodISAX:
 		return e.isx.MemoryBytes()
 	case MethodTSIndex:
+		if e.cl != nil {
+			return e.cl.MemoryBytes() // local topology entries only
+		}
 		if e.sh != nil {
 			return e.sh.MemoryBytes()
 		}
@@ -491,6 +619,9 @@ func (e *Engine) MappedBytes() int {
 	if e.opt.Method != MethodTSIndex {
 		return 0
 	}
+	if e.cl != nil {
+		return e.cl.MappedBytes() // local topology entries only
+	}
 	if e.sh != nil {
 		return e.sh.MappedBytes()
 	}
@@ -500,5 +631,8 @@ func (e *Engine) MappedBytes() int {
 // PartitionByMean reports whether the engine's shards own mean-sorted
 // position runs (see Options.PartitionByMean); always false unsharded.
 func (e *Engine) PartitionByMean() bool {
+	if e.cl != nil {
+		return e.cl.PartitionByMean()
+	}
 	return e.sh != nil && e.sh.PartitionByMean()
 }
