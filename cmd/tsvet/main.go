@@ -1,0 +1,91 @@
+// Command tsvet is the project's invariant checker: it runs the
+// internal/analysis suite (unsafeview, frozenwrite, nogoroutine,
+// ctxflow, closedguard) over twinsearch packages.
+//
+// Two modes share the same analyzers:
+//
+//	tsvet ./...                  standalone: loads packages itself
+//	                             (via go list -export) and prints
+//	                             findings; exit 1 if any.
+//	go vet -vettool=$(path) ...  driver mode: speaks the go vet unit
+//	                             checker protocol, so findings are
+//	                             cached, incremental, and cover test
+//	                             files exactly like the stock vet.
+//
+// Suppress a finding with //tsvet:ignore <reason> on the offending
+// line or alone on the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"twinsearch/internal/analysis"
+	"twinsearch/internal/analysis/load"
+)
+
+func main() {
+	// go vet probes and drives the tool with reserved argument shapes;
+	// route them before flag parsing.
+	if len(os.Args) > 1 {
+		switch {
+		case os.Args[1] == "-V=full":
+			printVersion()
+			return
+		case os.Args[1] == "-flags":
+			printFlagDefs()
+			return
+		case strings.HasSuffix(os.Args[1], ".cfg"):
+			os.Exit(unitcheck(os.Args[1]))
+		}
+	}
+
+	tests := flag.Bool("test", true, "also analyze test files (test-variant packages)")
+	dir := flag.String("C", ".", "run as if started in this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tsvet [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.Suite() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := load.Packages(fset, *dir, patterns, *tests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsvet:", err)
+		os.Exit(2)
+	}
+	// A test-variant package ("pkg [pkg.test]") re-analyzes the
+	// package's non-test files; report each finding once.
+	seen := map[string]bool{}
+	found := false
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(fset, pkg.Files, pkg.Pkg, pkg.Info, analysis.Suite())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tsvet:", err)
+			os.Exit(2)
+		}
+		ignores, bad := analysis.ParseIgnores(fset, pkg.Files)
+		for _, d := range append(ignores.Filter(fset, diags), bad...) {
+			line := fmt.Sprintf("%s: [%s] %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+			if seen[line] {
+				continue
+			}
+			seen[line] = true
+			found = true
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if found {
+		os.Exit(1)
+	}
+}

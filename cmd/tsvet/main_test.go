@@ -1,0 +1,79 @@
+package main
+
+import (
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"twinsearch/internal/analysis"
+	"twinsearch/internal/analysis/load"
+)
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestSuiteCleanOverTree is the invariant the analyzers exist to hold:
+// the suite, with suppressions applied, finds nothing in the tree as
+// committed. Any new finding is either a real violation (fix it) or a
+// sanctioned exception (annotate it with //tsvet:ignore <reason>).
+func TestSuiteCleanOverTree(t *testing.T) {
+	root := moduleRoot(t)
+	fset := token.NewFileSet()
+	pkgs, err := load.Packages(fset, root, []string{"./..."}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(fset, pkg.Files, pkg.Pkg, pkg.Info, analysis.Suite())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ignores, bad := analysis.ParseIgnores(fset, pkg.Files)
+		for _, d := range append(ignores.Filter(fset, diags), bad...) {
+			t.Errorf("%s: [%s] %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+}
+
+// TestVettoolProtocol drives the binary exactly the way CI does: build
+// it, then run `go vet -vettool=tsvet ./...` over the module. This
+// exercises the -V=full / -flags / <file>.cfg protocol end to end
+// against the real go command, not a mock.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the module twice; skipped in -short")
+	}
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "tsvet")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/tsvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building tsvet: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,164 @@
+package main
+
+// The go vet unit-checker protocol, reimplemented on the stdlib (the
+// canonical implementation lives in golang.org/x/tools/go/analysis/
+// unitchecker, which this environment cannot fetch). The contract:
+//
+//   - `tool -V=full` prints "name version ... buildID=..." — the go
+//     command folds it into its action cache key, so analyzer changes
+//     invalidate cached vet results.
+//   - `tool -flags` prints a JSON description of supported flags.
+//   - `tool <file>.cfg` analyzes one package: the cfg names the source
+//     files and maps every import to a compiled export-data file. The
+//     tool writes an (empty — the suite is fact-free) .vetx facts file
+//     to cfg.VetxOutput, prints findings to stderr, and exits 2 if
+//     there were any.
+//
+// Facts-only invocations (VetxOnly, issued for dependencies) write the
+// facts file and skip analysis entirely, which keeps `go vet
+// -vettool=tsvet ./...` O(changed packages) like the stock vet.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+
+	"twinsearch/internal/analysis"
+)
+
+// vetConfig mirrors the fields cmd/go writes into the .cfg file (a
+// superset is tolerated by json decoding).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// printVersion answers -V=full in the exact shape cmd/go's tool-ID
+// probe parses: "<name> version <semantics...>". Hashing the executable
+// itself makes any rebuild of the analyzers a new cache key.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	var id string
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	if id == "" {
+		id = "unknown"
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%s\n", name, id)
+}
+
+// printFlagDefs answers -flags: the JSON flag inventory cmd/go uses to
+// decide which command-line flags it may forward. tsvet keeps none
+// forwardable — the suite always runs whole.
+func printFlagDefs() {
+	fmt.Println("[]")
+}
+
+// unitcheck analyzes the single package described by cfgFile and
+// returns the process exit code.
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsvet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "tsvet: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+
+	// Facts file first: the go command expects it to exist even when
+	// the run is facts-only or finds nothing. The suite carries no
+	// facts, so the file is empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "tsvet:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "tsvet:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "tsvet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	diags, err := analysis.RunAnalyzers(fset, files, pkg, info, analysis.Suite())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsvet:", err)
+		return 2
+	}
+	ignores, bad := analysis.ParseIgnores(fset, files)
+	diags = append(ignores.Filter(fset, diags), bad...)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -3,6 +3,7 @@ package twinsearch
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // CollectionMatch is a twin found in a multi-series collection: which
@@ -21,6 +22,11 @@ type CollectionMatch struct {
 type Collection struct {
 	engines []*Engine
 	opt     Options
+
+	// closed mirrors Engine.closed at the collection level: searches
+	// beginning after Close fail with ErrClosed up front instead of
+	// relying on whichever member engine they reach first.
+	closed atomic.Bool
 }
 
 // OpenCollection builds an engine per series with shared options. Every
@@ -47,6 +53,7 @@ func (c *Collection) Len() int { return len(c.engines) }
 // Close releases every member engine's resources (mapped arenas,
 // attached stores — see Engine.Close), returning the first error.
 func (c *Collection) Close() error {
+	c.closed.Store(true)
 	var firstErr error
 	for _, eng := range c.engines {
 		if err := eng.Close(); err != nil && firstErr == nil {
@@ -63,6 +70,9 @@ func (c *Collection) Engine(i int) *Engine { return c.engines[i] }
 // ordered by (series, start). The query is interpreted in each member's
 // raw value space and normalized per member.
 func (c *Collection) Search(q []float64, eps float64) ([]CollectionMatch, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
 	var out []CollectionMatch
 	for i, eng := range c.engines {
 		ms, err := eng.Search(q, eps)
@@ -79,6 +89,9 @@ func (c *Collection) Search(q []float64, eps float64) ([]CollectionMatch, error)
 // SearchTopK returns the k nearest windows across the whole collection
 // (TS-Index members only), in ascending (distance, series, start) order.
 func (c *Collection) SearchTopK(q []float64, k int) ([]CollectionMatch, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
 	if k <= 0 {
 		return nil, nil
 	}
@@ -113,6 +126,9 @@ func (c *Collection) SearchTopK(q []float64, k int) ([]CollectionMatch, error) {
 // is unnecessary — members are already independent, so batching per
 // member suffices).
 func (c *Collection) SearchBatch(queries [][]float64, eps float64, parallelism int) ([][]CollectionMatch, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
 	out := make([][]CollectionMatch, len(queries))
 	for i, eng := range c.engines {
 		results := eng.SearchBatch(queries, eps, parallelism)

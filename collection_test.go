@@ -1,6 +1,7 @@
 package twinsearch
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -192,5 +193,26 @@ func TestCollectionErrors(t *testing.T) {
 	}
 	if _, err := c.SearchTopK([]float64{1}, 3); err == nil {
 		t.Fatal("bad top-k query must fail")
+	}
+}
+
+// Regression for a closedguard finding: Collection's search methods
+// reached into member engines with no closed check, so a search racing
+// Close failed with whatever error the first half-closed member
+// produced. They must fail up front with ErrClosed.
+func TestCollectionClosed(t *testing.T) {
+	set, c := collectionFixture(t)
+	q := set[0][:100]
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(q, 0.5); !errors.Is(err, ErrClosed) {
+		t.Errorf("Search after Close: %v, want ErrClosed", err)
+	}
+	if _, err := c.SearchTopK(q, 3); !errors.Is(err, ErrClosed) {
+		t.Errorf("SearchTopK after Close: %v, want ErrClosed", err)
+	}
+	if _, err := c.SearchBatch([][]float64{q}, 0.5, 2); !errors.Is(err, ErrClosed) {
+		t.Errorf("SearchBatch after Close: %v, want ErrClosed", err)
 	}
 }

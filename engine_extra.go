@@ -391,6 +391,7 @@ func (e *Engine) SearchBatch(queries [][]float64, eps float64, parallelism int) 
 				continue
 			}
 			wg.Add(1)
+			//tsvet:ignore cluster fan-out is network-bound, not executor work
 			go func(i int, tq []float64) {
 				defer wg.Done()
 				ms, err := e.cl.Search(context.Background(), tq, eps)

@@ -1,0 +1,278 @@
+// Package analysistest runs a tsvet analyzer over fixture packages and
+// checks its diagnostics against // want annotations — the same
+// contract as golang.org/x/tools/go/analysis/analysistest, rebuilt on
+// the stdlib so it works without the module proxy.
+//
+// Fixtures live under <dir>/src/<pkgpath>/*.go. A line expecting
+// diagnostics carries a trailing comment:
+//
+//	f.positions[0] = 1 // want `write to core\.Frozen\.positions`
+//
+// Every diagnostic must match a want pattern on its line and every want
+// pattern must be matched, or the test fails. Suppression via
+// //tsvet:ignore is applied exactly as cmd/tsvet applies it, so
+// fixtures can also pin the escape hatch's behavior; malformed (bare)
+// directives surface as "tsvet" diagnostics and can be want-ed too.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"twinsearch/internal/analysis"
+	"twinsearch/internal/analysis/load"
+)
+
+// Run loads each fixture package under dir/src, applies a to it, and
+// reports mismatches between diagnostics and // want annotations on t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, path := range pkgPaths {
+		runOne(t, dir, a, path)
+	}
+}
+
+// runOne handles a single fixture package.
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	env := &fixtureEnv{root: filepath.Join(dir, "src"), fset: fset, checked: map[string]*checkedPkg{}}
+	cp, err := env.load(pkgPath)
+	if err != nil {
+		t.Fatalf("%s: load fixture %s: %v", a.Name, pkgPath, err)
+	}
+
+	diags, err := analysis.RunAnalyzers(fset, cp.files, cp.pkg, cp.info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	ignores, badDirectives := analysis.ParseIgnores(fset, cp.files)
+	diags = append(ignores.Filter(fset, diags), badDirectives...)
+
+	checkWants(t, a.Name, fset, cp.files, diags)
+}
+
+// checkWants matches diagnostics against the fixture's expectations.
+func checkWants(t *testing.T, name string, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type wantKey struct {
+		file string
+		line int
+	}
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, pat := range parseWants(t, fset, c) {
+					pos := fset.Position(c.Pos())
+					wants[wantKey{pos.Filename, pos.Line}] = append(wants[wantKey{pos.Filename, pos.Line}], pat)
+				}
+			}
+		}
+	}
+	matched := map[*regexp.Regexp]bool{}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := wantKey{pos.Filename, pos.Line}
+		found := false
+		for _, pat := range wants[key] {
+			if !matched[pat] && pat.MatchString(d.Message) {
+				matched[pat] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic at %s: %s", name, pos, d.Message)
+		}
+	}
+	var keys []wantKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, pat := range wants[k] {
+			if !matched[pat] {
+				t.Errorf("%s: expected diagnostic matching %q at %s:%d, got none", name, pat, k.file, k.line)
+			}
+		}
+	}
+}
+
+// wantRe pulls the quoted patterns out of a // want comment.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWants extracts the regexps from a single comment, if it is a
+// want annotation.
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment) []*regexp.Regexp {
+	t.Helper()
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil
+	}
+	var pats []*regexp.Regexp
+	for _, q := range wantRe.FindAllString(text[len("want "):], -1) {
+		body := q[1 : len(q)-1]
+		if q[0] == '"' {
+			body = strings.ReplaceAll(body, `\"`, `"`)
+		}
+		pat, err := regexp.Compile(body)
+		if err != nil {
+			t.Fatalf("bad want pattern %s at %s: %v", q, fset.Position(c.Pos()), err)
+		}
+		pats = append(pats, pat)
+	}
+	if len(pats) == 0 {
+		t.Fatalf("want comment with no quoted pattern at %s", fset.Position(c.Pos()))
+	}
+	return pats
+}
+
+// --- fixture loading ---
+
+// fixtureEnv type-checks fixture packages: stdlib imports resolve via
+// the build cache's export data (compiled on demand by go list),
+// sibling fixture imports resolve recursively under root.
+type fixtureEnv struct {
+	root       string
+	fset       *token.FileSet
+	checked    map[string]*checkedPkg
+	stdExports map[string]string
+}
+
+type checkedPkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+func (e *fixtureEnv) load(pkgPath string) (*checkedPkg, error) {
+	if cp, ok := e.checked[pkgPath]; ok {
+		return cp, nil
+	}
+	dir := filepath.Join(e.root, filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var imports []string
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(e.fset, filepath.Join(dir, ent.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports = append(imports, strings.Trim(imp.Path.Value, `"`))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	// Fixture-sibling imports are type-checked first so the importer
+	// can serve them from the cache; everything else is stdlib.
+	var std []string
+	for _, imp := range imports {
+		if imp == "unsafe" {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(e.root, filepath.FromSlash(imp))); err == nil {
+			if _, err := e.load(imp); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		std = append(std, imp)
+	}
+	if err := e.ensureStdExports(std); err != nil {
+		return nil, err
+	}
+
+	imp := importer.ForCompiler(e.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := e.stdExports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer: &fixtureImporter{env: e, std: imp},
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := conf.Check(pkgPath, e.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", pkgPath, err)
+	}
+	cp := &checkedPkg{files: files, pkg: pkg, info: info}
+	e.checked[pkgPath] = cp
+	return cp, nil
+}
+
+// ensureStdExports resolves export data files for stdlib imports by
+// asking go list once per new batch (compiling into the build cache on
+// first use — no network involved).
+func (e *fixtureEnv) ensureStdExports(paths []string) error {
+	var missing []string
+	for _, p := range paths {
+		if _, ok := e.stdExports[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	exp, err := load.StdExports(missing)
+	if err != nil {
+		return err
+	}
+	if e.stdExports == nil {
+		e.stdExports = map[string]string{}
+	}
+	for k, v := range exp {
+		e.stdExports[k] = v
+	}
+	return nil
+}
+
+// fixtureImporter serves sibling fixture packages from the env and
+// defers everything else to the gc export-data importer.
+type fixtureImporter struct {
+	env *fixtureEnv
+	std types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if cp, ok := fi.env.checked[path]; ok {
+		return cp.pkg, nil
+	}
+	return fi.std.Import(path)
+}

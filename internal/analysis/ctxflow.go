@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Ctxflow enforces the PR 5 cancellation invariant: once a context
+// enters a call chain it stays the root of that chain. Re-rooting work
+// on context.Background()/TODO() detaches it from the caller's deadline
+// and the server's drain path — a wedged remote then hangs a query that
+// the client already abandoned. Three rules, test files exempt:
+//
+//  1. A function that receives a context.Context must not call
+//     context.Background or context.TODO in its body.
+//  2. An HTTP handler (any function with an *http.Request parameter)
+//     must not either — the request carries its context.
+//  3. The library tiers internal/cluster, internal/server, and
+//     internal/shard never call Background/TODO at all: their roots
+//     (mains, tests, the bench harness) pass contexts in.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "contexts propagate: no Background/TODO under a ctx parameter, in handlers, or in the cluster/server/shard tiers",
+	Run:  runCtxflow,
+}
+
+// ctxflowLibPkgs are the package basenames rule 3 covers.
+var ctxflowLibPkgs = map[string]bool{
+	"cluster": true,
+	"server":  true,
+	"shard":   true,
+}
+
+func runCtxflow(pass *Pass) error {
+	libPkg := ctxflowLibPkgs[pass.PathBase()]
+	seen := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hasCtx := hasParamType(pass, fd, "context", "Context")
+			hasReq := hasParamType(pass, fd, "http", "Request")
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !pass.IsPkgCall(call, "context", "Background", "TODO") {
+					return true
+				}
+				if seen[call.Pos()] {
+					return true
+				}
+				switch {
+				case hasCtx:
+					seen[call.Pos()] = true
+					pass.Reportf(call.Pos(), "%s receives a context.Context but re-roots on %s; propagate the parameter instead", fd.Name.Name, callName(call))
+				case hasReq:
+					seen[call.Pos()] = true
+					pass.Reportf(call.Pos(), "HTTP handler %s calls %s; thread r.Context() into the work it fans out", fd.Name.Name, callName(call))
+				case libPkg:
+					seen[call.Pos()] = true
+					pass.Reportf(call.Pos(), "%s in the %s tier; this package is library code — accept a ctx from the caller (Background belongs only at true roots: mains, tests, harness)", callName(call), pass.PathBase())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// callName renders context.Background/TODO for messages.
+func callName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return "context." + sel.Sel.Name + "()"
+	}
+	return "context.Background()"
+}
+
+// hasParamType reports whether fd takes a parameter whose type is the
+// named type pkg.name, possibly behind a pointer.
+func hasParamType(pass *Pass, fd *ast.FuncDecl, pkg, name string) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if p, n := NamedBase(t); p == pkg && n == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// ignorePrefix is the escape-hatch directive. Usage:
+//
+//	//tsvet:ignore <reason>
+//
+// The directive suppresses every tsvet diagnostic on its own line; when
+// it stands alone on a line (only whitespace before it), it suppresses
+// the line below instead — the two comment placements gofmt produces.
+// The reason is mandatory: the point of the hatch is a reviewable
+// record of why the invariant does not apply, so a bare directive is
+// itself a diagnostic.
+const ignorePrefix = "tsvet:ignore"
+
+// IgnoreSet records which (file, line) pairs are suppressed.
+type IgnoreSet struct {
+	lines map[string]map[int]bool
+}
+
+// ParseIgnores scans the files' comments for ignore directives. It
+// returns the suppression set plus one diagnostic per malformed
+// (reason-less) directive — those are never suppressible.
+func ParseIgnores(fset *token.FileSet, files []*ast.File) (*IgnoreSet, []Diagnostic) {
+	set := &IgnoreSet{lines: map[string]map[int]bool{}}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				reason = strings.TrimSuffix(reason, "*/")
+				if strings.TrimSpace(reason) == "" {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "tsvet",
+						Message:  "tsvet:ignore directive without a reason; write //tsvet:ignore <why this invariant does not apply here>",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				line := pos.Line
+				if aloneOnLine(pos) {
+					line++
+				}
+				if set.lines[pos.Filename] == nil {
+					set.lines[pos.Filename] = map[int]bool{}
+				}
+				set.lines[pos.Filename][line] = true
+			}
+		}
+	}
+	return set, bad
+}
+
+// aloneOnLine reports whether only whitespace precedes the comment on
+// its source line, by inspecting the file bytes. On any read error it
+// answers false, which degrades to same-line suppression only.
+func aloneOnLine(pos token.Position) bool {
+	if pos.Column == 1 {
+		return true
+	}
+	data, err := os.ReadFile(pos.Filename)
+	if err != nil {
+		return false
+	}
+	// Offset points at the '/' of the comment; scan back to the
+	// previous newline.
+	if pos.Offset > len(data) {
+		return false
+	}
+	for i := pos.Offset - 1; i >= 0; i-- {
+		switch data[i] {
+		case '\n':
+			return true
+		case ' ', '\t':
+			continue
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Filter drops diagnostics landing on suppressed lines and returns the
+// survivors.
+func (s *IgnoreSet) Filter(fset *token.FileSet, diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if s.lines[pos.Filename][pos.Line] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

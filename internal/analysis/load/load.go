@@ -1,0 +1,195 @@
+// Package load turns `go list -export` output into type-checked
+// packages for tsvet's standalone mode. It is the offline counterpart
+// of golang.org/x/tools/go/packages: the go command resolves the build
+// (module graph, build tags, test variants) and compiles export data
+// into the build cache; this package parses the target sources and
+// type-checks them against that export data with the stock go/importer
+// — no network, no third-party dependency.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	Path  string // import path as listed; test variants keep the bracketed form
+	Dir   string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listPkg mirrors the go list -json fields the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// Packages lists patterns in dir (a module root or below), type-checks
+// every non-dep target, and returns them with full type info. With
+// tests true the go list walk includes test variants, so _test.go files
+// are analyzed too (matching what `go vet` covers). Packages that fail
+// to list or type-check produce an error — tsvet refuses to bless a
+// tree it could not fully see.
+func Packages(fset *token.FileSet, dir string, patterns []string, tests bool) ([]*Package, error) {
+	args := []string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,GoFiles,CgoFiles,Export,Standard,DepOnly,ForTest,Imports,Error"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Standard || p.DepOnly || strings.HasSuffix(p.ImportPath, ".test") {
+			// .test mains are generated harnesses in the build cache —
+			// nothing of ours to check.
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported by tsvet", p.ImportPath)
+		}
+		targets = append(targets, p)
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := check(fset, t, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// StdExports resolves export-data files for the given stdlib import
+// paths and their transitive dependencies (the gc importer follows
+// imports while reading export data, so the closure is required).
+// go list compiles anything missing into the build cache — offline.
+func StdExports(paths []string) (map[string]string, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export,Error"}, paths...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", paths, err, stderr.String())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// check parses and type-checks one listed package against the export
+// data of its (already compiled) dependencies.
+func check(fset *token.FileSet, t listPkg, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(t.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", t.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+
+	// Source imports name the plain path; a test variant's dependency
+	// may resolve to a bracketed test build ("pkg [root.test]"). The
+	// listed Imports are the resolved names — map plain to resolved,
+	// preferring the variant when both exist.
+	resolve := map[string]string{}
+	for _, imp := range t.Imports {
+		plain := imp
+		if i := strings.Index(plain, " ["); i >= 0 {
+			plain = plain[:i]
+		}
+		if cur, ok := resolve[plain]; !ok || len(imp) > len(cur) {
+			resolve[plain] = imp
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if r, ok := resolve[path]; ok {
+			path = r
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", t.ImportPath, err)
+	}
+	return &Package{Path: t.ImportPath, Dir: t.Dir, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,14 @@
+package analysis
+
+// Suite returns every tsvet analyzer, in reporting order. cmd/tsvet
+// runs exactly this set; adding an invariant means adding it here and
+// wiring fixtures under testdata/src/<name>/.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Unsafeview,
+		Frozenwrite,
+		Nogoroutine,
+		Ctxflow,
+		Closedguard,
+	}
+}

@@ -1,0 +1,57 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"twinsearch/internal/analysis"
+	"twinsearch/internal/analysis/analysistest"
+)
+
+// testdata returns the fixture root.
+func testdata(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestUnsafeview(t *testing.T) {
+	analysistest.Run(t, testdata(t), analysis.Unsafeview, "notarena", "arena")
+}
+
+func TestFrozenwrite(t *testing.T) {
+	analysistest.Run(t, testdata(t), analysis.Frozenwrite, "core")
+}
+
+func TestNogoroutine(t *testing.T) {
+	analysistest.Run(t, testdata(t), analysis.Nogoroutine, "pool", "exec", "mainprog")
+}
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, testdata(t), analysis.Ctxflow, "cluster", "libother")
+}
+
+func TestClosedguard(t *testing.T) {
+	analysistest.Run(t, testdata(t), analysis.Closedguard, "twinsearch")
+}
+
+// TestSuiteComplete pins the shipped analyzer set: CI runs exactly
+// these five, so a new invariant must be registered to count.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{"unsafeview", "frozenwrite", "nogoroutine", "ctxflow", "closedguard"}
+	suite := analysis.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing Doc or Run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package arena is a fixture mirroring internal/arena: unsafe is
+// allowed here, but every view construction must be dominated by a
+// bounds/alignment check.
+package arena
+
+import (
+	"errors"
+	"unsafe"
+)
+
+// Arena mimics the real byte region owner.
+type Arena struct {
+	buf []byte
+}
+
+var errBounds = errors.New("out of bounds")
+
+// view is the sanctioned checker: len()-guarded.
+func (a *Arena) view(off, n int) (unsafe.Pointer, error) {
+	if off < 0 || n < 0 || off+n*4 > len(a.buf) {
+		return nil, errBounds
+	}
+	return unsafe.Pointer(&a.buf[off]), nil
+}
+
+// Int32s goes through view first: dominated, no diagnostic.
+func (a *Arena) Int32s(off, n int) ([]int32, error) {
+	p, err := a.view(off, n)
+	if err != nil {
+		return nil, err
+	}
+	return unsafe.Slice((*int32)(p), n), nil
+}
+
+// InlineGuard checks bounds itself before reinterpreting: fine.
+func (a *Arena) InlineGuard(n int) []int32 {
+	if n*4 > len(a.buf) {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&a.buf[0])), n)
+}
+
+// Unchecked builds a view with no guard at all.
+func (a *Arena) Unchecked(n int) []int32 {
+	return unsafe.Slice((*int32)(unsafe.Pointer(&a.buf[0])), n) // want `unsafe\.Slice without a dominating bounds/alignment check` `unsafe\.Pointer without a dominating bounds/alignment check`
+}
+
+// GuardTooLate checks after the view exists: still a violation for the
+// construction itself.
+func (a *Arena) GuardTooLate(n int) []int32 {
+	s := unsafe.Slice((*int32)(unsafe.Pointer(&a.buf[0])), n) // want `unsafe\.Slice without a dominating bounds/alignment check` `unsafe\.Pointer without a dominating bounds/alignment check`
+	if n*4 > len(a.buf) {
+		return nil
+	}
+	return s
+}
+
+// Suppressed carries the explicit escape hatch.
+func Suppressed() bool {
+	x := uint16(1)
+	//tsvet:ignore probes a 2-byte local, nothing to bounds-check
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}

@@ -1,0 +1,30 @@
+// Package cluster is a fixture for ctxflow rule 3: the cluster tier is
+// library code and never roots its own contexts.
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+func use(ctx context.Context) { _ = ctx }
+
+// Dial has no ctx parameter, but the tier rule still forbids rooting
+// one here.
+func Dial(timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout) // want `context\.Background\(\) in the cluster tier`
+	defer cancel()
+	use(ctx)
+}
+
+// Fan receives a context and re-roots anyway: rule 1 wins the message.
+func Fan(ctx context.Context) {
+	use(context.TODO()) // want `Fan receives a context\.Context but re-roots on context\.TODO\(\)`
+}
+
+// Propagated is the correct shape: no diagnostic.
+func Propagated(ctx context.Context, timeout time.Duration) {
+	nctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	use(nctx)
+}

@@ -1,0 +1,27 @@
+package core
+
+// Walk only reads the arrays — always allowed.
+func Walk(f *Frozen) int32 {
+	var sum int32
+	for i := range f.first {
+		sum += f.first[i] + f.count[i]
+	}
+	for _, p := range f.positions {
+		sum += p
+	}
+	return sum
+}
+
+// Mutate breaks the invariant in every recognized way.
+func Mutate(f *Frozen, g Frozen) {
+	f.positions[0] = 9              // want `write to core\.Frozen\.positions`
+	f.first = nil                   // want `write to core\.Frozen\.first`
+	g.count[1] = 2                  // want `write to core\.Frozen\.count`
+	f.upper[0] += 1                 // want `write to core\.Frozen\.upper`
+	f.count[0]++                    // want `write to core\.Frozen\.count`
+	_ = append(f.positions, 4)      // want `append through core\.Frozen\.positions`
+	copy(f.lower[1:], []float64{1}) // want `copy through core\.Frozen\.lower`
+	other := []int32{1}
+	copy(other, f.positions) // reading as copy source is fine
+	_ = other
+}

@@ -1,0 +1,8 @@
+// Package exec is a fixture standing in for internal/exec: the one
+// library package allowed to create goroutines — it IS the executor.
+package exec
+
+// Spawn models the worker launch.
+func Spawn(fn func()) {
+	go fn()
+}

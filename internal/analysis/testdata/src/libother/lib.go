@@ -1,0 +1,31 @@
+// Package libother is a fixture for ctxflow rules 1 and 2 in a package
+// outside the cluster/server/shard tiers.
+package libother
+
+import (
+	"context"
+	"net/http"
+)
+
+func use(ctx context.Context) { _ = ctx }
+
+// WithCtx holds a context and must thread it.
+func WithCtx(ctx context.Context, n int) {
+	use(context.Background()) // want `WithCtx receives a context\.Context but re-roots on context\.Background\(\)`
+}
+
+// Handler holds a request whose context must be threaded.
+func Handler(w http.ResponseWriter, r *http.Request) {
+	use(context.Background()) // want `HTTP handler Handler calls context\.Background\(\); thread r\.Context\(\)`
+}
+
+// GoodHandler threads the request context: no diagnostic.
+func GoodHandler(w http.ResponseWriter, r *http.Request) {
+	use(r.Context())
+}
+
+// Root has neither: outside the library tiers, Background at a root is
+// legitimate.
+func Root() {
+	use(context.Background())
+}

@@ -1,0 +1,9 @@
+// Command mainprog is a fixture: package main owns its process, so
+// goroutines (signal watchers, servers) are allowed.
+package main
+
+func main() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

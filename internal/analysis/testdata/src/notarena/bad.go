@@ -1,0 +1,10 @@
+// Package notarena is a fixture: any other package importing unsafe is
+// a violation, whatever it does with it.
+package notarena
+
+import "unsafe" // want `import of unsafe outside internal/arena`
+
+// Cast reinterprets without the arena's checks.
+func Cast(b []byte) *int32 {
+	return (*int32)(unsafe.Pointer(&b[0]))
+}

@@ -1,0 +1,32 @@
+// Package pool is a fixture for nogoroutine: a library package where
+// raw go statements are forbidden.
+package pool
+
+import "sync"
+
+func work() {}
+
+// Fan spawns raw goroutines instead of using the executor.
+func Fan(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want `raw go statement outside internal/exec`
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// Ignored demonstrates the escape hatch, in both placements.
+func Ignored() {
+	//tsvet:ignore network-bound fan-out must not occupy CPU executor workers
+	go work()
+	go work() //tsvet:ignore same: blocking RPC, not query CPU work
+}
+
+// Bare directives do not suppress and are themselves reported.
+func BareDirective() {
+	go work() /*tsvet:ignore*/ // want `raw go statement outside internal/exec` `directive without a reason`
+}

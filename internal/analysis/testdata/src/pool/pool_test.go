@@ -1,0 +1,8 @@
+package pool
+
+// Test files are roots: goroutines are fine here.
+func spawnInTest() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

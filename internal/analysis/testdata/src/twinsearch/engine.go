@@ -1,0 +1,87 @@
+// Package twinsearch is a fixture for closedguard, mirroring the root
+// package's Engine/Collection shapes.
+package twinsearch
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+var errClosed = errors.New("closed")
+
+// Engine mimics the real engine: closed guards the index fields.
+type Engine struct {
+	closed atomic.Bool
+	fz     *int
+	sh     *int
+	cl     *int
+}
+
+// Search is guarded before the touch: no diagnostic.
+func (e *Engine) Search(q []float64) ([]int, error) {
+	if e.closed.Load() {
+		return nil, errClosed
+	}
+	_ = e.fz
+	return nil, nil
+}
+
+// SearchTopK never checks closed.
+func (e *Engine) SearchTopK(q []float64, k int) ([]int, error) { // want `exported method SearchTopK touches index state \(sh\) without checking e\.closed`
+	_ = e.sh
+	return nil, nil
+}
+
+// Append reads the index before its guard.
+func (e *Engine) Append(v float64) error {
+	_ = e.cl // want `exported method Append touches index state \(cl\) before its e\.closed check`
+	if e.closed.Load() {
+		return errClosed
+	}
+	return nil
+}
+
+// Shards cannot return an error — metadata accessors are exempt.
+func (e *Engine) Shards() int {
+	if e.sh != nil {
+		return *e.sh
+	}
+	return 1
+}
+
+// Close is the lifecycle method itself: exempt.
+func (e *Engine) Close() error {
+	e.closed.Store(true)
+	_ = e.fz
+	return nil
+}
+
+// tsFrozen marks delegated index access.
+func (e *Engine) tsFrozen() *int { return e.fz }
+
+// Delegating touches the index only through tsFrozen: still guarded.
+func (e *Engine) Delegating() (int, error) { // want `exported method Delegating touches index state \(tsFrozen\(\)\) without checking e\.closed`
+	return *e.tsFrozen(), nil
+}
+
+// Collection mimics the multi-series wrapper.
+type Collection struct {
+	closed  atomic.Bool
+	engines []*Engine
+}
+
+// Search must guard the engines fan-out.
+func (c *Collection) Search(q []float64) ([]int, error) { // want `exported method Search touches index state \(engines\) without checking c\.closed`
+	for range c.engines {
+	}
+	return nil, nil
+}
+
+// SearchTopK is the guarded shape: no diagnostic.
+func (c *Collection) SearchTopK(q []float64, k int) ([]int, error) {
+	if c.closed.Load() {
+		return nil, errClosed
+	}
+	_ = c.engines
+	return nil, nil
+}

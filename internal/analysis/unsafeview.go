@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Unsafeview enforces the PR 4 memory invariant: package unsafe may be
+// imported only by internal/arena (the one place byte regions are
+// reinterpreted as typed slices), and inside arena every unsafe view
+// construction must be dominated by a bounds/alignment check — either a
+// prior call to the sanctioned (*Arena).view checker or an explicit
+// len()-based guard earlier in the same function. An unchecked
+// reinterpretation of an mmap'd region is an out-of-bounds read waiting
+// for a hostile stream header.
+var Unsafeview = &Analyzer{
+	Name: "unsafeview",
+	Doc:  "unsafe is confined to internal/arena, and views there are bounds/alignment checked",
+	Run:  runUnsafeview,
+}
+
+// unsafeViewFuncs are the unsafe members that materialize or move
+// pointers — the dangerous half of the package. Sizeof/Alignof/Offsetof
+// are compile-time constants and exempt.
+var unsafeViewFuncs = map[string]bool{
+	"Pointer":    true,
+	"Slice":      true,
+	"SliceData":  true,
+	"String":     true,
+	"StringData": true,
+	"Add":        true,
+}
+
+func runUnsafeview(pass *Pass) error {
+	inArena := pass.PathBase() == "arena"
+	for _, f := range pass.Files {
+		if !inArena {
+			for _, imp := range f.Imports {
+				if imp.Path.Value == `"unsafe"` {
+					pass.Reportf(imp.Pos(), "import of unsafe outside internal/arena; typed views over raw bytes must go through the arena package")
+				}
+			}
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkUnsafeDominance(pass, fd)
+		}
+		// Unsafe uses at package scope (var initializers) have no
+		// guard to precede them; flag them all.
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			ast.Inspect(gd, func(n ast.Node) bool {
+				if pos, name, ok := unsafeUse(pass, n); ok {
+					pass.Reportf(pos, "unsafe.%s in a package-scope initializer cannot be bounds-checked; construct views inside a guarded function", name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkUnsafeDominance walks one function body in source order and
+// requires every unsafe view construction to be preceded by a guard:
+// a call to the (*Arena).view checker, or an if statement whose
+// condition inspects len(...) — the shape of every bounds check in the
+// arena package. (This is a source-order approximation of dominance;
+// the fixtures pin the cases that matter.)
+func checkUnsafeDominance(pass *Pass, fd *ast.FuncDecl) {
+	type use struct {
+		pos  token.Pos
+		name string
+	}
+	var uses []use
+	var guards []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if condHasLen(pass, n.Cond) {
+				guards = append(guards, n.Pos())
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "view" {
+				guards = append(guards, n.Pos())
+			}
+		}
+		if pos, name, ok := unsafeUse(pass, n); ok {
+			uses = append(uses, use{pos, name})
+		}
+		return true
+	})
+	for _, u := range uses {
+		dominated := false
+		for _, g := range guards {
+			if g < u.pos {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			pass.Reportf(u.pos, "unsafe.%s without a dominating bounds/alignment check; validate against len() or go through (*Arena).view first", u.name)
+		}
+	}
+}
+
+// unsafeUse reports whether n is a use of one of the pointer-forming
+// unsafe members.
+func unsafeUse(pass *Pass, n ast.Node) (token.Pos, string, bool) {
+	sel, ok := n.(*ast.SelectorExpr)
+	if !ok {
+		return token.NoPos, "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != "unsafe" {
+		return token.NoPos, "", false
+	}
+	if !unsafeViewFuncs[sel.Sel.Name] {
+		return token.NoPos, "", false
+	}
+	return sel.Pos(), sel.Sel.Name, true
+}
+
+// condHasLen reports whether a len(...) call appears in the condition
+// expression.
+func condHasLen(pass *Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "len" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

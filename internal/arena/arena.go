@@ -83,6 +83,7 @@ func Align8(n int64) int64 { return (n + 7) &^ 7 }
 // formats' bytes in place.
 func LittleEndianHost() bool {
 	x := uint16(1)
+	//tsvet:ignore probes a 2-byte local on the stack, nothing to bounds-check
 	return *(*byte)(unsafe.Pointer(&x)) == 1
 }
 

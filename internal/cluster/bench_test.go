@@ -61,7 +61,7 @@ func startClusterB(b *testing.B, ext *series.Extractor, path string, runs [][]in
 		topo.Nodes[i].Addr = srv.URL
 		srvs = append(srvs, srv)
 	}
-	cl, err := cluster.OpenCoordinator(topo, ext, testL, cluster.Options{})
+	cl, err := cluster.OpenCoordinator(context.Background(), topo, ext, testL, cluster.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -91,8 +91,11 @@ type Coordinator struct {
 // assignment as the topology claims) — and verifies the assignment
 // partitions the index's shards exactly and the per-node window counts
 // sum to the series'. ext must present the same series the index was
-// built over; queries are fanned out pre-transformed.
-func OpenCoordinator(topo *Topology, ext *series.Extractor, l int, o Options) (*Coordinator, error) {
+// built over; queries are fanned out pre-transformed. ctx bounds the
+// whole open — dialing and cross-checking every remote node — so a
+// caller's deadline or cancellation aborts a wedged dial instead of
+// waiting out the per-node timeout.
+func OpenCoordinator(ctx context.Context, topo *Topology, ext *series.Extractor, l int, o Options) (*Coordinator, error) {
 	if o.Timeout <= 0 {
 		o.Timeout = defaultTimeout
 	}
@@ -134,7 +137,7 @@ func OpenCoordinator(topo *Topology, ext *series.Extractor, l int, o Options) (*
 					spec.Name, n.Sub.TotalShards(), n.Sub.PartitionByMean(), total, byMean))
 			}
 		} else {
-			rm, h, err := dialRemote(c.client, spec, ext, l, o.Timeout)
+			rm, h, err := dialRemote(ctx, c.client, spec, ext, l, o.Timeout)
 			if err != nil {
 				return fail(err)
 			}
@@ -255,6 +258,7 @@ func (c *Coordinator) Health(ctx context.Context) []PeerStatus {
 			done <- i
 			continue
 		}
+		//tsvet:ignore network-bound health probes must not occupy CPU executor workers
 		go func(i int, rm *remote) {
 			pctx, cancel := context.WithTimeout(ctx, c.pingTimeout)
 			defer cancel()
@@ -278,6 +282,7 @@ func (c *Coordinator) fan(ctx context.Context, fn func(ctx context.Context, b sh
 	errs := make([]error, len(c.backends))
 	done := make(chan struct{}, len(c.backends))
 	for i, ref := range c.backends {
+		//tsvet:ignore network-bound fan-out must not occupy CPU executor workers
 		go func(i int, b shard.Backend) {
 			defer func() { done <- struct{}{} }()
 			nctx, cancel := context.WithTimeout(ctx, c.timeout)
@@ -470,10 +475,11 @@ type remote struct {
 var _ shard.Backend = (*remote)(nil)
 
 // dialRemote connects to a node and cross-checks its health report
-// against the topology entry and the coordinator's series.
-func dialRemote(client *http.Client, spec NodeSpec, ext *series.Extractor, l int, timeout time.Duration) (*remote, NodeHealth, error) {
+// against the topology entry and the coordinator's series. The health
+// probe runs under the caller's ctx bounded by the per-node timeout.
+func dialRemote(ctx context.Context, client *http.Client, spec NodeSpec, ext *series.Extractor, l int, timeout time.Duration) (*remote, NodeHealth, error) {
 	rm := &remote{name: spec.Name, base: spec.Addr, shards: spec.Shards, client: client}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	h, err := rm.health(ctx)
 	if err != nil {

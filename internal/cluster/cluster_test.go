@@ -92,7 +92,7 @@ func startCluster(t *testing.T, ext *series.Extractor, path string, runs [][]int
 		topo.Nodes[i].Addr = srv.URL
 		srvs = append(srvs, srv)
 	}
-	cl, err := cluster.OpenCoordinator(topo, ext, testL, o)
+	cl, err := cluster.OpenCoordinator(context.Background(), topo, ext, testL, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +245,7 @@ func TestClusterMixedLocalRemote(t *testing.T) {
 	t.Cleanup(srv.Close)
 	topo.Nodes[1].Addr = srv.URL
 
-	cl, err := cluster.OpenCoordinator(topo, ext, testL, cluster.Options{})
+	cl, err := cluster.OpenCoordinator(context.Background(), topo, ext, testL, cluster.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +381,7 @@ func TestCoordinatorRejectsBadTopologies(t *testing.T) {
 
 	open := func(nodes ...cluster.NodeSpec) error {
 		topo := &cluster.Topology{Index: path, Nodes: nodes}
-		cl, err := cluster.OpenCoordinator(topo, ext, testL, cluster.Options{Timeout: time.Second})
+		cl, err := cluster.OpenCoordinator(context.Background(), topo, ext, testL, cluster.Options{Timeout: time.Second})
 		if err == nil {
 			cl.Close()
 		}
@@ -401,8 +401,35 @@ func TestCoordinatorRejectsBadTopologies(t *testing.T) {
 	// cannot match a different indexed length.
 	topo := &cluster.Topology{Index: path, Nodes: []cluster.NodeSpec{
 		{Name: "a", Addr: cluster.LocalAddr, Shards: []int{0, 1, 2, 3}}}}
-	if cl, err := cluster.OpenCoordinator(topo, ext, testL+8, cluster.Options{}); err == nil {
+	if cl, err := cluster.OpenCoordinator(context.Background(), topo, ext, testL+8, cluster.Options{}); err == nil {
 		cl.Close()
 		t.Error("mismatched L accepted")
+	}
+}
+
+// Regression for a ctxflow finding: dialRemote re-rooted its health
+// probe on context.Background(), so a caller's deadline or cancellation
+// could not abort a wedged dial — OpenCoordinator sat out the full
+// per-node Timeout. With the context threaded through, a short caller
+// deadline must win over a large per-node timeout.
+func TestOpenCoordinatorHonorsContext(t *testing.T) {
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // wedge until the client abandons the request
+	}))
+	defer hang.Close()
+	topo := &cluster.Topology{Nodes: []cluster.NodeSpec{
+		{Name: "n0", Addr: hang.URL, Shards: []int{0}}}}
+	ext := series.NewExtractor(datasets.RandomWalk(59, 400), series.NormGlobal)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	cl, err := cluster.OpenCoordinator(ctx, topo, ext, testL, cluster.Options{Timeout: time.Minute})
+	if err == nil {
+		cl.Close()
+		t.Fatal("open against a wedged node succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("open took %v despite a 100ms caller deadline", elapsed)
 	}
 }

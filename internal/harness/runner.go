@@ -623,7 +623,7 @@ func (r *Runner) FigureCluster() []Row {
 			release()
 			continue
 		}
-		cl, err := cluster.OpenCoordinator(topo, ext, DefaultL, cluster.Options{Workers: r.Workers})
+		cl, err := cluster.OpenCoordinator(context.Background(), topo, ext, DefaultL, cluster.Options{Workers: r.Workers})
 		if err != nil {
 			r.logf("  nodes=%d: coordinator failed (%v)", nodes, err)
 			release()

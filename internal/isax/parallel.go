@@ -2,8 +2,8 @@ package isax
 
 import (
 	"runtime"
-	"sync"
 
+	"twinsearch/internal/exec"
 	"twinsearch/internal/paa"
 	"twinsearch/internal/sax"
 	"twinsearch/internal/series"
@@ -16,11 +16,14 @@ import (
 // never interact, so construction parallelizes in two phases with no
 // locking on the hot path:
 //
-//  1. summarization: worker goroutines split the position range and
-//     compute each window's PAA and max-cardinality symbols;
-//  2. subtree building: root children are distributed across workers,
-//     each worker inserting its partitions' entries serially.
+//  1. summarization: range-chunk work units compute each window's PAA
+//     and max-cardinality symbols;
+//  2. subtree building: one work unit per root child inserts that
+//     partition's entries serially.
 //
+// Both phases run on a work-stealing executor (internal/exec) — the
+// engine's one sanctioned source of parallelism — so build work shares
+// the same bounded, parked-when-idle worker discipline as queries.
 // The resulting tree is structurally identical to Build's for the same
 // input (insertion order within a partition is preserved), so queries
 // and invariants are unaffected. workers ≤ 0 selects GOMAXPROCS.
@@ -33,35 +36,25 @@ func BuildParallel(ext *series.Extractor, cfg Config, workers int) (*Index, erro
 		return nil, err
 	}
 	m := cfg.Segments
+	ex := exec.New(workers)
 
 	// Phase 1: per-window max-cardinality symbols, sharded by range.
 	symsMax := make([]uint8, count*m)
-	var wg sync.WaitGroup
 	chunk := (count + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	chunks := (count + chunk - 1) / chunk
+	ex.ForEach(chunks, func(w int) {
 		lo := w * chunk
-		hi := lo + chunk
-		if hi > count {
-			hi = count
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			winBuf := make([]float64, cfg.L)
-			paaBuf := make([]float64, m)
-			for p := lo; p < hi; p++ {
-				win := ext.Extract(p, cfg.L, winBuf)
-				paa.TransformTo(paaBuf, win)
-				for i, v := range paaBuf {
-					symsMax[p*m+i] = quant.SymbolMax(v)
-				}
+		hi := min(lo+chunk, count)
+		winBuf := make([]float64, cfg.L)
+		paaBuf := make([]float64, m)
+		for p := lo; p < hi; p++ {
+			win := ext.Extract(p, cfg.L, winBuf)
+			paa.TransformTo(paaBuf, win)
+			for i, v := range paaBuf {
+				symsMax[p*m+i] = quant.SymbolMax(v)
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 
 	// Phase 2: partition by base word, then build partitions in
 	// parallel. Partition membership is the root-child key, so no two
@@ -88,30 +81,14 @@ func BuildParallel(ext *series.Extractor, cfg Config, workers int) (*Index, erro
 		nodes int
 	}
 	results := make([]result, len(keys))
-	var next int
-	var mu sync.Mutex
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(keys) {
-					return
-				}
-				key := keys[i]
-				sub := &subBuilder{cfg: cfg}
-				for _, p := range partitions[key] {
-					sub.insert(p, symsMax[int(p)*m:int(p)*m+m], baseBits)
-				}
-				results[i] = result{key: key, node: sub.root, nodes: sub.nodes}
-			}
-		}()
-	}
-	wg.Wait()
+	ex.ForEach(len(keys), func(i int) {
+		key := keys[i]
+		sub := &subBuilder{cfg: cfg}
+		for _, p := range partitions[key] {
+			sub.insert(p, symsMax[int(p)*m:int(p)*m+m], baseBits)
+		}
+		results[i] = result{key: key, node: sub.root, nodes: sub.nodes}
+	})
 
 	for _, r := range results {
 		ix.root[r.key] = r.node

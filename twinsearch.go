@@ -344,7 +344,7 @@ func Open(data []float64, opt Options) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		cl, err := cluster.OpenCoordinator(topo, e.ext, opt.L, cluster.Options{
+		cl, err := cluster.OpenCoordinator(context.Background(), topo, e.ext, opt.L, cluster.Options{
 			Timeout: opt.ClusterTimeout,
 			Workers: opt.Workers, NoMMap: !opt.MMap, Prefetch: opt.Prefetch,
 		})
