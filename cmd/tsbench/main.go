@@ -14,25 +14,29 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"twinsearch/internal/harness"
+	"twinsearch/internal/mbts/kernel"
 )
 
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "which experiment: intro, 4, 5, 6, 7, 8, shard, skew, frozen, coldopen, cluster, all")
-		scale   = flag.Float64("scale", 0.1, "EEG dataset scale (1 = paper's 1,801,999 points)")
-		full    = flag.Bool("full", false, "shorthand for -scale 1 (with -queries 100 this is the paper's exact setup; expect hours: the sweepline pays one random read per window per query)")
-		queries = flag.Int("queries", 30, "workload size per experiment (paper: 100)")
-		seed    = flag.Int64("seed", 1, "dataset and workload seed")
-		csvPath = flag.String("csv", "", "also write rows as CSV to this path")
-		quiet   = flag.Bool("quiet", false, "suppress progress logging")
-		mem     = flag.Bool("mem", false, "verify candidates in memory instead of the paper's disk-resident setup")
-		workers = flag.Int("workers", 0, "query-executor workers for the sharded experiments (0 = one per CPU)")
+		figure   = flag.String("figure", "all", "which experiment: intro, 4, 5, 6, 7, 8, shard, skew, frozen, coldopen, cluster, kernel, all")
+		scale    = flag.Float64("scale", 0.1, "EEG dataset scale (1 = paper's 1,801,999 points)")
+		full     = flag.Bool("full", false, "shorthand for -scale 1 (with -queries 100 this is the paper's exact setup; expect hours: the sweepline pays one random read per window per query)")
+		queries  = flag.Int("queries", 30, "workload size per experiment (paper: 100)")
+		seed     = flag.Int64("seed", 1, "dataset and workload seed")
+		csvPath  = flag.String("csv", "", "also write rows as CSV to this path")
+		jsonPath = flag.String("json", "", "also write rows as JSON (with host/dispatch metadata) to this path")
+		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+		mem      = flag.Bool("mem", false, "verify candidates in memory instead of the paper's disk-resident setup")
+		workers  = flag.Int("workers", 0, "query-executor workers for the sharded experiments (0 = one per CPU)")
 	)
 	flag.Parse()
 	if *full {
@@ -65,6 +69,7 @@ func main() {
 	run("frozen", r.FigureFrozen)
 	run("coldopen", r.FigureColdOpen)
 	run("cluster", r.FigureCluster)
+	run("kernel", r.FigureKernel)
 
 	if len(rows) == 0 {
 		fmt.Fprintf(os.Stderr, "tsbench: unknown figure %q\n", *figure)
@@ -91,5 +96,35 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", len(rows), *csvPath)
+	}
+
+	if *jsonPath != "" {
+		doc := struct {
+			Tool    string        `json:"tool"`
+			Figure  string        `json:"figure"`
+			GOARCH  string        `json:"goarch"`
+			CPUs    int           `json:"cpus"`
+			Kernel  string        `json:"kernel_dispatch"`
+			Scale   float64       `json:"scale"`
+			Queries int           `json:"queries"`
+			Seed    int64         `json:"seed"`
+			Rows    []harness.Row `json:"rows"`
+		}{
+			Tool: "tsbench", Figure: *figure,
+			GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(),
+			Kernel: kernel.Active(),
+			Scale:  *scale, Queries: *queries, Seed: *seed,
+			Rows: rows,
+		}
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d rows to %s\n", len(rows), *jsonPath)
 	}
 }

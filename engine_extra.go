@@ -359,14 +359,16 @@ type BatchResult struct {
 
 // SearchBatch answers many queries concurrently over one engine —
 // searches are read-only, so they parallelize perfectly (the direction
-// ParIS/MESSI take iSAX, applied here at the workload level). The whole
-// batch runs as one executor group: on a sharded engine every
-// (query, shard, subtree) work unit is a peer in the same worker pool,
-// so there is no query pool nested above a shard pool and no idle
-// workers while one slow query's hot shard finishes. Validation and
-// query transformation happen once per query, up front; the work units
-// share the transformed query. Results arrive indexed by query
-// position. parallelism ≤ 0 uses the engine's executor (see
+// ParIS/MESSI take iSAX, applied here at the workload level). On
+// TS-Index engines the whole batch runs as one executor group of
+// (shard, subtree) work units, and each unit traverses its subtree
+// ONCE for the entire batch: a frame of the descent is (node, active
+// query set), so every node's bounds stream through the distance
+// kernels once per unit instead of once per query (see
+// core.Frozen.SearchStatsBatchFrom). Validation and query
+// transformation happen once per query, up front. Results arrive
+// indexed by query position, identical to len(queries) calls to
+// Search. parallelism ≤ 0 uses the engine's executor (see
 // Options.Workers); a positive value caps the batch to a dedicated
 // pool of exactly that many workers.
 func (e *Engine) SearchBatch(queries [][]float64, eps float64, parallelism int) []BatchResult {
@@ -382,7 +384,9 @@ func (e *Engine) SearchBatch(queries [][]float64, eps float64, parallelism int) 
 	}
 	if e.cl != nil {
 		// Cluster fan-out is network-bound: plain per-query goroutines,
-		// each fanning across the nodes with its own timeouts.
+		// each fanning across the nodes with its own timeouts. (A batch
+		// RPC that ships the whole query set to each node in one round
+		// trip is the noted follow-on.)
 		var wg sync.WaitGroup
 		for i, q := range queries {
 			tq, err := e.validateQuery(q, eps)
@@ -411,31 +415,148 @@ func (e *Engine) SearchBatch(queries [][]float64, eps float64, parallelism int) 
 		}
 		ex = exec.New(parallelism)
 	}
-	g := ex.NewGroup()
-	type pending struct {
-		i int
-		p *shard.PendingSearch
-	}
-	var pendings []pending
+
+	// Validate up front; the batch traversals see valid queries only.
+	valid := make([]int, 0, len(queries))
+	tqs := make([][]float64, 0, len(queries))
 	for i, q := range queries {
 		tq, err := e.validateQuery(q, eps)
 		if err != nil {
 			out[i] = BatchResult{Query: i, Err: err}
 			continue
 		}
-		if e.sh != nil {
-			pendings = append(pendings, pending{i, e.sh.QueueSearch(g, tq, eps)})
-			continue
+		valid = append(valid, i)
+		tqs = append(tqs, tq)
+	}
+	if len(valid) == 0 {
+		return out
+	}
+
+	g := ex.NewGroup()
+	switch {
+	case e.sh != nil:
+		p := e.sh.QueueSearchBatch(g, tqs, eps)
+		g.Wait()
+		ms, _ := p.Resolve()
+		for bi, i := range valid {
+			out[i] = BatchResult{Query: i, Matches: ms[bi]}
 		}
+	case e.opt.Method == MethodTSIndex:
+		// Unsharded arena: fan the batch over frontier subtrees so the
+		// units spread across the pool like the sharded path's do.
+		fz := e.tsFrozen()
+		res := e.batchUnits(g, ex, fz, tqs, eps)
+		g.Wait()
+		for bi, i := range valid {
+			var n int
+			for _, unit := range res {
+				n += len(unit[bi])
+			}
+			ms := make([]Match, 0, n)
+			for _, unit := range res {
+				ms = append(ms, unit[bi]...)
+			}
+			series.SortMatches(ms)
+			out[i] = BatchResult{Query: i, Matches: ms}
+		}
+	default:
+		// The scan methods have no tree to batch over; per-query tasks.
+		for bi, i := range valid {
+			tq := tqs[bi]
+			g.Go(func(*exec.Ctx) {
+				ms, err := e.searchPreparedCtx(context.Background(), tq, eps)
+				out[i] = BatchResult{Query: i, Matches: ms, Err: err}
+			})
+		}
+		g.Wait()
+	}
+	return out
+}
+
+// batchUnits enqueues one batch range-search task per frontier subtree
+// of fz into g and returns the per-unit result table ([unit][query],
+// batch traversal order). The frontier target mirrors the shard
+// layer's over-provisioning so stealing can even out skewed subtrees.
+func (e *Engine) batchUnits(g *exec.Group, ex *exec.Executor, fz *core.Frozen, tqs [][]float64, eps float64) [][][]series.Match {
+	w := ex.Workers()
+	units := fz.Frontier(4 * w)
+	res := make([][][]series.Match, len(units))
+	for j, u := range units {
 		g.Go(func(*exec.Ctx) {
-			ms, err := e.searchPreparedCtx(context.Background(), tq, eps)
-			out[i] = BatchResult{Query: i, Matches: ms, Err: err}
+			res[j], _ = fz.SearchStatsBatchFrom(u, tqs, eps)
 		})
 	}
-	g.Wait()
-	for _, pd := range pendings {
-		ms, _ := pd.p.Resolve()
-		out[pd.i] = BatchResult{Query: pd.i, Matches: ms}
+	return res
+}
+
+// SearchTopKBatch answers many top-k queries over one engine with a
+// single batched fan-out: each (shard, subtree) work unit descends
+// once for the whole batch, every query keeps its own cross-unit
+// pruning bound, and candidate windows are extracted once per leaf for
+// all queries alive there. Results arrive indexed by query position,
+// identical to len(queries) calls to SearchTopK. Requires
+// MethodTSIndex, like SearchTopK.
+func (e *Engine) SearchTopKBatch(queries [][]float64, k int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if e.closed.Load() {
+		for i := range out {
+			out[i] = BatchResult{Query: i, Err: ErrClosed}
+		}
+		return out
+	}
+	if e.opt.Method != MethodTSIndex {
+		for i := range out {
+			out[i] = BatchResult{Query: i, Err: ErrTopKUnsupported}
+		}
+		return out
+	}
+	if e.cl != nil {
+		// Network-bound, like SearchBatch's cluster path.
+		var wg sync.WaitGroup
+		for i, q := range queries {
+			if len(q) != e.opt.L {
+				out[i] = BatchResult{Query: i, Err: fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)}
+				continue
+			}
+			wg.Add(1)
+			//tsvet:ignore cluster fan-out is network-bound, not executor work
+			go func(i int, tq []float64) {
+				defer wg.Done()
+				ms, err := e.cl.SearchTopK(context.Background(), tq, k)
+				out[i] = BatchResult{Query: i, Matches: ms, Err: err}
+			}(i, e.ext.TransformQuery(q))
+		}
+		wg.Wait()
+		return out
+	}
+
+	valid := make([]int, 0, len(queries))
+	tqs := make([][]float64, 0, len(queries))
+	for i, q := range queries {
+		if len(q) != e.opt.L {
+			out[i] = BatchResult{Query: i, Err: fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)}
+			continue
+		}
+		valid = append(valid, i)
+		tqs = append(tqs, e.ext.TransformQuery(q))
+	}
+	if len(valid) == 0 {
+		return out
+	}
+
+	var ms [][]Match
+	if e.sh != nil {
+		ms = e.sh.SearchTopKBatch(tqs, k)
+	} else {
+		// Parity target is the unsharded SearchTopK — a single
+		// traversal — so the batch form is one descent from the root.
+		ms = e.tsFrozen().SearchTopKBatch(tqs, k)
+	}
+	for bi, i := range valid {
+		out[i] = BatchResult{Query: i, Matches: ms[bi]}
 	}
 	return out
 }

@@ -1,10 +1,15 @@
-// Package notarena is a fixture: any other package importing unsafe is
-// a violation, whatever it does with it.
+// Package notarena is a fixture: pointer-forming unsafe in any other
+// package is a violation, wherever it appears.
 package notarena
 
-import "unsafe" // want `import of unsafe outside internal/arena`
+import "unsafe"
 
 // Cast reinterprets without the arena's checks.
 func Cast(b []byte) *int32 {
-	return (*int32)(unsafe.Pointer(&b[0]))
+	return (*int32)(unsafe.Pointer(&b[0])) // want `unsafe.Pointer outside internal/arena`
+}
+
+// Shift moves a pointer arithmetically — also confined to arena.
+func Shift(p unsafe.Pointer) unsafe.Pointer { // want `unsafe.Pointer outside internal/arena` `unsafe.Pointer outside internal/arena`
+	return unsafe.Add(p, 8) // want `unsafe.Add outside internal/arena`
 }

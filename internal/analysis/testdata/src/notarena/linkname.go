@@ -1,0 +1,5 @@
+// Fixture: an unsafe import with no selector uses exists only for a
+// side effect (the //go:linkname blank-import idiom) — still flagged.
+package notarena
+
+import _ "unsafe" // want `import of unsafe outside internal/arena with no Sizeof/Alignof/Offsetof use`

@@ -5,17 +5,24 @@ import (
 	"go/token"
 )
 
-// Unsafeview enforces the PR 4 memory invariant: package unsafe may be
-// imported only by internal/arena (the one place byte regions are
-// reinterpreted as typed slices), and inside arena every unsafe view
-// construction must be dominated by a bounds/alignment check — either a
-// prior call to the sanctioned (*Arena).view checker or an explicit
-// len()-based guard earlier in the same function. An unchecked
-// reinterpretation of an mmap'd region is an out-of-bounds read waiting
-// for a hostile stream header.
+// Unsafeview enforces the PR 4 memory invariant: the pointer-forming
+// half of package unsafe may be used only by internal/arena (the one
+// place byte regions are reinterpreted as typed slices), and inside
+// arena every unsafe view construction must be dominated by a
+// bounds/alignment check — either a prior call to the sanctioned
+// (*Arena).view checker or an explicit len()-based guard earlier in the
+// same function. An unchecked reinterpretation of an mmap'd region is
+// an out-of-bounds read waiting for a hostile stream header.
+//
+// Outside arena, importing unsafe is permitted for its compile-time
+// constant members alone (Sizeof/Alignof/Offsetof — layout accounting,
+// no pointers involved): a file whose every unsafe use is one of those
+// passes; any pointer-forming use is flagged at the use, and an import
+// with no unsafe selector uses at all (the //go:linkname blank-import
+// idiom) is flagged at the import.
 var Unsafeview = &Analyzer{
 	Name: "unsafeview",
-	Doc:  "unsafe is confined to internal/arena, and views there are bounds/alignment checked",
+	Doc:  "pointer-forming unsafe is confined to internal/arena, and views there are bounds/alignment checked",
 	Run:  runUnsafeview,
 }
 
@@ -35,11 +42,7 @@ func runUnsafeview(pass *Pass) error {
 	inArena := pass.PathBase() == "arena"
 	for _, f := range pass.Files {
 		if !inArena {
-			for _, imp := range f.Imports {
-				if imp.Path.Value == `"unsafe"` {
-					pass.Reportf(imp.Pos(), "import of unsafe outside internal/arena; typed views over raw bytes must go through the arena package")
-				}
-			}
+			checkUnsafeOutsideArena(pass, f)
 			continue
 		}
 		for _, decl := range f.Decls {
@@ -65,6 +68,47 @@ func runUnsafeview(pass *Pass) error {
 		}
 	}
 	return nil
+}
+
+// checkUnsafeOutsideArena applies the non-arena policy to one file:
+// pointer-forming unsafe uses are violations at the use site, and an
+// unsafe import whose members are never selected (so the import exists
+// only for a side effect such as //go:linkname) is a violation at the
+// import. Files whose every unsafe use is a Sizeof/Alignof/Offsetof
+// constant pass clean.
+func checkUnsafeOutsideArena(pass *Pass, f *ast.File) {
+	imports := false
+	for _, imp := range f.Imports {
+		if imp.Path.Value == `"unsafe"` {
+			imports = true
+		}
+	}
+	if !imports {
+		return
+	}
+	uses := 0
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != "unsafe" {
+			return true
+		}
+		uses++
+		if unsafeViewFuncs[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(), "unsafe.%s outside internal/arena; typed views over raw bytes must go through the arena package", sel.Sel.Name)
+		}
+		return true
+	})
+	if uses == 0 {
+		for _, imp := range f.Imports {
+			if imp.Path.Value == `"unsafe"` {
+				pass.Reportf(imp.Pos(), "import of unsafe outside internal/arena with no Sizeof/Alignof/Offsetof use; pointer-forming unsafe must go through the arena package")
+			}
+		}
+	}
 }
 
 // checkUnsafeDominance walks one function body in source order and

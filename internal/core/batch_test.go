@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"twinsearch/internal/datasets"
+	"twinsearch/internal/series"
+)
+
+// matchesEq is bit-level equality of two match lists: Start and the
+// exact Dist bit pattern, so −0/NaN drift would be caught too.
+func matchesEq(a, b []series.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Start != b[i].Start ||
+			math.Float64bits(a[i].Dist) != math.Float64bits(b[i].Dist) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSearchStatsBatchParity requires the batch-frontier range search
+// to reproduce per-query traversals exactly: same matches, same Stats
+// (visit/prune/leaf/candidate counters pin down that each query's
+// active-node set is precisely the node set its own descent visits).
+func TestSearchStatsBatchParity(t *testing.T) {
+	ts := datasets.RandomWalk(11, 2600)
+	const l = 48
+	for _, m := range frozenModes {
+		t.Run(m.name, func(t *testing.T) {
+			ix, ext := buildOver(t, ts, m.mode, Config{L: l})
+			f := ix.Freeze()
+			qs := [][]float64{
+				ext.ExtractCopy(5, l),
+				ext.ExtractCopy(700, l),
+				ext.ExtractCopy(1900, l),
+				ext.ExtractCopy(ix.Len()-1, l),
+			}
+			for _, eps := range []float64{0, 0.15, 0.6, 3} {
+				gotM, gotS := f.SearchStatsBatch(qs, eps)
+				for qi, q := range qs {
+					wantM, wantS := f.SearchStats(q, eps)
+					if !matchesEq(gotM[qi], wantM) {
+						t.Fatalf("eps=%v query %d: batch matches differ (%d vs %d)",
+							eps, qi, len(gotM[qi]), len(wantM))
+					}
+					if !reflect.DeepEqual(gotS[qi], wantS) {
+						t.Fatalf("eps=%v query %d: batch stats %+v, per-query %+v",
+							eps, qi, gotS[qi], wantS)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSearchStatsBatchFromUnits checks the work-unit form over every
+// frontier subtree: per unit, the batch results for query i equal a
+// per-query SearchStatsFrom on the same subtree (match SET equality —
+// batch traversal order within a unit is not the per-query order).
+func TestSearchStatsBatchFromUnits(t *testing.T) {
+	ts := datasets.EEGN(13, 2200)
+	const l = 40
+	ix, ext := buildOver(t, ts, series.NormGlobal, Config{L: l})
+	f := ix.Freeze()
+	qs := [][]float64{
+		ext.ExtractCopy(100, l),
+		ext.ExtractCopy(1500, l),
+	}
+	const eps = 0.4
+	for _, u := range f.Frontier(6) {
+		gotM, gotS := f.SearchStatsBatchFrom(u, qs, eps)
+		for qi, q := range qs {
+			wantM, wantS := f.SearchStatsFrom(u, q, eps)
+			series.SortMatches(gotM[qi])
+			series.SortMatches(wantM)
+			wantS.Results = 0 // the unit form leaves Results to the merger
+			if !matchesEq(gotM[qi], wantM) {
+				t.Fatalf("unit %v query %d: match sets differ", u, qi)
+			}
+			if !reflect.DeepEqual(gotS[qi], wantS) {
+				t.Fatalf("unit %v query %d: stats %+v, want %+v", u, qi, gotS[qi], wantS)
+			}
+		}
+	}
+}
+
+// TestSearchTopKBatchParity requires the DFS batch top-k to return the
+// same final (dist, start)-ordered k results as per-query best-first
+// descents, with and without shared cross-unit bounds.
+func TestSearchTopKBatchParity(t *testing.T) {
+	ts := datasets.InsectN(17, 2600)
+	const l = 48
+	for _, m := range frozenModes {
+		t.Run(m.name, func(t *testing.T) {
+			ix, ext := buildOver(t, ts, m.mode, Config{L: l})
+			f := ix.Freeze()
+			qs := [][]float64{
+				ext.ExtractCopy(60, l),
+				ext.ExtractCopy(1200, l),
+				ext.ExtractCopy(2000, l),
+			}
+			for _, k := range []int{1, 7, 40} {
+				got := f.SearchTopKBatch(qs, k)
+				for qi, q := range qs {
+					want := f.SearchTopK(q, k)
+					if !matchesEq(got[qi], want) {
+						t.Fatalf("k=%d query %d: batch top-k differs", k, qi)
+					}
+				}
+				// Fresh per-query shared bounds must not change answers.
+				shared := make([]*SharedBound, len(qs))
+				for i := range shared {
+					shared[i] = NewSharedBound()
+				}
+				got = f.SearchTopKBatchFrom(f.Root(), qs, k, shared)
+				for qi, q := range qs {
+					want := f.SearchTopK(q, k)
+					if !matchesEq(got[qi], want) {
+						t.Fatalf("k=%d query %d: shared-bound batch top-k differs", k, qi)
+					}
+				}
+			}
+			// k beyond the index returns everything, still in order.
+			all := f.SearchTopKBatch(qs[:1], f.Len()+10)
+			if len(all[0]) != f.Len() {
+				t.Fatalf("k>len returned %d of %d", len(all[0]), f.Len())
+			}
+		})
+	}
+}
+
+// TestBatchGuards pins the batch entry points' contract violations.
+func TestBatchGuards(t *testing.T) {
+	ix, ext := buildOver(t, datasets.RandomWalk(19, 600), series.NormGlobal, Config{L: 32})
+	f := ix.Freeze()
+	q := ext.ExtractCopy(10, 32)
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("range length mismatch", func() {
+		f.SearchStatsBatch([][]float64{q[:10]}, 0.5)
+	})
+	mustPanic("topk length mismatch", func() {
+		f.SearchTopKBatch([][]float64{q[:10]}, 3)
+	})
+	mustPanic("shared length mismatch", func() {
+		f.SearchTopKBatchFrom(f.Root(), [][]float64{q}, 3, make([]*SharedBound, 2))
+	})
+
+	// Degenerate but legal inputs.
+	if out, st := f.SearchStatsBatch(nil, 0.5); len(out) != 0 || len(st) != 0 {
+		t.Fatal("empty batch must be empty")
+	}
+	if out := f.SearchTopKBatch([][]float64{q}, 0); out[0] != nil {
+		t.Fatal("k=0 must return no matches")
+	}
+	for i := 0; i < 3; i++ {
+		// Repeated identical queries in one batch stay independent.
+		out := f.SearchTopKBatch([][]float64{q, q}, 5)
+		if !matchesEq(out[0], out[1]) {
+			t.Fatal(fmt.Sprint("duplicate queries disagree: ", out[0], out[1]))
+		}
+	}
+}

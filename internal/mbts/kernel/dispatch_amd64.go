@@ -1,0 +1,109 @@
+//go:build amd64
+
+package kernel
+
+import "math"
+
+// Runtime CPU-feature detection for the AVX2 kernels. The queries go
+// straight to CPUID/XGETBV (implemented in dist_amd64.s) — the runtime
+// keeps its own answers in an unexported package, and the project bakes
+// in no third-party cpu package — and follow the full protocol: the CPU
+// must report AVX2 (leaf 7), the instruction set must be usable (leaf 1
+// AVX + OSXSAVE), and the OS must have enabled XMM+YMM state saving
+// (XCR0 bits 1–2), or the vector registers would be corrupted across
+// context switches.
+var hasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidAsm(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&6 != 6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, b7, _, _ := cpuidAsm(7, 0)
+	const avx2 = 1 << 5
+	return b7&avx2 != 0
+}
+
+// avx2Impl vectorizes the query-time hot pair (DistFlat,
+// DistAbandonFlat) — every descent, Lemma 1 test, and top-k bound
+// funnels through them — and shares the portable forms for the
+// build-time split heuristics, which are bit-identical by construction.
+func avx2Impl() Impl {
+	return Impl{
+		Name:                  "avx2",
+		DistFlat:              distFlatAVX2,
+		DistAbandonFlat:       distAbandonFlatAVX2,
+		DistMBTS:              distMBTSPortable,
+		Width:                 widthPortable,
+		WidthIncreaseSequence: widthIncreaseSequencePortable,
+		WidthIncreaseMBTS:     widthIncreaseMBTSPortable,
+	}
+}
+
+// distKernelAVX2 is the one assembly kernel: the Eq. 2 running maximum
+// over n lanes (n a positive multiple of 4), 4 lanes per instruction,
+// with the accumulated maxima checked against limit every 64 lanes.
+// It returns abandoned=true as soon as a block check fires (m is then
+// meaningless); otherwise m is the exact maximum over the n lanes —
+// bit-identical to the portable form because no lane value is ever NaN
+// or −0, making VMAXPD's asymmetries unobservable. A +Inf limit turns
+// the block checks off, which is how distFlatAVX2 reuses the kernel.
+//
+//go:noescape
+func distKernelAVX2(upper, lower, s *float64, n int, limit float64) (m float64, abandoned bool)
+
+// cpuidAsm executes CPUID with EAX=op, ECX=sub.
+func cpuidAsm(op, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the OS-enabled extended-state mask.
+func xgetbv0() (eax, edx uint32)
+
+func distFlatAVX2(upper, lower, s []float64) float64 {
+	n := len(s)
+	upper, lower = upper[:n], lower[:n]
+	n4 := n &^ 3
+	var m float64
+	if n4 > 0 {
+		m, _ = distKernelAVX2(&upper[0], &lower[0], &s[0], n4, math.Inf(1))
+	}
+	for i := n4; i < n; i++ { // tail lanes, branch-free scalar
+		m = maxSelect(m, excursion(upper[i], lower[i], s[i]))
+	}
+	return m
+}
+
+func distAbandonFlatAVX2(upper, lower, s []float64, limit float64) (float64, bool) {
+	n := len(s)
+	upper, lower = upper[:n], lower[:n]
+	if limit < 0 {
+		limit = 0 // see distAbandonFlatPortable: negative limits act as zero
+	}
+	n4 := n &^ 3
+	var m float64
+	if n4 > 0 {
+		var abandoned bool
+		m, abandoned = distKernelAVX2(&upper[0], &lower[0], &s[0], n4, limit)
+		if abandoned {
+			return 0, false
+		}
+	}
+	for i := n4; i < n; i++ {
+		m = maxSelect(m, excursion(upper[i], lower[i], s[i]))
+	}
+	// The final check decides abandonment for maxima reached between
+	// block boundaries and in the tail; monotonicity makes the late
+	// check equivalent to the scalar form's per-lane one.
+	if m > limit {
+		return 0, false
+	}
+	return m, true
+}

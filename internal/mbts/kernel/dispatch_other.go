@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package kernel
+
+// Non-amd64 builds have no assembly kernels yet (an ARM NEON port is
+// the noted follow-on); dispatch settles on the portable branch-free
+// form.
+var hasAVX2 = false
+
+func avx2Impl() Impl { return portableImpl }

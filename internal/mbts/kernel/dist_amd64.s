@@ -1,0 +1,101 @@
+// AVX2 Eq. 2 kernel and the CPUID/XGETBV feature probes.
+//
+// Lane recipe (4 float64 per step), mirroring portable.go's excursion:
+//
+//	above  = v GT_OQ u            (ordered: false on NaN, like Go >)
+//	below  = v LT_OQ l
+//	d      = (v-u) & above  |  (l-v) & (below &^ above)
+//	acc    = VMAXPD(acc, d)
+//
+// The masked d lanes are never NaN and never -0 (see the package NaN
+// contract), so VMAXPD's NaN/zero asymmetries are unobservable and the
+// accumulated maxima equal the sequential scalar maximum bit-for-bit.
+// Every 16 steps (64 lanes) the accumulator is compared against the
+// broadcast limit; any lane above it abandons the scan.
+
+#include "textflag.h"
+
+// func distKernelAVX2(upper, lower, s *float64, n int, limit float64) (m float64, abandoned bool)
+TEXT ·distKernelAVX2(SB), NOSPLIT, $0-49
+	MOVQ upper+0(FP), SI
+	MOVQ lower+8(FP), DI
+	MOVQ s+16(FP), DX
+	MOVQ n+24(FP), CX
+	SHRQ $2, CX                  // CX = 4-lane steps (n is a multiple of 4)
+	VXORPD Y0, Y0, Y0            // Y0 = running maxima, +0 seeded
+	VBROADCASTSD limit+32(FP), Y7
+
+blockstart:
+	TESTQ CX, CX
+	JZ    done
+	MOVQ  CX, R9                 // R9 = steps this block = min(CX, 16)
+	CMPQ  R9, $16
+	JBE   consume
+	MOVQ  $16, R9
+
+consume:
+	SUBQ R9, CX
+
+step:
+	VMOVUPD (DX), Y1             // v
+	VMOVUPD (SI), Y2             // u
+	VMOVUPD (DI), Y3             // l
+	VSUBPD  Y2, Y1, Y4           // Y4 = v - u
+	VSUBPD  Y1, Y3, Y5           // Y5 = l - v
+	VCMPPD  $0x1E, Y2, Y1, Y6    // Y6 = v GT_OQ u
+	VCMPPD  $0x11, Y3, Y1, Y8    // Y8 = v LT_OQ l
+	VANDPD  Y6, Y4, Y4           // keep v-u on "above" lanes
+	VANDNPD Y8, Y6, Y8           // Y8 = below &^ above
+	VANDPD  Y8, Y5, Y5           // keep l-v on "below only" lanes
+	VORPD   Y5, Y4, Y4           // Y4 = d
+	VMAXPD  Y4, Y0, Y0
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	ADDQ    $32, DX
+	DECQ    R9
+	JNZ     step
+
+	// Block boundary: abandon when any accumulated maximum exceeds the
+	// limit. GT_OQ is false on NaN and against +Inf, so those limits
+	// never abandon — the contract's degenerate cases.
+	VCMPPD    $0x1E, Y7, Y0, Y9
+	VMOVMSKPD Y9, AX
+	TESTQ     AX, AX
+	JNZ       abandon
+	JMP       blockstart
+
+done:
+	// Horizontal max of the 4 accumulator slots.
+	VEXTRACTF128 $1, Y0, X1
+	VMAXPD       X1, X0, X0
+	VSHUFPD      $1, X0, X0, X1
+	VMAXSD       X1, X0, X0
+	VZEROUPPER
+	MOVSD X0, m+40(FP)
+	MOVB  $0, abandoned+48(FP)
+	RET
+
+abandon:
+	VZEROUPPER
+	MOVQ $0, m+40(FP)
+	MOVB $1, abandoned+48(FP)
+	RET
+
+// func cpuidAsm(op, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL op+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,86 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzDistKernels feeds raw bytes as (upper, lower, s, limit) lanes —
+// any bit pattern, including NaN payloads, ±Inf, subnormals, and −0 —
+// and requires every registered implementation to agree bit-for-bit
+// with the scalar oracle on all four flat entry points. This is the
+// executable form of the package NaN contract: no input, however
+// degenerate, may make the dispatchable forms diverge.
+func FuzzDistKernels(f *testing.F) {
+	mk := func(vals ...float64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		return b
+	}
+	nan := math.NaN()
+	inf := math.Inf(1)
+	// Seeds: plain lanes, NaN in each operand, ±Inf bounds, inverted
+	// bounds, −0 crossings, degenerate limits, and a >64-lane input so
+	// the blocked abandoning path runs more than one block.
+	f.Add(mk(1, -1, 0, 0.5), 1)
+	f.Add(mk(1, 2, -1, 0, 5, -5, 0.25), 2)
+	f.Add(mk(nan, -1, 5, 0.1), 1)
+	f.Add(mk(1, nan, -5, 0.1), 1)
+	f.Add(mk(1, -1, nan, 0.1), 1)
+	f.Add(mk(inf, -inf, 3, 0.1), 1)
+	f.Add(mk(-1, 2, 0, 0.5), 1) // inverted bounds
+	f.Add(mk(0, math.Copysign(0, -1), math.Copysign(0, -1), 0.5), 1)
+	f.Add(mk(1, -1, 100, nan), 1) // NaN limit
+	f.Add(mk(1, -1, 100, inf), 1) // +Inf limit
+	long := make([]float64, 3*70+1)
+	for i := range long {
+		long[i] = float64(i%7) - 3
+	}
+	f.Add(mk(long...), 70)
+
+	f.Fuzz(func(t *testing.T, raw []byte, n int) {
+		if n < 0 || n > 256 {
+			return
+		}
+		need := 8 * (3*n + 1)
+		if len(raw) < need {
+			return
+		}
+		at := func(i int) float64 {
+			return math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+		u := make([]float64, n)
+		l := make([]float64, n)
+		s := make([]float64, n)
+		for i := 0; i < n; i++ {
+			u[i], l[i], s[i] = at(i), at(n+i), at(2*n+i)
+		}
+		limit := at(3 * n)
+
+		wantFlat := distFlatScalar(u, l, s)
+		wantAb, wantOK := distAbandonFlatScalar(u, l, s, limit)
+		wantW := widthScalar(u, l)
+		wantWIS := widthIncreaseSequenceScalar(u, l, s)
+		for _, im := range Impls() {
+			if got := im.DistFlat(u, l, s); math.Float64bits(got) != math.Float64bits(wantFlat) {
+				t.Fatalf("%s DistFlat = %x, scalar %x (u=%v l=%v s=%v)",
+					im.Name, math.Float64bits(got), math.Float64bits(wantFlat), u, l, s)
+			}
+			got, ok := im.DistAbandonFlat(u, l, s, limit)
+			if math.Float64bits(got) != math.Float64bits(wantAb) || ok != wantOK {
+				t.Fatalf("%s DistAbandonFlat = (%x, %v), scalar (%x, %v) limit=%v (u=%v l=%v s=%v)",
+					im.Name, math.Float64bits(got), ok, math.Float64bits(wantAb), wantOK, limit, u, l, s)
+			}
+			if got := im.Width(u, l); math.Float64bits(got) != math.Float64bits(wantW) {
+				t.Fatalf("%s Width = %x, scalar %x", im.Name, math.Float64bits(got), math.Float64bits(wantW))
+			}
+			if got := im.WidthIncreaseSequence(u, l, s); math.Float64bits(got) != math.Float64bits(wantWIS) {
+				t.Fatalf("%s WidthIncreaseSequence = %x, scalar %x",
+					im.Name, math.Float64bits(got), math.Float64bits(wantWIS))
+			}
+		}
+	})
+}

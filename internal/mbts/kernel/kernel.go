@@ -1,0 +1,191 @@
+// Package kernel holds the distance kernels every pruning decision in
+// the TS-Index funnels through — the Eq. 2 sequence-to-MBTS distance
+// (DistFlat), its early-abandoning form (DistAbandonFlat), the Eq. 3
+// MBTS-to-MBTS distance (DistMBTS), the split-heuristic width measures
+// (Width, WidthIncrease*), and batch forms that push B queries through
+// one node's bounds in a single pass (DistFlatBatch,
+// DistAbandonFlatBatch).
+//
+// Three implementations exist, all bit-for-bit identical on every
+// input:
+//
+//   - scalar: the original branchy loops, kept as the differential
+//     oracle (the semantic reference the repo has shipped since PR 1).
+//   - portable: branch-free forms — the per-lane excursion is selected
+//     with bool→bit-mask arithmetic instead of branches, and early
+//     abandoning is checked once per 64-lane block instead of per lane
+//     — the only semantic *definition*; the assembly must match it.
+//   - avx2: hand-written AVX2 assembly (amd64 only), 4 lanes per
+//     instruction, selected at init when the CPU supports it.
+//
+// Dispatch happens once, at package init: the fastest implementation
+// the CPU supports becomes Active. The TWINSEARCH_KERNEL environment
+// variable forces a specific one ("scalar", "portable", "avx2") so CI
+// can run the full test suite under each dispatch path; an unknown or
+// unsupported value falls back to the default selection.
+//
+// # The NaN contract
+//
+// The kernels inherit the scalar loops' comparison semantics exactly,
+// because every comparison is IEEE-ordered (false on NaN):
+//
+//   - A NaN lane — in the query, or in either bound — contributes
+//     excursion 0: both `v > upper[i]` and `v < lower[i]` are false, so
+//     the lane never produces a distance. NaN never propagates into the
+//     result.
+//   - When bounds are inverted (lower[i] > upper[i], never produced by
+//     the index but reachable through the raw slice API), the "above"
+//     test wins: a value above upper and below lower reports v −
+//     upper[i], matching the scalar else-if chain.
+//   - A NaN limit never abandons (`d > NaN` is false), so
+//     DistAbandonFlat degenerates to (DistFlat, true). So does a +Inf
+//     limit.
+//
+// Every excursion the select produces is therefore either +0 or a
+// strictly positive number (distinct float64s never subtract to zero
+// under gradual underflow, and v > u implies v−u > 0), never NaN and
+// never −0 — which is what makes the horizontal max in the vector
+// kernels order-independent and bit-identical to the sequential scalar
+// max.
+package kernel
+
+import "os"
+
+// Impl is one complete kernel implementation. All implementations
+// agree bit-for-bit on every entry point for every input (enforced by
+// TestKernelDifferential and FuzzDistKernels); they differ only in
+// speed.
+type Impl struct {
+	// Name identifies the implementation: "scalar", "portable", "avx2".
+	Name string
+
+	DistFlat        func(upper, lower, s []float64) float64
+	DistAbandonFlat func(upper, lower, s []float64, limit float64) (float64, bool)
+	DistMBTS        func(bUpper, bLower, oUpper, oLower []float64) float64
+
+	Width                 func(upper, lower []float64) float64
+	WidthIncreaseSequence func(upper, lower, s []float64) float64
+	WidthIncreaseMBTS     func(bUpper, bLower, oUpper, oLower []float64) float64
+}
+
+// scalarImpl is the original branchy loops — the differential oracle.
+var scalarImpl = Impl{
+	Name:                  "scalar",
+	DistFlat:              distFlatScalar,
+	DistAbandonFlat:       distAbandonFlatScalar,
+	DistMBTS:              distMBTSScalar,
+	Width:                 widthScalar,
+	WidthIncreaseSequence: widthIncreaseSequenceScalar,
+	WidthIncreaseMBTS:     widthIncreaseMBTSScalar,
+}
+
+// portableImpl is the branch-free blocked form — the semantic
+// definition every other implementation must match bit-for-bit.
+var portableImpl = Impl{
+	Name:                  "portable",
+	DistFlat:              distFlatPortable,
+	DistAbandonFlat:       distAbandonFlatPortable,
+	DistMBTS:              distMBTSPortable,
+	Width:                 widthPortable,
+	WidthIncreaseSequence: widthIncreaseSequencePortable,
+	WidthIncreaseMBTS:     widthIncreaseMBTSPortable,
+}
+
+// active is the dispatched implementation, fixed at init — reads after
+// init are safe from any goroutine because nothing writes it again.
+var active = selectImpl(os.Getenv("TWINSEARCH_KERNEL"))
+
+// selectImpl maps the TWINSEARCH_KERNEL knob to an implementation:
+// empty or unknown selects the fastest the CPU supports; a named
+// implementation the hardware cannot run falls back the same way.
+func selectImpl(force string) Impl {
+	switch force {
+	case "scalar":
+		return scalarImpl
+	case "portable":
+		return portableImpl
+	case "avx2":
+		if hasAVX2 {
+			return avx2Impl()
+		}
+	}
+	if hasAVX2 {
+		return avx2Impl()
+	}
+	return portableImpl
+}
+
+// Active returns the name of the dispatched implementation ("scalar",
+// "portable", "avx2") — surfaced by tsbench and the README's dispatch
+// documentation.
+func Active() string { return active.Name }
+
+// Impls returns every implementation the current hardware can run,
+// oracle first — the set the differential and fuzz tests quantify over.
+func Impls() []Impl {
+	out := []Impl{scalarImpl, portableImpl}
+	if hasAVX2 {
+		out = append(out, avx2Impl())
+	}
+	return out
+}
+
+// DistFlat is the paper's Eq. 2 over raw bound slices: the largest
+// pointwise excursion of s outside the [lower, upper] band, 0 when s is
+// enclosed. upper and lower must have at least len(s) entries.
+func DistFlat(upper, lower, s []float64) float64 {
+	return active.DistFlat(upper, lower, s)
+}
+
+// DistAbandonFlat is DistFlat with early abandoning: (0, false) when
+// the distance exceeds limit — decided identically however the running
+// maximum is scheduled, because it only grows — and (dist, true)
+// otherwise. A NaN or +Inf limit never abandons.
+func DistAbandonFlat(upper, lower, s []float64, limit float64) (float64, bool) {
+	return active.DistAbandonFlat(upper, lower, s, limit)
+}
+
+// DistMBTS is the paper's Eq. 3 over raw bound slices: the largest
+// pointwise gap between two bands, 0 when they overlap at every
+// timestamp.
+func DistMBTS(bUpper, bLower, oUpper, oLower []float64) float64 {
+	return active.DistMBTS(bUpper, bLower, oUpper, oLower)
+}
+
+// Width is the total band width Σ_i (upper[i] − lower[i]) — the measure
+// the split heuristics minimize.
+func Width(upper, lower []float64) float64 {
+	return active.Width(upper, lower)
+}
+
+// WidthIncreaseSequence is how much Width would grow if s were
+// enclosed.
+func WidthIncreaseSequence(upper, lower, s []float64) float64 {
+	return active.WidthIncreaseSequence(upper, lower, s)
+}
+
+// WidthIncreaseMBTS is how much b's Width would grow if o were
+// enclosed.
+func WidthIncreaseMBTS(bUpper, bLower, oUpper, oLower []float64) float64 {
+	return active.WidthIncreaseMBTS(bUpper, bLower, oUpper, oLower)
+}
+
+// DistFlatBatch evaluates Eq. 2 for every query in qs against one
+// node's bounds, writing dists[i] = DistFlat(upper, lower, qs[i]). The
+// bounds are streamed once per batch instead of once per query — they
+// stay cache-resident across the B passes, which is where the batch
+// traversal's win comes from. dists must have len(qs) entries.
+func DistFlatBatch(upper, lower []float64, qs [][]float64, dists []float64) {
+	for i, q := range qs {
+		dists[i] = active.DistFlat(upper, lower, q)
+	}
+}
+
+// DistAbandonFlatBatch is DistFlatBatch with per-query early-abandon
+// limits: dists[i], oks[i] = DistAbandonFlat(upper, lower, qs[i],
+// limits[i]). dists, oks, and limits must have len(qs) entries.
+func DistAbandonFlatBatch(upper, lower []float64, qs [][]float64, limits, dists []float64, oks []bool) {
+	for i, q := range qs {
+		dists[i], oks[i] = active.DistAbandonFlat(upper, lower, q, limits[i])
+	}
+}

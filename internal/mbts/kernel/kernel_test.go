@@ -1,0 +1,301 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// trialData builds one adversarial input: mostly sane bounds around
+// N(0,1) with occasional inverted bounds and NaN/±Inf lanes — every
+// degenerate case the package NaN contract covers.
+func trialData(rng *rand.Rand, n int) (u, l, s []float64) {
+	u, l, s = make([]float64, n), make([]float64, n), make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		if a < b {
+			a, b = b, a
+		}
+		if rng.Intn(20) == 0 {
+			a, b = b, a // inverted bounds
+		}
+		u[i], l[i] = a, b
+		s[i] = rng.NormFloat64() * 1.5
+		if rng.Intn(30) == 0 {
+			switch rng.Intn(3) {
+			case 0:
+				s[i] = math.NaN()
+			case 1:
+				u[i] = math.Inf(1 - 2*rng.Intn(2))
+			case 2:
+				l[i] = math.NaN()
+			}
+		}
+	}
+	return
+}
+
+func trialLimit(rng *rand.Rand) float64 {
+	switch rng.Intn(10) {
+	case 0:
+		return math.Inf(1)
+	case 1:
+		return math.NaN()
+	case 2:
+		return -rng.Float64() // negative limits act as zero
+	default:
+		return rng.Float64() * 4
+	}
+}
+
+// bitsEq is bit-pattern equality — stricter than ==, it distinguishes
+// +0 from −0 and treats equal NaN patterns as equal.
+func bitsEq(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestKernelDifferential bit-compares every registered implementation
+// against the scalar oracle on every entry point, over thousands of
+// adversarial inputs (NaN/Inf lanes, inverted bounds, degenerate
+// limits, lengths spanning the unrolled body and its tail).
+func TestKernelDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	impls := Impls()
+	if impls[0].Name != "scalar" {
+		t.Fatalf("Impls()[0] = %q, want the scalar oracle first", impls[0].Name)
+	}
+	for trial := 0; trial < 4000; trial++ {
+		n := rng.Intn(200)
+		u, l, s := trialData(rng, n)
+		ou, ol, _ := trialData(rng, n)
+		limit := trialLimit(rng)
+
+		wantFlat := distFlatScalar(u, l, s)
+		wantAb, wantOK := distAbandonFlatScalar(u, l, s, limit)
+		wantMBTS := distMBTSScalar(u, l, ou, ol)
+		wantW := widthScalar(u, l)
+		wantWIS := widthIncreaseSequenceScalar(u, l, s)
+		wantWIM := widthIncreaseMBTSScalar(u, l, ou, ol)
+
+		for _, im := range impls {
+			if got := im.DistFlat(u, l, s); !bitsEq(got, wantFlat) {
+				t.Fatalf("trial %d: %s DistFlat = %v (%x), scalar %v (%x)",
+					trial, im.Name, got, math.Float64bits(got), wantFlat, math.Float64bits(wantFlat))
+			}
+			if got, ok := im.DistAbandonFlat(u, l, s, limit); !bitsEq(got, wantAb) || ok != wantOK {
+				t.Fatalf("trial %d: %s DistAbandonFlat = (%v, %v), scalar (%v, %v), limit %v",
+					trial, im.Name, got, ok, wantAb, wantOK, limit)
+			}
+			if got := im.DistMBTS(u, l, ou, ol); !bitsEq(got, wantMBTS) {
+				t.Fatalf("trial %d: %s DistMBTS = %v, scalar %v", trial, im.Name, got, wantMBTS)
+			}
+			if got := im.Width(u, l); !bitsEq(got, wantW) {
+				t.Fatalf("trial %d: %s Width = %v, scalar %v", trial, im.Name, got, wantW)
+			}
+			if got := im.WidthIncreaseSequence(u, l, s); !bitsEq(got, wantWIS) {
+				t.Fatalf("trial %d: %s WidthIncreaseSequence = %v, scalar %v", trial, im.Name, got, wantWIS)
+			}
+			if got := im.WidthIncreaseMBTS(u, l, ou, ol); !bitsEq(got, wantWIM) {
+				t.Fatalf("trial %d: %s WidthIncreaseMBTS = %v, scalar %v", trial, im.Name, got, wantWIM)
+			}
+		}
+	}
+}
+
+// TestKernelNaNContract pins the documented degenerate-lane semantics
+// with hand-built cases (not just differentially): NaN lanes contribute
+// +0, inverted bounds let "above" win, NaN/+Inf limits never abandon.
+func TestKernelNaNContract(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	for _, im := range Impls() {
+		// A NaN anywhere in a lane contributes nothing.
+		if d := im.DistFlat([]float64{nan}, []float64{-1}, []float64{5}); d != 0 {
+			t.Fatalf("%s: NaN upper lane contributed %v", im.Name, d)
+		}
+		if d := im.DistFlat([]float64{1}, []float64{nan}, []float64{-5}); d != 0 {
+			t.Fatalf("%s: NaN lower lane contributed %v", im.Name, d)
+		}
+		if d := im.DistFlat([]float64{1}, []float64{-1}, []float64{nan}); d != 0 {
+			t.Fatalf("%s: NaN value lane contributed %v", im.Name, d)
+		}
+		// Inverted bounds: v inside (l, u) reversed satisfies both
+		// comparisons; the "above" branch must win, as in the scalar
+		// else-if chain. u=-1, l=1, v=0: above excursion v-u = 1,
+		// below would be l-v = 1 too — make them distinct.
+		if d := im.DistFlat([]float64{-1}, []float64{2}, []float64{0}); d != 1 {
+			t.Fatalf("%s: inverted bounds gave %v, want the above excursion 1", im.Name, d)
+		}
+		// NaN and +Inf limits never abandon.
+		u, l, s := []float64{0}, []float64{0}, []float64{100}
+		if d, ok := im.DistAbandonFlat(u, l, s, nan); !ok || d != 100 {
+			t.Fatalf("%s: NaN limit abandoned (%v, %v)", im.Name, d, ok)
+		}
+		if d, ok := im.DistAbandonFlat(u, l, s, inf); !ok || d != 100 {
+			t.Fatalf("%s: +Inf limit abandoned (%v, %v)", im.Name, d, ok)
+		}
+		// The result is never −0.
+		if d := im.DistFlat([]float64{1}, []float64{-1}, []float64{0}); math.Signbit(d) {
+			t.Fatalf("%s: produced -0", im.Name)
+		}
+		// Empty input.
+		if d := im.DistFlat(nil, nil, nil); d != 0 {
+			t.Fatalf("%s: empty input gave %v", im.Name, d)
+		}
+		if d, ok := im.DistAbandonFlat(nil, nil, nil, 0); !ok || d != 0 {
+			t.Fatalf("%s: empty abandoning input gave (%v, %v)", im.Name, d, ok)
+		}
+	}
+}
+
+// TestKernelAbandonSchedule checks the blocked/late abandoning forms
+// agree with the per-lane scalar form on inputs engineered so the
+// running maximum crosses the limit at every possible block offset.
+func TestKernelAbandonSchedule(t *testing.T) {
+	n := 3*laneBlock + 7
+	for cross := 0; cross < n; cross += 13 {
+		u, l, s := make([]float64, n), make([]float64, n), make([]float64, n)
+		for i := range s {
+			s[i] = 0.5 // small excursion everywhere (u=l=0)
+		}
+		s[cross] = 10 // crosses limit=1 at lane `cross`
+		want, wantOK := distAbandonFlatScalar(u, l, s, 1)
+		for _, im := range Impls() {
+			if got, ok := im.DistAbandonFlat(u, l, s, 1); !bitsEq(got, want) || ok != wantOK {
+				t.Fatalf("%s: crossing at %d gave (%v, %v), scalar (%v, %v)",
+					im.Name, cross, got, ok, want, wantOK)
+			}
+		}
+	}
+}
+
+// TestBatchKernels checks the batch entry points are exactly B
+// single-query calls against the active implementation.
+func TestBatchKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, b = 96, 5
+	u, l, _ := trialData(rng, n)
+	qs := make([][]float64, b)
+	limits := make([]float64, b)
+	for i := range qs {
+		_, _, qs[i] = trialData(rng, n)
+		limits[i] = trialLimit(rng)
+	}
+	dists := make([]float64, b)
+	DistFlatBatch(u, l, qs, dists)
+	for i, q := range qs {
+		if want := DistFlat(u, l, q); !bitsEq(dists[i], want) {
+			t.Fatalf("DistFlatBatch[%d] = %v, single call %v", i, dists[i], want)
+		}
+	}
+	oks := make([]bool, b)
+	DistAbandonFlatBatch(u, l, qs, limits, dists, oks)
+	for i, q := range qs {
+		want, wantOK := DistAbandonFlat(u, l, q, limits[i])
+		if !bitsEq(dists[i], want) || oks[i] != wantOK {
+			t.Fatalf("DistAbandonFlatBatch[%d] = (%v, %v), single call (%v, %v)",
+				i, dists[i], oks[i], want, wantOK)
+		}
+	}
+}
+
+// TestKernelSelection pins the dispatch rules: explicit forcing wins,
+// unknown values fall back to the fastest supported form, and the
+// selected name is always a registered implementation.
+func TestKernelSelection(t *testing.T) {
+	if got := selectImpl("scalar").Name; got != "scalar" {
+		t.Fatalf("force scalar selected %q", got)
+	}
+	if got := selectImpl("portable").Name; got != "portable" {
+		t.Fatalf("force portable selected %q", got)
+	}
+	fastest := "portable"
+	if hasAVX2 {
+		fastest = "avx2"
+	}
+	for _, force := range []string{"", "bogus", "avx2"} {
+		want := fastest
+		if force == "avx2" && !hasAVX2 {
+			want = "portable" // forcing an unsupported form falls back
+		}
+		if got := selectImpl(force).Name; got != want {
+			t.Fatalf("force %q selected %q, want %q", force, got, want)
+		}
+	}
+	names := map[string]bool{}
+	for _, im := range Impls() {
+		names[im.Name] = true
+	}
+	if !names[Active()] {
+		t.Fatalf("Active() = %q, not a registered implementation", Active())
+	}
+}
+
+var sinkF float64
+
+// benchDist runs f over 64 distinct node-bound pairs round-robin — a
+// search descent evaluates the same query against a DIFFERENT node's
+// bounds on every call, so the benchmark must not let the branch
+// predictor memorize one fixed lane sequence (replaying a single input
+// flatters the branchy scalar by ~4x; rotating inputs is the honest
+// workload for pruning kernels).
+func benchDist(b *testing.B, f func(u, l, s []float64) float64) {
+	const nodes, n = 64, 1024
+	rng := rand.New(rand.NewSource(7))
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64() * 1.5
+	}
+	us, ls := make([][]float64, nodes), make([][]float64, nodes)
+	for k := range us {
+		u, l := make([]float64, n), make([]float64, n)
+		for i := range u {
+			a, c := rng.NormFloat64(), rng.NormFloat64()
+			if a < c {
+				a, c = c, a
+			}
+			u[i], l[i] = a, c
+		}
+		us[k], ls[k] = u, l
+	}
+	b.SetBytes(3 * 8 * n)
+	k := 0
+	for b.Loop() {
+		sinkF = f(us[k], ls[k], s)
+		k = (k + 1) & (nodes - 1)
+	}
+}
+
+// BenchmarkDistKernel compares the Eq. 2 forms per lane. The scalar
+// sub-benchmark is the pre-kernel baseline (the branchy loop shipped in
+// internal/mbts); portable and avx2 are the dispatchable forms.
+func BenchmarkDistKernel(b *testing.B) {
+	b.Run("scalar", func(b *testing.B) { benchDist(b, distFlatScalar) })
+	b.Run("portable", func(b *testing.B) { benchDist(b, distFlatPortable) })
+	b.Run("avx2", func(b *testing.B) {
+		if !hasAVX2 {
+			b.Skip("avx2 not supported on this host")
+		}
+		benchDist(b, avx2Impl().DistFlat)
+	})
+	b.Run("active", func(b *testing.B) { benchDist(b, DistFlat) })
+}
+
+// BenchmarkDistKernelAbandon is the abandoning pair under a limit that
+// never fires (the descent's common case: most nodes survive).
+func BenchmarkDistKernelAbandon(b *testing.B) {
+	abandon := func(f func(u, l, s []float64, limit float64) (float64, bool)) func(u, l, s []float64) float64 {
+		return func(u, l, s []float64) float64 {
+			m, _ := f(u, l, s, math.Inf(1))
+			return m
+		}
+	}
+	b.Run("scalar", func(b *testing.B) { benchDist(b, abandon(distAbandonFlatScalar)) })
+	b.Run("portable", func(b *testing.B) { benchDist(b, abandon(distAbandonFlatPortable)) })
+	b.Run("avx2", func(b *testing.B) {
+		if !hasAVX2 {
+			b.Skip("avx2 not supported on this host")
+		}
+		benchDist(b, abandon(avx2Impl().DistAbandonFlat))
+	})
+}

@@ -1,0 +1,179 @@
+package kernel
+
+import "math"
+
+// The branch-free portable kernels — the semantic definition of the
+// package (see the package comment's NaN contract). Per-element
+// branches on data-dependent float comparisons cost a mispredict each
+// on real workloads (whether a lane excurses is essentially random), so
+// the lane computation selects the excursion with conditional moves
+// over the raw float bits: both candidate differences are computed
+// unconditionally, then picked by CMOV (the accumulation kernels, whose
+// adds can't be expressed as a select, use SETcc-derived bit masks
+// instead).
+//
+// The running maximum is the trick that makes this fast: every
+// excursion is +0 or strictly positive and never NaN, and non-negative
+// IEEE doubles order identically to their bit patterns taken as
+// uint64 — so the maximum accumulates in the integer domain with a
+// compare+CMOV, keeping the loop-carried dependency to one integer
+// move instead of a float→mask→float round trip per lane. Early
+// abandoning is hoisted out of the lane loop entirely and checked once
+// per 64-lane block — sound because the running maximum only grows, so
+// "some prefix exceeded the limit" and "the final maximum exceeds the
+// limit" are the same event.
+
+// laneBlock is how many lanes the abandoning kernels process between
+// limit checks.
+const laneBlock = 64
+
+// boolMask converts a comparison result to an all-ones (true) or
+// all-zeros (false) 64-bit mask without a branch: the bool is a 0/1
+// byte, and two's-complement negation stretches it.
+func boolMask(b bool) uint64 {
+	var u uint64
+	if b {
+		u = 1
+	}
+	return -u
+}
+
+// excursionBits is one Eq. 2 lane: the bit pattern of how far v lies
+// outside [l, u], selected branch-free (the compiler lowers the
+// conditional assignments to CMOV — both differences are computed
+// unconditionally, so there is no branch to mispredict). The "above"
+// select is applied last and wins when both fire (inverted bounds),
+// matching the scalar else-if chain; a NaN anywhere leaves both
+// comparisons false, so the lane contributes +0. The selected
+// differences are never NaN (v > u implies both are ordered and not
+// equal infinities) and never −0 (distinct float64s never subtract to
+// zero), so the result is always the bit pattern of a non-negative
+// double — comparable as a uint64.
+func excursionBits(u, l, v float64) uint64 {
+	da := math.Float64bits(v - u)
+	db := math.Float64bits(l - v)
+	var d uint64
+	if v < l {
+		d = db
+	}
+	if v > u {
+		d = da
+	}
+	return d
+}
+
+// excursion is excursionBits back in the float domain, for the
+// accumulation kernels (WidthIncrease*) and the assembly wrappers'
+// tail lanes.
+func excursion(u, l, v float64) float64 {
+	return math.Float64frombits(excursionBits(u, l, v))
+}
+
+// maxSelect returns max(m, d) under the scalar kernels' update rule
+// (`if d > m { m = d }`), branch-free.
+func maxSelect(m, d float64) float64 {
+	mb, db := math.Float64bits(m), math.Float64bits(d)
+	if db > mb { // both non-negative doubles: uint64 order == float order
+		mb = db
+	}
+	return math.Float64frombits(mb)
+}
+
+func distFlatPortable(upper, lower, s []float64) float64 {
+	upper, lower = upper[:len(s)], lower[:len(s)]
+	var m uint64
+	for i, v := range s {
+		if d := excursionBits(upper[i], lower[i], v); d > m {
+			m = d // compare+CMOV: branch-free, one move on the chain
+		}
+	}
+	return math.Float64frombits(m)
+}
+
+func distAbandonFlatPortable(upper, lower, s []float64, limit float64) (float64, bool) {
+	n := len(s)
+	upper, lower = upper[:n], lower[:n]
+	if limit < 0 {
+		// The scalar form's limit check is gated behind d > max with
+		// max ≥ 0, so it abandons only when some excursion is BOTH
+		// positive and above the limit — a negative limit acts as zero.
+		// (NaN stays NaN: `NaN < 0` is false, and NaN never abandons.)
+		limit = 0
+	}
+	var m uint64
+	for lo := 0; lo < n; lo += laneBlock {
+		hi := lo + laneBlock
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			if d := excursionBits(upper[i], lower[i], s[i]); d > m {
+				m = d
+			}
+		}
+		// One check per block: the running maximum is monotone, so
+		// checking late never changes the outcome, only when the scan
+		// stops. NaN and +Inf limits never abandon (`> limit` false).
+		if math.Float64frombits(m) > limit {
+			return 0, false
+		}
+	}
+	return math.Float64frombits(m), true
+}
+
+func distMBTSPortable(bUpper, bLower, oUpper, oLower []float64) float64 {
+	n := len(bUpper)
+	bLower, oUpper, oLower = bLower[:n], oUpper[:n], oLower[:n]
+	var m uint64
+	for i, bu := range bUpper {
+		// One Eq. 3 lane: gap between the bands, "b above o" winning
+		// when both fire — the same asymmetric select as excursionBits.
+		da := math.Float64bits(bLower[i] - oUpper[i])
+		db := math.Float64bits(oLower[i] - bu)
+		var d uint64
+		if bu < oLower[i] {
+			d = db
+		}
+		if bLower[i] > oUpper[i] {
+			d = da
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return math.Float64frombits(m)
+}
+
+func widthPortable(upper, lower []float64) float64 {
+	lower = lower[:len(upper)]
+	var sum float64
+	for i, u := range upper {
+		sum += u - lower[i]
+	}
+	return sum
+}
+
+func widthIncreaseSequencePortable(upper, lower, s []float64) float64 {
+	upper, lower = upper[:len(s)], lower[:len(s)]
+	var inc float64
+	for i, v := range s {
+		// Adding the +0 a non-excursing lane selects is bit-identical
+		// to the scalar form's skipped add: inc is never −0 (it starts
+		// +0 and only non-negative terms are added).
+		inc += excursion(upper[i], lower[i], v)
+	}
+	return inc
+}
+
+func widthIncreaseMBTSPortable(bUpper, bLower, oUpper, oLower []float64) float64 {
+	n := len(bUpper)
+	bLower, oUpper, oLower = bLower[:n], oUpper[:n], oLower[:n]
+	var inc float64
+	for i, bu := range bUpper {
+		ma := boolMask(oUpper[i] > bu)
+		mb := boolMask(oLower[i] < bLower[i])
+		inc += math.Float64frombits(ma & math.Float64bits(oUpper[i]-bu))
+		inc += math.Float64frombits(mb & math.Float64bits(bLower[i]-oLower[i]))
+	}
+	return inc
+}

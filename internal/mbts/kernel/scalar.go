@@ -1,0 +1,91 @@
+package kernel
+
+// The original branchy kernels, verbatim from internal/mbts as shipped
+// since PR 1 — kept as the differential oracle: the portable and
+// assembly forms must reproduce these bit-for-bit on every input
+// (TestKernelDifferential, FuzzDistKernels). They are also the fallback
+// of last resort via TWINSEARCH_KERNEL=scalar.
+
+func distFlatScalar(upper, lower, s []float64) float64 {
+	var max float64
+	for i, v := range s {
+		var d float64
+		if v > upper[i] {
+			d = v - upper[i]
+		} else if v < lower[i] {
+			d = lower[i] - v
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func distAbandonFlatScalar(upper, lower, s []float64, limit float64) (float64, bool) {
+	var max float64
+	for i, v := range s {
+		var d float64
+		if v > upper[i] {
+			d = v - upper[i]
+		} else if v < lower[i] {
+			d = lower[i] - v
+		}
+		if d > max {
+			if d > limit {
+				return 0, false
+			}
+			max = d
+		}
+	}
+	return max, true
+}
+
+func distMBTSScalar(bUpper, bLower, oUpper, oLower []float64) float64 {
+	var max float64
+	for i := range bUpper {
+		var d float64
+		if bLower[i] > oUpper[i] {
+			d = bLower[i] - oUpper[i]
+		} else if bUpper[i] < oLower[i] {
+			d = oLower[i] - bUpper[i]
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func widthScalar(upper, lower []float64) float64 {
+	var sum float64
+	for i := range upper {
+		sum += upper[i] - lower[i]
+	}
+	return sum
+}
+
+func widthIncreaseSequenceScalar(upper, lower, s []float64) float64 {
+	var inc float64
+	for i, v := range s {
+		if v > upper[i] {
+			inc += v - upper[i]
+		} else if v < lower[i] {
+			inc += lower[i] - v
+		}
+	}
+	return inc
+}
+
+func widthIncreaseMBTSScalar(bUpper, bLower, oUpper, oLower []float64) float64 {
+	var inc float64
+	for i := range bUpper {
+		if oUpper[i] > bUpper[i] {
+			inc += oUpper[i] - bUpper[i]
+		}
+		if oLower[i] < bLower[i] {
+			inc += bLower[i] - oLower[i]
+		}
+	}
+	return inc
+}

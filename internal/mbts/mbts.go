@@ -7,7 +7,12 @@
 // test) and MBTS-to-MBTS (Eq. 3, used when splitting internal nodes).
 package mbts
 
-import "fmt"
+import (
+	"fmt"
+	"unsafe"
+
+	"twinsearch/internal/mbts/kernel"
+)
 
 // MBTS bounds a set of sequences of equal length l: Lower[i] ≤ S[i] ≤
 // Upper[i] for every enclosed S and every timestamp i.
@@ -135,106 +140,59 @@ func (b *MBTS) DistSequenceAbandon(s []float64, limit float64) (float64, bool) {
 // DistFlat is Eq. 2 over raw bound slices, without an MBTS wrapper —
 // the kernel the frozen index arena (core.Frozen) streams over its
 // packed Upper/Lower backing arrays. upper and lower must have at least
-// len(s) entries.
+// len(s) entries. The computation is dispatched through
+// internal/mbts/kernel (branch-free portable or AVX2, selected at init;
+// see that package for the exact NaN/result contract — all forms are
+// bit-identical).
 func DistFlat(upper, lower, s []float64) float64 {
-	var max float64
-	for i, v := range s {
-		var d float64
-		if v > upper[i] {
-			d = v - upper[i]
-		} else if v < lower[i] {
-			d = lower[i] - v
-		}
-		if d > max {
-			max = d
-		}
-	}
-	return max
+	return kernel.DistFlat(upper, lower, s)
 }
 
 // DistAbandonFlat is DistSequenceAbandon over raw bound slices (see
 // DistFlat): it returns (0, false) as soon as the running maximum
 // exceeds limit, and (dist, true) when the distance is ≤ limit.
 func DistAbandonFlat(upper, lower, s []float64, limit float64) (float64, bool) {
-	var max float64
-	for i, v := range s {
-		var d float64
-		if v > upper[i] {
-			d = v - upper[i]
-		} else if v < lower[i] {
-			d = lower[i] - v
-		}
-		if d > max {
-			if d > limit {
-				return 0, false
-			}
-			max = d
-		}
-	}
-	return max, true
+	return kernel.DistAbandonFlat(upper, lower, s, limit)
 }
 
 // DistMBTS is the paper's Eq. 3: the separation between two MBTS — the
 // largest pointwise gap between the bands, 0 when they overlap at every
 // timestamp.
 func (b *MBTS) DistMBTS(o *MBTS) float64 {
-	var max float64
-	for i := range b.Upper {
-		var d float64
-		if b.Lower[i] > o.Upper[i] {
-			d = b.Lower[i] - o.Upper[i]
-		} else if b.Upper[i] < o.Lower[i] {
-			d = o.Lower[i] - b.Upper[i]
-		}
-		if d > max {
-			max = d
-		}
-	}
-	return max
+	return kernel.DistMBTS(b.Upper, b.Lower, o.Upper, o.Lower)
 }
 
 // Width returns the total band width Σ_i (Upper[i] − Lower[i]), the
 // measure TS-Index minimizes when assigning entries during node splits
 // (DESIGN.md §5: the R*-tree "enlargement" analogue for MBTS).
 func (b *MBTS) Width() float64 {
-	var sum float64
-	for i := range b.Upper {
-		sum += b.Upper[i] - b.Lower[i]
-	}
-	return sum
+	return kernel.Width(b.Upper, b.Lower)
 }
 
 // WidthIncreaseSequence returns how much Width would grow if s were
 // enclosed, without modifying b.
 func (b *MBTS) WidthIncreaseSequence(s []float64) float64 {
-	var inc float64
-	for i, v := range s {
-		if v > b.Upper[i] {
-			inc += v - b.Upper[i]
-		} else if v < b.Lower[i] {
-			inc += b.Lower[i] - v
-		}
-	}
-	return inc
+	return kernel.WidthIncreaseSequence(b.Upper, b.Lower, s)
 }
 
 // WidthIncreaseMBTS returns how much Width would grow if o were
 // enclosed, without modifying b.
 func (b *MBTS) WidthIncreaseMBTS(o *MBTS) float64 {
-	var inc float64
-	for i := range b.Upper {
-		if o.Upper[i] > b.Upper[i] {
-			inc += o.Upper[i] - b.Upper[i]
-		}
-		if o.Lower[i] < b.Lower[i] {
-			inc += b.Lower[i] - o.Lower[i]
-		}
-	}
-	return inc
+	return kernel.WidthIncreaseMBTS(b.Upper, b.Lower, o.Upper, o.Lower)
 }
 
+// Sizes of the MBTS footprint components, derived from the compiler
+// rather than hardcoded so the accounting tracks the real layout (a
+// slice header is three words, not two — the hardcoded "16" this
+// replaced undercounted every header by a word).
+const (
+	structBytes  = int(unsafe.Sizeof(MBTS{}))     // the two slice headers
+	elementBytes = int(unsafe.Sizeof(float64(0))) // one bound sample
+)
+
 // MemoryBytes reports the heap bytes held by the MBTS bounds, for the
-// index memory-footprint accounting in Fig. 8a.
+// index memory-footprint accounting in Fig. 8a: the struct (its two
+// slice headers) plus the backing arrays.
 func (b *MBTS) MemoryBytes() int {
-	return 16 + 8*(len(b.Upper)+len(b.Lower)) + 48 // two slice headers + struct + data
+	return structBytes + elementBytes*(len(b.Upper)+len(b.Lower))
 }
