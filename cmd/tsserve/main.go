@@ -52,7 +52,10 @@ func main() {
 		role        = flag.String("role", "standalone", "serving role: standalone, node (serve assigned shards of a saved index), coordinator (fan out over a cluster)")
 		topology    = flag.String("topology", "", "cluster topology file (node and coordinator roles)")
 		nodeName    = flag.String("name", "", "this node's name in the topology (node role)")
-		nodeTimeout = flag.Duration("node-timeout", 0, "per-node RPC deadline for coordinator fan-out; a node missing it fails the query (0 = 10s default)")
+		nodeTimeout = flag.Duration("node-timeout", 0, "per-attempt RPC deadline for coordinator fan-out; an attempt missing it fails over to the next replica (0 = 10s default)")
+		hedge       = flag.Duration("hedge", 0, "coordinator hedging delay: re-issue a query unit to a second replica after this long and take the first response (0 = off; needs a replicated topology)")
+		brkFails    = flag.Int("breaker-fails", 0, "consecutive failures that trip a node's circuit breaker, demoting it in the replica attempt order until a health probe recovers it (0 = 3 default)")
+		healthEvery = flag.Duration("health-interval", 0, "coordinator background health-sweep period feeding /healthz's cached membership view (0 = 2s default, negative = off)")
 	)
 	flag.Parse()
 	if *seriesPath == "" {
@@ -89,6 +92,7 @@ func main() {
 		}
 		opt := twinsearch.Options{L: *l, Norm: normMode, NormSet: true,
 			Workers: *workers, Topology: *topology, ClusterTimeout: *nodeTimeout,
+			ClusterHedge: *hedge, ClusterBreakerFails: *brkFails, ClusterRefresh: *healthEvery,
 			MMap: *mmapIndex, Prefetch: *prefetch}
 		serveEngine(data, opt, "", *addr)
 	case "standalone":

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 )
 
 // Ctxflow enforces the PR 5 cancellation invariant: once a context
@@ -12,7 +11,14 @@ import (
 // the client already abandoned. Three rules, test files exempt:
 //
 //  1. A function that receives a context.Context must not call
-//     context.Background or context.TODO in its body.
+//     context.Background or context.TODO in its body. This applies to
+//     function literals too: a retry/hedge helper closure that takes
+//     the unit's ctx must keep propagating it — the goroutine paths the
+//     cluster tier spawns per replica attempt are exactly where a
+//     silent re-root would detach a hedged RPC from its cancellation.
+//     (Detaching a supervised background loop from a caller's deadline
+//     is done with context.WithoutCancel, which keeps values and stays
+//     visible to this analyzer's users.)
 //  2. An HTTP handler (any function with an *http.Request parameter)
 //     must not either — the request carries its context.
 //  3. The library tiers internal/cluster, internal/server, and
@@ -20,7 +26,7 @@ import (
 //     (mains, tests, the bench harness) pass contexts in.
 var Ctxflow = &Analyzer{
 	Name: "ctxflow",
-	Doc:  "contexts propagate: no Background/TODO under a ctx parameter, in handlers, or in the cluster/server/shard tiers",
+	Doc:  "contexts propagate: no Background/TODO under a ctx parameter (functions or literals), in handlers, or in the cluster/server/shard tiers",
 	Run:  runCtxflow,
 }
 
@@ -31,9 +37,18 @@ var ctxflowLibPkgs = map[string]bool{
 	"shard":   true,
 }
 
+// ctxScope names the innermost enclosing function (declaration or
+// literal) that binds a context the walk below holds violations
+// against.
+type ctxScope struct {
+	name   string // for messages
+	lit    bool   // the binder is a function literal
+	hasCtx bool
+	hasReq bool
+}
+
 func runCtxflow(pass *Pass) error {
 	libPkg := ctxflowLibPkgs[pass.PathBase()]
-	seen := map[token.Pos]bool{}
 	for _, f := range pass.Files {
 		if pass.InTestFile(f.Pos()) {
 			continue
@@ -43,32 +58,54 @@ func runCtxflow(pass *Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			hasCtx := hasParamType(pass, fd, "context", "Context")
-			hasReq := hasParamType(pass, fd, "http", "Request")
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok || !pass.IsPkgCall(call, "context", "Background", "TODO") {
-					return true
-				}
-				if seen[call.Pos()] {
-					return true
-				}
-				switch {
-				case hasCtx:
-					seen[call.Pos()] = true
-					pass.Reportf(call.Pos(), "%s receives a context.Context but re-roots on %s; propagate the parameter instead", fd.Name.Name, callName(call))
-				case hasReq:
-					seen[call.Pos()] = true
-					pass.Reportf(call.Pos(), "HTTP handler %s calls %s; thread r.Context() into the work it fans out", fd.Name.Name, callName(call))
-				case libPkg:
-					seen[call.Pos()] = true
-					pass.Reportf(call.Pos(), "%s in the %s tier; this package is library code — accept a ctx from the caller (Background belongs only at true roots: mains, tests, harness)", callName(call), pass.PathBase())
-				}
-				return true
-			})
+			sc := ctxScope{
+				name:   fd.Name.Name,
+				hasCtx: hasParamType(pass, fd.Type, "context", "Context"),
+				hasReq: hasParamType(pass, fd.Type, "http", "Request"),
+			}
+			walkCtxflow(pass, fd.Body, sc, libPkg)
 		}
 	}
 	return nil
+}
+
+// walkCtxflow reports Background/TODO calls in body against the
+// innermost context-binding scope sc. Function literals that bind their
+// own context (or request) start a fresh scope; literals that don't
+// inherit the enclosing one — a closure inside a ctx-taking function is
+// still that function's call chain.
+func walkCtxflow(pass *Pass, body ast.Node, sc ctxScope, libPkg bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := sc
+			if hasParamType(pass, n.Type, "context", "Context") || hasParamType(pass, n.Type, "http", "Request") {
+				inner = ctxScope{
+					name:   "function literal in " + sc.name,
+					lit:    true,
+					hasCtx: hasParamType(pass, n.Type, "context", "Context"),
+					hasReq: hasParamType(pass, n.Type, "http", "Request"),
+				}
+			}
+			walkCtxflow(pass, n.Body, inner, libPkg)
+			return false // the recursive walk covered the literal
+		case *ast.CallExpr:
+			if !pass.IsPkgCall(n, "context", "Background", "TODO") {
+				return true
+			}
+			switch {
+			case sc.hasCtx && sc.lit:
+				pass.Reportf(n.Pos(), "%s receives a context.Context but re-roots on %s; propagate the parameter into the work it spawns", sc.name, callName(n))
+			case sc.hasCtx:
+				pass.Reportf(n.Pos(), "%s receives a context.Context but re-roots on %s; propagate the parameter instead", sc.name, callName(n))
+			case sc.hasReq:
+				pass.Reportf(n.Pos(), "HTTP handler %s calls %s; thread r.Context() into the work it fans out", sc.name, callName(n))
+			case libPkg:
+				pass.Reportf(n.Pos(), "%s in the %s tier; this package is library code — accept a ctx from the caller (Background belongs only at true roots: mains, tests, harness)", callName(n), pass.PathBase())
+			}
+		}
+		return true
+	})
 }
 
 // callName renders context.Background/TODO for messages.
@@ -79,13 +116,13 @@ func callName(call *ast.CallExpr) string {
 	return "context.Background()"
 }
 
-// hasParamType reports whether fd takes a parameter whose type is the
+// hasParamType reports whether ft takes a parameter whose type is the
 // named type pkg.name, possibly behind a pointer.
-func hasParamType(pass *Pass, fd *ast.FuncDecl, pkg, name string) bool {
-	if fd.Type.Params == nil {
+func hasParamType(pass *Pass, ft *ast.FuncType, pkg, name string) bool {
+	if ft == nil || ft.Params == nil {
 		return false
 	}
-	for _, field := range fd.Type.Params.List {
+	for _, field := range ft.Params.List {
 		t := pass.Info.TypeOf(field.Type)
 		if t == nil {
 			continue

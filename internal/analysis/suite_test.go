@@ -31,7 +31,7 @@ func TestNogoroutine(t *testing.T) {
 }
 
 func TestCtxflow(t *testing.T) {
-	analysistest.Run(t, testdata(t), analysis.Ctxflow, "cluster", "libother")
+	analysistest.Run(t, testdata(t), analysis.Ctxflow, "cluster", "libother", "retryhedge")
 }
 
 func TestClosedguard(t *testing.T) {

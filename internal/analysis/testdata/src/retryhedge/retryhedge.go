@@ -1,0 +1,74 @@
+// Package retryhedge is a fixture for ctxflow rule 1 on function
+// literals: retry/failover/hedging helpers are closures that take the
+// unit's context, and the goroutine attempt paths they spawn must keep
+// propagating it — re-rooting on Background would detach a hedged RPC
+// from its cancellation.
+package retryhedge
+
+import (
+	"context"
+	"time"
+)
+
+func use(ctx context.Context) { _ = ctx }
+
+// BadHedge re-roots inside a ctx-taking closure: the hedged attempt
+// outlives the unit's cancellation.
+func BadHedge() {
+	launch := func(ctx context.Context) {
+		go func() {
+			use(context.Background()) // want `function literal in BadHedge receives a context\.Context but re-roots on context\.Background\(\)`
+		}()
+	}
+	launch(context.Background())
+}
+
+// BadRetry re-roots on TODO inside the retry closure.
+func BadRetry() {
+	retry := func(ctx context.Context, attempts int) {
+		for i := 0; i < attempts; i++ {
+			use(context.TODO()) // want `function literal in BadRetry receives a context\.Context but re-roots on context\.TODO\(\)`
+		}
+	}
+	retry(context.Background(), 2)
+}
+
+// InheritedScope: a closure without its own ctx parameter inside a
+// ctx-taking function is still that function's call chain.
+func InheritedScope(ctx context.Context) {
+	go func() {
+		use(context.Background()) // want `InheritedScope receives a context\.Context but re-roots on context\.Background\(\)`
+	}()
+}
+
+// GoodHedge is the correct shape: every attempt derives from the
+// unit's ctx; no diagnostic.
+func GoodHedge(ctx context.Context, timeout time.Duration) {
+	launch := func(ctx context.Context) {
+		actx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		go func() {
+			use(actx)
+		}()
+	}
+	launch(ctx)
+}
+
+// GoodDetach: a supervised background loop detaches from the caller's
+// deadline with WithoutCancel, never Background; no diagnostic.
+func GoodDetach(ctx context.Context) {
+	sctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	defer cancel()
+	go func() {
+		use(sctx)
+	}()
+}
+
+// RootClosure: a literal with no ctx parameter at a true root may
+// still root a context (outside the library tiers); no diagnostic.
+func RootClosure() {
+	run := func() {
+		use(context.Background())
+	}
+	run()
+}

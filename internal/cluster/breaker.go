@@ -1,0 +1,126 @@
+package cluster
+
+// Per-node circuit breaking for the coordinator's fan-out. A breaker
+// trips after a configurable run of consecutive failures; a tripped
+// node drops to the back of every unit's attempt order, so a dead node
+// stops absorbing first-attempt latency while the cluster keeps
+// answering from its replicas. Recovery is probe-driven: the background
+// membership sweep (see health.go) pings /healthz, a success half-opens
+// the breaker, and the next real query closes it on success or re-opens
+// it on failure — the classic closed → open → half-open cycle, scoped
+// to one node.
+
+import (
+	"sync"
+	"time"
+)
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String renders the state for health documents.
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one node's circuit. Methods are safe for concurrent use.
+type breaker struct {
+	threshold int // consecutive failures that trip the circuit
+
+	mu    sync.Mutex
+	state breakerState
+	fails int       // consecutive failures while closed
+	since time.Time // last state transition
+}
+
+func newBreaker(threshold int) *breaker {
+	if threshold <= 0 {
+		threshold = defaultBreakerFails
+	}
+	return &breaker{threshold: threshold}
+}
+
+// success records a completed RPC: the failure run resets and a
+// half-open circuit closes (the trial request succeeded).
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		b.since = time.Now()
+	}
+}
+
+// failure records a failed RPC: a half-open circuit re-opens
+// immediately (the trial request failed), a closed one trips once the
+// consecutive run reaches the threshold.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.since = time.Now()
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.since = time.Now()
+		}
+	}
+}
+
+// trip forces the circuit open — a node found unreachable by the
+// membership sweep (or never reachable at open) must not absorb
+// first-attempt latency while it is known dead.
+func (b *breaker) trip() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerOpen {
+		b.state = breakerOpen
+		b.since = time.Now()
+	}
+	b.fails = b.threshold
+}
+
+// probeOK records a successful out-of-band health probe: an open
+// circuit half-opens, letting the next real query be the trial that
+// closes or re-opens it. Closed and half-open circuits are unchanged —
+// a ping is not a served query.
+func (b *breaker) probeOK() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen {
+		b.state = breakerHalfOpen
+		b.since = time.Now()
+	}
+}
+
+// tripped reports whether the circuit is open (the node is skipped for
+// first attempts; it remains a last resort when every replica is out).
+func (b *breaker) tripped() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen
+}
+
+// snapshot returns the state and consecutive-failure count for health
+// reporting.
+func (b *breaker) snapshot() (breakerState, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.fails
+}

@@ -2,21 +2,29 @@
 // TS-Index (TSSH v3): one saved index, many processes. A **node** opens
 // only its assigned shard subset — selective mmap via the segment
 // table, O(assigned) cost — and serves the shard RPC (internal/server's
-// /shard/* endpoints). A **coordinator** fans each query across every
-// node through a pooled HTTP client with per-node timeouts and
-// recombines with the same deterministic merges the local fan-out uses,
-// so a cluster answers byte-identically to a single local engine:
-// range-style paths k-way merge the nodes' disjoint start-sorted lists,
-// top-k runs two-phase with a shared bound (the seed node's k-th
-// distance is broadcast to prune the rest — exactly the bound one local
-// work unit publishes to another, so the merged result is unchanged),
-// and approximate search splits the global leaf budget across nodes in
-// proportion to their window counts.
+// /shard/* endpoints). A **coordinator** fans each query across the
+// topology's replica groups through a pooled HTTP client with per-node
+// timeouts and recombines with the same deterministic merges the local
+// fan-out uses, so a cluster answers byte-identically to a single local
+// engine: range-style paths k-way merge the groups' disjoint
+// start-sorted lists, top-k runs two-phase with a shared bound (the
+// seed group's k-th distance is broadcast to prune the rest — exactly
+// the bound one local work unit publishes to another, so the merged
+// result is unchanged), and approximate search splits the global leaf
+// budget across groups in proportion to their window counts.
 //
 // The topology is static (a JSON file mapping node addresses to shard
-// ranges) and failures are loud: a node that cannot be reached within
-// its timeout fails the whole query with an error naming it — never a
-// silent partial answer, never a hang.
+// ranges) but replicated: with Replicas R ≥ 2 every shard set is owned
+// by R interchangeable nodes, and the coordinator survives node
+// failure — an RPC that errors or times out retries on the next
+// replica (failover.go), per-node circuit breakers keep dead nodes off
+// the first-attempt path (breaker.go), hedged requests bound the tail
+// of slow-but-alive nodes, and a background membership sweep keeps the
+// health view fresh (health.go). Because replicas serve identical
+// subsets of one saved index, answers stay byte-identical whichever
+// owner responds. Only when every replica of a shard set is out does a
+// query fail — loudly, naming the nodes — never a silent partial
+// answer, never a hang.
 //
 // The decomposition mirrors the relational-join view of search-space
 // partitioning (cf. Relational E-Matching): partition, evaluate
@@ -27,11 +35,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"sort"
+	"syscall"
 	"time"
 
 	"twinsearch/internal/core"
@@ -42,59 +52,96 @@ import (
 
 // Options configures OpenCoordinator.
 type Options struct {
-	// Timeout bounds every per-node RPC (0 selects 10s). A node that
-	// cannot answer within it fails the query cleanly.
+	// Timeout bounds every per-node RPC (0 selects 10s). An attempt
+	// that misses it fails over to the next replica; only when every
+	// replica is out does the query fail.
 	Timeout time.Duration
-	// PingTimeout bounds the liveness probes behind Health (0 → 2s).
+	// PingTimeout bounds the liveness probes behind Sweep (0 → 2s).
 	PingTimeout time.Duration
+	// HedgeDelay, when positive, issues each unit to a second replica
+	// after this delay; the first response wins and the loser is
+	// canceled. Pick a high quantile of healthy latency (a few ms on a
+	// LAN) so hedges fire only on the slow tail. 0 disables hedging.
+	HedgeDelay time.Duration
+	// BreakerFails is the consecutive-failure run that trips a node's
+	// circuit breaker (0 → 3). Tripped nodes drop to the back of the
+	// attempt order until a health probe sees them answer again.
+	BreakerFails int
+	// RefreshInterval is the background membership sweep period
+	// (0 → 2s; negative disables the sweep — tests drive
+	// Coordinator.Sweep explicitly).
+	RefreshInterval time.Duration
 	// Workers sizes the executor local (LocalAddr) backends run on.
 	Workers int
 	// NoMMap / Prefetch apply to local backends; see NodeOptions.
 	NoMMap   bool
 	Prefetch bool
-	// Client overrides the HTTP client (tests inject failure modes);
-	// nil selects a client with a pooled transport owned by the
-	// coordinator.
+	// Client overrides the HTTP client (tests inject failure modes via
+	// the Chaos transport); nil selects a client with a pooled
+	// transport owned by the coordinator.
 	Client *http.Client
 }
 
 const (
-	defaultTimeout     = 10 * time.Second
-	defaultPingTimeout = 2 * time.Second
+	defaultTimeout      = 10 * time.Second
+	defaultPingTimeout  = 2 * time.Second
+	defaultBreakerFails = 3
+	defaultRefresh      = 2 * time.Second
 )
 
-// backendRef is one opened topology entry.
-type backendRef struct {
+// owner is one opened topology entry: a backend plus the node's cached
+// liveness and circuit breaker.
+type owner struct {
 	spec NodeSpec
 	b    shard.Backend
 	node *Node // non-nil for local entries; owns the arena
+	st   *nodeState
+	g    *group // the replica group this owner belongs to
 }
 
-// Coordinator fans queries over the topology's backends. Methods are
-// safe for concurrent use.
+// group is one replica group: a shard set with R interchangeable
+// owners — the coordinator's fan-out unit.
+type group struct {
+	shards  []int
+	windows int
+	owners  []*owner // topology order
+}
+
+// Coordinator fans queries over the topology's replica groups. Methods
+// are safe for concurrent use.
 type Coordinator struct {
 	ext      *series.Extractor
 	l        int
 	byMean   bool
 	total    int // shard count of the saved index
-	windows  int // windows served across all backends
-	backends []backendRef
+	windows  int // windows served across all groups (each counted once)
+	replicas int
+	groups   []*group
+	owners   []*owner // every topology entry, in topology order
 
-	timeout, pingTimeout time.Duration
-	client               *http.Client
-	ownTransport         *http.Transport
+	timeout, pingTimeout, hedgeDelay time.Duration
+	client                           *http.Client
+	ownTransport                     *http.Transport
+	stopSweep                        context.CancelFunc
+	sweepDone                        chan struct{}
 }
 
 // OpenCoordinator opens every topology entry — LocalAddr entries become
 // in-process subsets of the index file, the rest are dialed and
 // cross-checked (same L, normalization, series length, and shard
-// assignment as the topology claims) — and verifies the assignment
-// partitions the index's shards exactly and the per-node window counts
-// sum to the series'. ext must present the same series the index was
-// built over; queries are fanned out pre-transformed. ctx bounds the
-// whole open — dialing and cross-checking every remote node — so a
-// caller's deadline or cancellation aborts a wedged dial instead of
-// waiting out the per-node timeout.
+// assignment as the topology claims) — and verifies the replicated
+// assignment covers the index's shards exactly (R owners per shard,
+// replica groups mirroring whole shard sets) and the per-group window
+// counts sum to the series'. A remote node that cannot be reached
+// opens the cluster **degraded** when its group still has at least one
+// reachable owner (the read quorum): the dead node starts with a
+// tripped breaker and rejoins via the membership sweep once it answers
+// health probes again. A group with no reachable owner refuses the
+// open. ext must present the same series the index was built over;
+// queries are fanned out pre-transformed. ctx bounds the whole open —
+// dialing and cross-checking every remote node — so a caller's
+// deadline or cancellation aborts a wedged dial instead of waiting out
+// the per-node timeout.
 func OpenCoordinator(ctx context.Context, topo *Topology, ext *series.Extractor, l int, o Options) (*Coordinator, error) {
 	if o.Timeout <= 0 {
 		o.Timeout = defaultTimeout
@@ -102,7 +149,9 @@ func OpenCoordinator(ctx context.Context, topo *Topology, ext *series.Extractor,
 	if o.PingTimeout <= 0 {
 		o.PingTimeout = defaultPingTimeout
 	}
-	c := &Coordinator{ext: ext, l: l, timeout: o.Timeout, pingTimeout: o.PingTimeout, client: o.Client}
+	c := &Coordinator{ext: ext, l: l, replicas: topo.R(),
+		timeout: o.Timeout, pingTimeout: o.PingTimeout, hedgeDelay: o.HedgeDelay,
+		client: o.Client}
 	if c.client == nil {
 		c.ownTransport = &http.Transport{
 			MaxIdleConns:        64,
@@ -116,11 +165,19 @@ func OpenCoordinator(ctx context.Context, topo *Topology, ext *series.Extractor,
 		return nil, err
 	}
 
+	// The assignment's shape first (R owners per shard, mirrored
+	// replica sets), so grouping below cannot mis-bucket a malformed
+	// document. Parsed topologies were already checked; programmatic
+	// ones are checked here.
+	if err := topo.validateAssignment(-1); err != nil {
+		return fail(err)
+	}
+
 	total, byMean := -1, false
 	var ex *exec.Executor // shared by every local entry
+	groupOf := map[string]*group{}
 	for _, spec := range topo.Nodes {
-		var ref backendRef
-		ref.spec = spec
+		ow := &owner{spec: spec, st: newNodeState(o.BreakerFails)}
 		if spec.Addr == LocalAddr {
 			if ex == nil {
 				ex = exec.New(o.Workers)
@@ -129,29 +186,79 @@ func OpenCoordinator(ctx context.Context, topo *Topology, ext *series.Extractor,
 			if err != nil {
 				return fail(err)
 			}
-			ref.node, ref.b = n, n.Sub
+			ow.node, ow.b = n, n.Sub
 			if total == -1 {
 				total, byMean = n.Sub.TotalShards(), n.Sub.PartitionByMean()
 			} else if total != n.Sub.TotalShards() || byMean != n.Sub.PartitionByMean() {
 				return fail(fmt.Errorf("cluster: node %q serves a different index (%d/%v shards vs %d/%v)",
 					spec.Name, n.Sub.TotalShards(), n.Sub.PartitionByMean(), total, byMean))
 			}
+			ow.st.setHealth(true, nil)
 		} else {
-			rm, h, err := dialRemote(ctx, c.client, spec, ext, l, o.Timeout)
+			rm := &remote{name: spec.Name, base: spec.Addr, shards: spec.Shards, client: c.client}
+			ow.b = rm
+			h, err := dialHealth(ctx, rm, o.Timeout)
 			if err != nil {
-				return fail(err)
-			}
-			ref.b = rm
-			nodeByMean := h.Partition == "mean"
-			if total == -1 {
-				total, byMean = h.TotalShards, nodeByMean
-			} else if total != h.TotalShards || byMean != nodeByMean {
-				return fail(fmt.Errorf("cluster: node %q serves a different index (%d/%s shards vs %d total)",
-					spec.Name, h.TotalShards, h.Partition, total))
+				// Unreachable is weather, not configuration: mark the
+				// node down (tripped) and let the per-group quorum
+				// check below decide whether the cluster can open
+				// degraded without it.
+				ow.st.setHealth(false, err)
+				ow.st.br.trip()
+			} else {
+				if err := checkNodeIdentity(h, spec, ext, l); err != nil {
+					return fail(err)
+				}
+				nodeByMean := h.Partition == "mean"
+				if total == -1 {
+					total, byMean = h.TotalShards, nodeByMean
+				} else if total != h.TotalShards || byMean != nodeByMean {
+					return fail(fmt.Errorf("cluster: node %q serves a different index (%d/%s shards vs %d total)",
+						spec.Name, h.TotalShards, h.Partition, total))
+				}
+				rm.windows = h.Windows
+				ow.st.setHealth(true, nil)
 			}
 		}
-		c.backends = append(c.backends, ref)
-		c.windows += ref.b.Windows()
+		c.owners = append(c.owners, ow)
+		key := shardSetKey(spec.Shards)
+		g := groupOf[key]
+		if g == nil {
+			g = &group{shards: normalizeShards(append([]int(nil), spec.Shards...))}
+			groupOf[key] = g
+			c.groups = append(c.groups, g)
+		}
+		g.owners = append(g.owners, ow)
+		ow.g = g
+	}
+
+	// Per-group quorum and window agreement: every shard set needs at
+	// least one reachable owner to open (degraded below R is fine —
+	// reads need one replica), and reachable replicas must report the
+	// same window count (same subset of the same index).
+	for _, g := range c.groups {
+		var live []*owner
+		var firstErr string
+		for _, ow := range g.owners {
+			alive, errMsg, _ := ow.st.healthSnapshot()
+			if alive {
+				live = append(live, ow)
+			} else if firstErr == "" {
+				firstErr = errMsg
+			}
+		}
+		if len(live) == 0 {
+			return fail(fmt.Errorf("cluster: shards %v: no reachable replica (%d listed): %s",
+				g.shards, len(g.owners), firstErr))
+		}
+		g.windows = live[0].b.Windows()
+		for _, ow := range live[1:] {
+			if ow.b.Windows() != g.windows {
+				return fail(fmt.Errorf("cluster: replicas %q and %q of shards %v disagree on window count (%d vs %d)",
+					live[0].spec.Name, ow.spec.Name, g.shards, g.windows, ow.b.Windows()))
+			}
+		}
+		c.windows += g.windows
 	}
 	c.total, c.byMean = total, byMean
 
@@ -160,6 +267,21 @@ func OpenCoordinator(ctx context.Context, topo *Topology, ext *series.Extractor,
 	}
 	if count := series.NumSubsequences(ext.Len(), l); c.windows != count {
 		return fail(fmt.Errorf("cluster: nodes serve %d windows, series has %d", c.windows, count))
+	}
+
+	if o.RefreshInterval >= 0 {
+		interval := o.RefreshInterval
+		if interval == 0 {
+			interval = defaultRefresh
+		}
+		// The sweep outlives the open call but not the coordinator:
+		// detach from the caller's deadline, keep its values, cancel in
+		// Close.
+		sctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+		c.stopSweep = cancel
+		c.sweepDone = make(chan struct{})
+		//tsvet:ignore network-bound membership sweep must not occupy CPU executor workers
+		go c.sweepLoop(sctx, interval)
 	}
 	return c, nil
 }
@@ -189,13 +311,19 @@ func openLocalEntry(topo *Topology, name string, ext *series.Extractor, ex *exec
 	return &Node{Name: name, Sub: sub, ar: ar}, nil
 }
 
-// Close releases local backends' arenas and the coordinator's idle
-// connections. No query may run during or after it.
+// Close stops the membership sweep, releases local backends' arenas,
+// and drops the coordinator's idle connections. No query may run
+// during or after it.
 func (c *Coordinator) Close() error {
+	if c.stopSweep != nil {
+		c.stopSweep()
+		<-c.sweepDone
+		c.stopSweep = nil
+	}
 	var firstErr error
-	for _, ref := range c.backends {
-		if ref.node != nil {
-			if err := ref.node.Close(); err != nil && firstErr == nil {
+	for _, ow := range c.owners {
+		if ow.node != nil {
+			if err := ow.node.Close(); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
@@ -212,18 +340,22 @@ func (c *Coordinator) TotalShards() int { return c.total }
 // PartitionByMean reports the saved index's partition scheme.
 func (c *Coordinator) PartitionByMean() bool { return c.byMean }
 
-// Windows returns the total indexed windows across all nodes.
+// Windows returns the total indexed windows across all replica groups
+// (each group counted once, however many replicas serve it).
 func (c *Coordinator) Windows() int { return c.windows }
 
 // L returns the indexed subsequence length.
 func (c *Coordinator) L() int { return c.l }
 
+// Replicas returns the topology's replication factor R.
+func (c *Coordinator) Replicas() int { return c.replicas }
+
 // MemoryBytes sums the heap footprints of the local backends (remote
 // nodes spend their memory in other processes).
 func (c *Coordinator) MemoryBytes() int {
 	total := 0
-	for _, ref := range c.backends {
-		total += ref.b.MemoryBytes()
+	for _, ow := range c.owners {
+		total += ow.b.MemoryBytes()
 	}
 	return total
 }
@@ -231,74 +363,21 @@ func (c *Coordinator) MemoryBytes() int {
 // MappedBytes sums the file-mapped footprints of the local backends.
 func (c *Coordinator) MappedBytes() int {
 	total := 0
-	for _, ref := range c.backends {
-		total += ref.b.MappedBytes()
+	for _, ow := range c.owners {
+		total += ow.b.MappedBytes()
 	}
 	return total
 }
 
-// Peers returns the static node view (no liveness probe; see Health).
+// Peers returns the static node view (no liveness claim; see Health
+// for the cached membership view the sweep maintains).
 func (c *Coordinator) Peers() []PeerStatus {
-	out := make([]PeerStatus, len(c.backends))
-	for i, ref := range c.backends {
-		out[i] = PeerStatus{Name: ref.spec.Name, Addr: ref.spec.Addr,
-			Shards: ref.b.ShardIDs(), Windows: ref.b.Windows(), Alive: true}
+	out := make([]PeerStatus, len(c.owners))
+	for i, ow := range c.owners {
+		out[i] = PeerStatus{Name: ow.spec.Name, Addr: ow.spec.Addr,
+			Shards: ow.b.ShardIDs(), Windows: ow.b.Windows(), Alive: true}
 	}
 	return out
-}
-
-// Health probes every node's liveness: local backends are alive by
-// construction, remote ones answer /healthz within PingTimeout or are
-// reported down with the error.
-func (c *Coordinator) Health(ctx context.Context) []PeerStatus {
-	out := c.Peers()
-	done := make(chan int, len(c.backends))
-	for i, ref := range c.backends {
-		if ref.node != nil {
-			done <- i
-			continue
-		}
-		//tsvet:ignore network-bound health probes must not occupy CPU executor workers
-		go func(i int, rm *remote) {
-			pctx, cancel := context.WithTimeout(ctx, c.pingTimeout)
-			defer cancel()
-			if _, err := rm.health(pctx); err != nil {
-				out[i].Alive = false
-				out[i].Error = err.Error()
-			}
-			done <- i
-		}(i, ref.b.(*remote))
-	}
-	for range c.backends {
-		<-done
-	}
-	return out
-}
-
-// fan runs fn once per backend concurrently, each under the per-node
-// timeout, and returns the lowest-indexed error (wrapped with the
-// node's name) — deterministic whichever node failed first in time.
-func (c *Coordinator) fan(ctx context.Context, fn func(ctx context.Context, b shard.Backend, i int) error) error {
-	errs := make([]error, len(c.backends))
-	done := make(chan struct{}, len(c.backends))
-	for i, ref := range c.backends {
-		//tsvet:ignore network-bound fan-out must not occupy CPU executor workers
-		go func(i int, b shard.Backend) {
-			defer func() { done <- struct{}{} }()
-			nctx, cancel := context.WithTimeout(ctx, c.timeout)
-			defer cancel()
-			errs[i] = fn(nctx, b, i)
-		}(i, ref.b)
-	}
-	for range c.backends {
-		<-done
-	}
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("cluster: node %q: %w", c.backends[i].spec.Name, err)
-		}
-	}
-	return ctx.Err()
 }
 
 // Search returns all twins of q at eps across the cluster, sorted by
@@ -309,74 +388,76 @@ func (c *Coordinator) Search(ctx context.Context, q []float64, eps float64) ([]s
 	return ms, err
 }
 
+// statsResult carries one group's range-search answer through the
+// generic fan-out.
+type statsResult struct {
+	ms []series.Match
+	st core.Stats
+}
+
 // SearchStats is Search with traversal counters summed across every
-// node's work units.
+// group's work units.
 func (c *Coordinator) SearchStats(ctx context.Context, q []float64, eps float64) ([]series.Match, core.Stats, error) {
-	per := make([][]series.Match, len(c.backends))
-	stats := make([]core.Stats, len(c.backends))
-	err := c.fan(ctx, func(ctx context.Context, b shard.Backend, i int) error {
-		var err error
-		per[i], stats[i], err = b.SearchStats(ctx, q, eps)
-		return err
+	per, err := fanOut(ctx, c, -1, func(ctx context.Context, b shard.Backend, _ int) (statsResult, error) {
+		ms, st, err := b.SearchStats(ctx, q, eps)
+		return statsResult{ms, st}, err
 	})
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
+	lists := make([][]series.Match, len(per))
 	var st core.Stats
-	for _, x := range stats {
-		st = shard.AddStats(st, x)
+	for i, r := range per {
+		lists[i] = r.ms
+		st = shard.AddStats(st, r.st)
 	}
-	return shard.MergeByStart(per), st, nil
+	return shard.MergeByStart(lists), st, nil
 }
 
 // SearchTopK returns the k nearest across the cluster in (dist, start)
-// order, in two phases: the node serving the most windows answers
+// order, in two phases: the group serving the most windows answers
 // unbounded, then its k-th distance is broadcast as the pruning bound
-// for every other node — the same monotone bound local work units share
-// through core.SharedBound, so the merged result is exactly the
-// single-engine top-k.
+// for every other group — the same monotone bound local work units
+// share through core.SharedBound, so the merged result is exactly the
+// single-engine top-k. Each phase's units fail over and hedge like any
+// other.
 func (c *Coordinator) SearchTopK(ctx context.Context, q []float64, k int) ([]series.Match, error) {
 	if k <= 0 {
 		return nil, nil
 	}
 	seed := 0
-	for i, ref := range c.backends {
-		if ref.b.Windows() > c.backends[seed].b.Windows() {
-			seed = i
+	for gi, g := range c.groups {
+		if g.windows > c.groups[seed].windows {
+			seed = gi
 		}
 	}
-	lists := make([][]series.Match, len(c.backends))
 
-	// Phase 1: the seed node, unbounded.
-	sctx, cancel := context.WithTimeout(ctx, c.timeout)
-	first, err := c.backends[seed].b.SearchTopK(sctx, q, k, math.Inf(1))
-	cancel()
+	// Phase 1: the seed group, unbounded.
+	first, err := runUnit(ctx, c, c.groups[seed], func(ctx context.Context, b shard.Backend) ([]series.Match, error) {
+		return b.SearchTopK(ctx, q, k, math.Inf(1))
+	})
 	if err != nil {
-		return nil, fmt.Errorf("cluster: node %q: %w", c.backends[seed].spec.Name, err)
+		return nil, err
 	}
-	lists[seed] = first
 	bound := math.Inf(1)
 	if len(first) >= k {
 		bound = first[k-1].Dist
 	}
 
-	// Phase 2: everyone else, pruning against the seed's k-th distance.
-	err = c.fan(ctx, func(ctx context.Context, b shard.Backend, i int) error {
-		if i == seed {
-			return nil
-		}
-		var err error
-		lists[i], err = b.SearchTopK(ctx, q, k, bound)
-		return err
+	// Phase 2: every other group, pruning against the seed's k-th
+	// distance.
+	lists, err := fanOut(ctx, c, seed, func(ctx context.Context, b shard.Backend, _ int) ([]series.Match, error) {
+		return b.SearchTopK(ctx, q, k, bound)
 	})
 	if err != nil {
 		return nil, err
 	}
+	lists[seed] = first
 	return shard.MergeTopK(lists, k), nil
 }
 
 // SearchPrefix answers a query shorter than the indexed length: the
-// truncated-bound tree halves fan across the nodes, and the tail
+// truncated-bound tree halves fan across the groups, and the tail
 // windows that exist only at the shorter length — which belong to no
 // shard — are scanned exactly once, here at the coordinator (it holds
 // the full series).
@@ -384,11 +465,8 @@ func (c *Coordinator) SearchPrefix(ctx context.Context, q []float64, eps float64
 	if err := c.validatePrefix(q); err != nil {
 		return nil, err
 	}
-	per := make([][]series.Match, len(c.backends))
-	err := c.fan(ctx, func(ctx context.Context, b shard.Backend, i int) error {
-		var err error
-		per[i], err = b.SearchPrefixTree(ctx, q, eps)
-		return err
+	per, err := fanOut(ctx, c, -1, func(ctx context.Context, b shard.Backend, _ int) ([]series.Match, error) {
+		return b.SearchPrefixTree(ctx, q, eps)
 	})
 	if err != nil {
 		return nil, err
@@ -413,47 +491,48 @@ func (c *Coordinator) validatePrefix(q []float64) error {
 
 // SearchApprox probes at most leafBudget leaves across the cluster and
 // returns a possibly incomplete subset of the twins. The global budget
-// splits across nodes in proportion to their window counts (an atomic
-// allowance cannot span processes), floor-divided with the remainder
-// going to the earliest nodes — deterministic, and never exceeding the
-// requested total. Nodes whose share is zero are skipped.
+// splits across replica groups in proportion to their window counts
+// (an atomic allowance cannot span processes), floor-divided with the
+// remainder going to the earliest groups — deterministic, and never
+// exceeding the requested total. Groups whose share is zero are
+// skipped.
 func (c *Coordinator) SearchApprox(ctx context.Context, q []float64, eps float64, leafBudget int) ([]series.Match, core.Stats, error) {
 	if leafBudget <= 0 {
 		leafBudget = 1
 	}
 	shares := c.splitBudget(leafBudget)
-	per := make([][]series.Match, len(c.backends))
-	stats := make([]core.Stats, len(c.backends))
-	err := c.fan(ctx, func(ctx context.Context, b shard.Backend, i int) error {
-		if shares[i] == 0 {
-			return nil
+	per, err := fanOut(ctx, c, -1, func(ctx context.Context, b shard.Backend, gi int) (statsResult, error) {
+		if shares[gi] == 0 {
+			return statsResult{}, nil
 		}
-		var err error
-		per[i], stats[i], err = b.SearchApprox(ctx, q, eps, shares[i])
-		return err
+		ms, st, err := b.SearchApprox(ctx, q, eps, shares[gi])
+		return statsResult{ms, st}, err
 	})
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
+	lists := make([][]series.Match, len(per))
 	var st core.Stats
-	for _, x := range stats {
-		st = shard.AddStats(st, x)
+	for i, r := range per {
+		lists[i] = r.ms
+		st = shard.AddStats(st, r.st)
 	}
-	return shard.MergeByStart(per), st, nil
+	return shard.MergeByStart(lists), st, nil
 }
 
-// splitBudget divides a leaf budget across backends proportionally to
-// their window counts: floor shares first, then one extra to the
-// earliest backends until the total is spent. sum(shares) == budget.
+// splitBudget divides a leaf budget across replica groups
+// proportionally to their window counts: floor shares first, then one
+// extra to the earliest groups until the total is spent.
+// sum(shares) == budget.
 func (c *Coordinator) splitBudget(budget int) []int {
-	shares := make([]int, len(c.backends))
+	shares := make([]int, len(c.groups))
 	spent := 0
-	for i, ref := range c.backends {
-		shares[i] = budget * ref.b.Windows() / c.windows
-		spent += shares[i]
+	for gi, g := range c.groups {
+		shares[gi] = budget * g.windows / c.windows
+		spent += shares[gi]
 	}
-	for i := 0; spent < budget && i < len(shares); i++ {
-		shares[i]++
+	for gi := 0; spent < budget && gi < len(shares); gi++ {
+		shares[gi]++
 		spent++
 	}
 	return shares
@@ -474,34 +553,59 @@ type remote struct {
 
 var _ shard.Backend = (*remote)(nil)
 
-// dialRemote connects to a node and cross-checks its health report
-// against the topology entry and the coordinator's series. The health
-// probe runs under the caller's ctx bounded by the per-node timeout.
-func dialRemote(ctx context.Context, client *http.Client, spec NodeSpec, ext *series.Extractor, l int, timeout time.Duration) (*remote, NodeHealth, error) {
-	rm := &remote{name: spec.Name, base: spec.Addr, shards: spec.Shards, client: client}
+// dialHealth fetches a node's health document under the caller's ctx
+// bounded by the per-node timeout — the reachability half of the open
+// handshake (identity cross-checks are checkNodeIdentity's).
+func dialHealth(ctx context.Context, rm *remote, timeout time.Duration) (NodeHealth, error) {
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	h, err := rm.health(ctx)
 	if err != nil {
-		return nil, h, fmt.Errorf("cluster: node %q (%s): %w", spec.Name, spec.Addr, err)
+		return h, fmt.Errorf("node %q (%s): %w", rm.name, rm.base, err)
 	}
+	return h, nil
+}
+
+// checkNodeIdentity cross-checks a node's health report against its
+// topology entry and the coordinator's series — the configuration half
+// of the handshake, always fatal (a wrong node is not weather).
+func checkNodeIdentity(h NodeHealth, spec NodeSpec, ext *series.Extractor, l int) error {
 	if h.Role != "node" {
-		return nil, h, fmt.Errorf("cluster: node %q (%s) reports role %q, want a shard node", spec.Name, spec.Addr, h.Role)
+		return fmt.Errorf("cluster: node %q (%s) reports role %q, want a shard node", spec.Name, spec.Addr, h.Role)
 	}
 	if h.L != l {
-		return nil, h, fmt.Errorf("cluster: node %q indexes L=%d, coordinator expects %d", spec.Name, h.L, l)
+		return fmt.Errorf("cluster: node %q indexes L=%d, coordinator expects %d", spec.Name, h.L, l)
 	}
 	if h.Norm != ext.Mode().String() {
-		return nil, h, fmt.Errorf("cluster: node %q normalizes %q, coordinator %q", spec.Name, h.Norm, ext.Mode().String())
+		return fmt.Errorf("cluster: node %q normalizes %q, coordinator %q", spec.Name, h.Norm, ext.Mode().String())
 	}
 	if h.SeriesLen != ext.Len() {
-		return nil, h, fmt.Errorf("cluster: node %q serves a %d-point series, coordinator holds %d", spec.Name, h.SeriesLen, ext.Len())
+		return fmt.Errorf("cluster: node %q serves a %d-point series, coordinator holds %d", spec.Name, h.SeriesLen, ext.Len())
 	}
 	if !equalInts(h.Shards, spec.Shards) {
-		return nil, h, fmt.Errorf("cluster: node %q serves shards %v, topology assigns %v", spec.Name, h.Shards, spec.Shards)
+		return fmt.Errorf("cluster: node %q serves shards %v, topology assigns %v", spec.Name, h.Shards, spec.Shards)
 	}
-	rm.windows = h.Windows
-	return rm, h, nil
+	return nil
+}
+
+// verifyRemote is the rejoin gate the membership sweep applies before
+// marking a previously down node up again: the identity checks plus
+// agreement with the established cluster view (index shape and the
+// group's window count) — a node restarted over a different file must
+// not serve divergent bytes.
+func (c *Coordinator) verifyRemote(h NodeHealth, ow *owner) error {
+	if err := checkNodeIdentity(h, ow.spec, c.ext, c.l); err != nil {
+		return err
+	}
+	if h.TotalShards != c.total || (h.Partition == "mean") != c.byMean {
+		return fmt.Errorf("cluster: node %q serves a different index (%d/%s shards vs %d total)",
+			ow.spec.Name, h.TotalShards, h.Partition, c.total)
+	}
+	if ow.g != nil && ow.g.windows > 0 && h.Windows != ow.g.windows {
+		return fmt.Errorf("cluster: node %q serves %d windows, its replica group serves %d",
+			ow.spec.Name, h.Windows, ow.g.windows)
+	}
+	return nil
 }
 
 func equalInts(a, b []int) bool {
@@ -522,11 +626,7 @@ func equalInts(a, b []int) bool {
 // health fetches and decodes the node's /healthz.
 func (r *remote) health(ctx context.Context) (NodeHealth, error) {
 	var h NodeHealth
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/healthz", nil)
-	if err != nil {
-		return h, err
-	}
-	resp, err := r.client.Do(req)
+	resp, err := r.do(ctx, http.MethodGet, r.base+"/healthz", nil)
 	if err != nil {
 		return h, err
 	}
@@ -540,6 +640,49 @@ func (r *remote) health(ctx context.Context) (NodeHealth, error) {
 	return h, nil
 }
 
+// do issues one HTTP request, retrying exactly once on a transport-
+// level connection error (refused or reset — the request failed before
+// any byte was processed, so the retry cannot double-execute
+// anything; every shard RPC is a read). This absorbs the transient
+// blips a restarting listener or a dropped idle connection causes even
+// at R=1; replica failover handles everything beyond it.
+func (r *remote) do(ctx context.Context, method, url string, body []byte) (*http.Response, error) {
+	mk := func() (*http.Request, error) {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		return req, nil
+	}
+	req, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil && isConnRefused(err) && ctx.Err() == nil {
+		req, mkErr := mk()
+		if mkErr != nil {
+			return nil, err
+		}
+		resp, err = r.client.Do(req)
+	}
+	return resp, err
+}
+
+// isConnRefused reports a transport-level connection failure that
+// happened before the server processed any request byte — the only
+// failure an idempotent RPC retries on the same node.
+func isConnRefused(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET)
+}
+
 // post sends one shard RPC and decodes the response, translating
 // non-200 answers into the node's own error text.
 func (r *remote) post(ctx context.Context, path string, reqBody, respBody interface{}) error {
@@ -547,12 +690,7 @@ func (r *remote) post(ctx context.Context, path string, reqBody, respBody interf
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+path, bytes.NewReader(raw))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := r.client.Do(req)
+	resp, err := r.do(ctx, http.MethodPost, r.base+path, raw)
 	if err != nil {
 		return err
 	}

@@ -266,7 +266,9 @@ func TestClusterMixedLocalRemote(t *testing.T) {
 	}
 
 	// The health view must mark both peers alive and carry assignments.
-	peers := cl.Health(ctx)
+	// Health reads the cached membership view; Sweep refreshes it now.
+	cl.Sweep(ctx)
+	peers := cl.Health()
 	if len(peers) != 2 || !peers[0].Alive || !peers[1].Alive {
 		t.Fatalf("health = %+v", peers)
 	}
@@ -310,7 +312,8 @@ func TestClusterNodeFailure(t *testing.T) {
 		t.Fatal("topk over a dead node succeeded")
 	}
 
-	peers := cl.Health(ctx)
+	cl.Sweep(ctx)
+	peers := cl.Health()
 	if peers[0].Name != "n0" || !peers[0].Alive {
 		t.Fatalf("living peer reported dead: %+v", peers[0])
 	}

@@ -1,0 +1,173 @@
+package cluster
+
+// Per-unit failover and hedging. The coordinator's fan-out unit is one
+// replica group (a shard set with R interchangeable owners); runUnit
+// turns "call one backend" into "get this shard set answered":
+//
+//   - Attempt order prefers owners whose cached liveness is up and
+//     whose circuit breaker is not open; tripped or known-down owners
+//     drop to the back as a last resort, so a dead node stops
+//     absorbing first-attempt latency.
+//   - An attempt that errors or times out (per-node Timeout) fails
+//     over to the next replica instead of failing the query.
+//   - With hedging enabled, a second replica is issued the same unit
+//     after HedgeDelay; the first response wins and the loser is
+//     canceled through its context — tail latency from a slow-but-
+//     alive node is bounded by delay + the sibling's latency.
+//
+// Replicas open identical shard subsets of the same saved index (the
+// coordinator cross-checks at open and on rejoin), so whichever owner
+// answers, the bytes — matches and Stats both — are the same, and the
+// merged result stays byte-identical to a local engine.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"twinsearch/internal/shard"
+)
+
+// candidates returns the group's owners in attempt order: live,
+// untripped owners first (topology order), then the tripped or
+// known-down ones — still tried when nothing better is left, because a
+// stale "down" fact must not fail a query a node could have answered.
+func (g *group) candidates() []*owner {
+	pref := make([]*owner, 0, len(g.owners))
+	var rest []*owner
+	for _, ow := range g.owners {
+		alive, _, _ := ow.st.healthSnapshot()
+		if alive && !ow.st.br.tripped() {
+			pref = append(pref, ow)
+		} else {
+			rest = append(rest, ow)
+		}
+	}
+	return append(pref, rest...)
+}
+
+// runUnit executes one query unit against group g with replica
+// failover, breaker accounting, and optional hedging. call must be
+// idempotent and side-effect-free until it returns (hedged attempts
+// run concurrently); the winning attempt's value is returned.
+func runUnit[T any](ctx context.Context, c *Coordinator, g *group, call func(ctx context.Context, b shard.Backend) (T, error)) (T, error) {
+	var zero T
+	cands := g.candidates()
+	type result struct {
+		ow  *owner
+		v   T
+		err error
+	}
+	resCh := make(chan result, len(cands))
+	cancels := make([]context.CancelFunc, 0, len(cands))
+	defer func() {
+		// Winner decided (or unit abandoned): cancel every other
+		// attempt — the hedging loser's RPC is torn down through its
+		// context, not left to run out its timeout.
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
+	next := 0
+	launch := func() {
+		ow := cands[next]
+		next++
+		actx, cancel := context.WithTimeout(ctx, c.timeout)
+		cancels = append(cancels, cancel)
+		//tsvet:ignore network-bound replica attempts must not occupy CPU executor workers
+		go func() {
+			v, err := call(actx, ow.b)
+			resCh <- result{ow: ow, v: v, err: err}
+		}()
+	}
+	launch()
+	var hedge <-chan time.Time
+	if c.hedgeDelay > 0 && next < len(cands) {
+		t := time.NewTimer(c.hedgeDelay)
+		defer t.Stop()
+		hedge = t.C
+	}
+	pending := 1
+	var attemptErrs []error
+	for {
+		select {
+		case r := <-resCh:
+			pending--
+			if r.err == nil {
+				r.ow.st.success()
+				return r.v, nil
+			}
+			if ctx.Err() != nil {
+				// The caller gave up; the failure says nothing about
+				// the node, and the unit is over.
+				return zero, ctx.Err()
+			}
+			r.ow.st.failure()
+			attemptErrs = append(attemptErrs, fmt.Errorf("node %q: %w", r.ow.spec.Name, r.err))
+			if next < len(cands) {
+				launch()
+				pending++
+			} else if pending == 0 {
+				return zero, fmt.Errorf("cluster: shards %v: all %d replica(s) failed: %w",
+					g.shards, len(cands), errors.Join(attemptErrs...))
+			}
+		case <-hedge:
+			hedge = nil
+			if next < len(cands) {
+				launch()
+				pending++
+			}
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// success / failure route one attempt's outcome into the owner's
+// breaker and liveness cache.
+func (s *nodeState) success() {
+	s.br.success()
+}
+
+func (s *nodeState) failure() {
+	s.br.failure()
+}
+
+// fanOut runs one unit per replica group concurrently (each with
+// failover and hedging via runUnit) and collects results in group
+// order. skip names a group index to leave at T's zero value without
+// any attempt (-1 for none) — the top-k second phase already holds the
+// seed group's answer. The lowest-indexed unit error is returned,
+// deterministic whichever group failed first in time.
+func fanOut[T any](ctx context.Context, c *Coordinator, skip int, call func(ctx context.Context, b shard.Backend, gi int) (T, error)) ([]T, error) {
+	out := make([]T, len(c.groups))
+	errs := make([]error, len(c.groups))
+	done := make(chan struct{}, len(c.groups))
+	launched := 0
+	for gi, g := range c.groups {
+		if gi == skip {
+			continue
+		}
+		launched++
+		//tsvet:ignore network-bound fan-out must not occupy CPU executor workers
+		go func(gi int, g *group) {
+			defer func() { done <- struct{}{} }()
+			out[gi], errs[gi] = runUnit(ctx, c, g, func(ctx context.Context, b shard.Backend) (T, error) {
+				return call(ctx, b, gi)
+			})
+		}(gi, g)
+	}
+	for i := 0; i < launched; i++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

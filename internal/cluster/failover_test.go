@@ -1,0 +1,399 @@
+package cluster_test
+
+// Fault-injection proofs of the replicated cluster tier: with R = 2,
+// killing or wedging any single node mid-query must leave every search
+// path's answer byte-identical to the local engine — matches, Dist
+// bits, and Stats counters — with zero query errors. The faults are
+// injected at the HTTP transport seam (cluster.Chaos), so the
+// coordinator's failover, hedging, breaker, and retry logic all run
+// exactly as in production.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"twinsearch/internal/cluster"
+	"twinsearch/internal/datasets"
+	"twinsearch/internal/series"
+	"twinsearch/internal/server"
+)
+
+// startReplicated builds an R-way replicated cluster: every shard group
+// is served by r independent nodes (each opening its own subset of the
+// saved index at path), all dialed through a Chaos transport the test
+// can inject faults into. The background sweep is disabled unless the
+// options ask for it — tests drive Sweep explicitly for determinism.
+func startReplicated(t *testing.T, ext *series.Extractor, path string, groups [][]int, r int, o cluster.Options) (*cluster.Coordinator, []*httptest.Server, *cluster.Chaos) {
+	t.Helper()
+	chaos := cluster.NewChaos(nil)
+	if o.Client == nil {
+		o.Client = &http.Client{Transport: chaos}
+	}
+	if o.RefreshInterval == 0 {
+		o.RefreshInterval = -1
+	}
+	topo := &cluster.Topology{Index: path, Replicas: r}
+	for gi, run := range groups {
+		for ri := 0; ri < r; ri++ {
+			topo.Nodes = append(topo.Nodes, cluster.NodeSpec{
+				Name: fmt.Sprintf("g%dr%d", gi, ri), Addr: "placeholder", Shards: run,
+			})
+		}
+	}
+	var srvs []*httptest.Server
+	for i := range topo.Nodes {
+		n, err := cluster.OpenNode(topo, topo.Nodes[i].Name, ext, cluster.NodeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		srv := httptest.NewServer(server.NewNode(n))
+		t.Cleanup(srv.Close)
+		topo.Nodes[i].Addr = srv.URL
+		srvs = append(srvs, srv)
+	}
+	cl, err := cluster.OpenCoordinator(context.Background(), topo, ext, testL, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl, srvs, chaos
+}
+
+// hostOf extracts the host:port key Chaos rules are addressed by.
+func hostOf(t *testing.T, srv *httptest.Server) string {
+	t.Helper()
+	u, err := url.Parse(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+// TestFailoverDifferential is the replicated acceptance matrix: R = 2,
+// each node killed in turn — refused connections AND black-holed
+// requests — during each of the five search paths, across all three
+// norm modes. Every query must complete with zero errors and answer
+// byte-identically to the local engine (matches, Dist, Stats). Hedging
+// is on with a small delay so a black-holed first attempt costs
+// milliseconds, not a timeout.
+func TestFailoverDifferential(t *testing.T) {
+	data := datasets.EEGN(61, 1800)
+	ctx := context.Background()
+	for _, mode := range []series.NormMode{series.NormNone, series.NormGlobal, series.NormPerSubsequence} {
+		ext := series.NewExtractor(data, mode)
+		local, path := buildSaved(t, ext, 4, false)
+		cl, srvs, chaos := startReplicated(t, ext, path, [][]int{{0, 1}, {2, 3}}, 2, cluster.Options{
+			Timeout:    10 * time.Second,
+			HedgeDelay: 20 * time.Millisecond,
+		})
+		if cl.Replicas() != 2 {
+			t.Fatalf("Replicas() = %d", cl.Replicas())
+		}
+		q := ext.ExtractCopy(777, testL)
+		for victim := range srvs {
+			for _, fault := range []string{"refuse", "blackhole"} {
+				t.Run(fmt.Sprintf("norm=%v/victim=%d/%s", mode, victim, fault), func(t *testing.T) {
+					host := hostOf(t, srvs[victim])
+					chaos.Set(host, cluster.ChaosRule{
+						Refuse:    fault == "refuse",
+						BlackHole: fault == "blackhole",
+					})
+					defer func() {
+						// Heal the victim AND half-open its breaker so the
+						// next subtest's faults are genuinely attempted —
+						// a node left tripped would just be skipped.
+						chaos.Clear(host)
+						cl.Sweep(ctx)
+					}()
+
+					// Path 1+2: range search with stats.
+					wantM, wantSt := local.SearchStats(q, 0.3)
+					gotM, gotSt, err := cl.SearchStats(ctx, q, 0.3)
+					if err != nil {
+						t.Fatalf("search with dead node: %v", err)
+					}
+					if !sameMatches(wantM, gotM) {
+						t.Fatalf("search diverged (%d vs %d results)", len(gotM), len(wantM))
+					}
+					if !reflect.DeepEqual(wantSt, gotSt) {
+						t.Fatalf("stats diverged: %+v vs %+v", gotSt, wantSt)
+					}
+					// Path 3: top-k (two-phase; both phases must survive).
+					wantK := local.SearchTopK(q, 7)
+					gotK, err := cl.SearchTopK(ctx, q, 7)
+					if err != nil {
+						t.Fatalf("topk with dead node: %v", err)
+					}
+					if !sameMatches(wantK, gotK) {
+						t.Fatalf("topk diverged:\n%v\nvs\n%v", gotK, wantK)
+					}
+					// Path 4: prefix (refused identically under per-sub norm).
+					short := q[:testL/2]
+					wantP, wantErr := local.SearchPrefix(short, 0.3)
+					gotP, gotErr := cl.SearchPrefix(ctx, short, 0.3)
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("prefix error mismatch: %v vs %v", gotErr, wantErr)
+					}
+					if wantErr == nil && !sameMatches(wantP, gotP) {
+						t.Fatalf("prefix diverged")
+					}
+					// Path 5: approximate with a saturating budget.
+					budget := 2 * local.Len()
+					wantA, wantASt := local.SearchApprox(q, 0.3, budget)
+					gotA, gotASt, err := cl.SearchApprox(ctx, q, 0.3, budget)
+					if err != nil {
+						t.Fatalf("approx with dead node: %v", err)
+					}
+					if !sameMatches(wantA, gotA) {
+						t.Fatalf("approx diverged")
+					}
+					if !reflect.DeepEqual(wantASt, gotASt) {
+						t.Fatalf("approx stats diverged: %+v vs %+v", gotASt, wantASt)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFailoverTimeout proves failover works without hedging: a
+// black-holed replica burns its per-attempt timeout, then the unit
+// retries on the sibling and the query still answers correctly.
+func TestFailoverTimeout(t *testing.T) {
+	data := datasets.EEGN(67, 1200)
+	ext := series.NewExtractor(data, series.NormGlobal)
+	local, path := buildSaved(t, ext, 4, false)
+	cl, srvs, chaos := startReplicated(t, ext, path, [][]int{{0, 1}, {2, 3}}, 2, cluster.Options{
+		Timeout: 250 * time.Millisecond, // per attempt; failover doubles it at worst
+	})
+	chaos.Set(hostOf(t, srvs[0]), cluster.ChaosRule{BlackHole: true})
+
+	ctx := context.Background()
+	q := ext.ExtractCopy(400, testL)
+	start := time.Now()
+	got, err := cl.Search(ctx, q, 0.3)
+	if err != nil {
+		t.Fatalf("query with wedged replica: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout failover took %v", elapsed)
+	}
+	want, _ := local.SearchStats(q, 0.3)
+	if !sameMatches(want, got) {
+		t.Fatal("timeout failover diverged")
+	}
+}
+
+// TestHedgeMasksSlowReplica proves the hedge path: one replica delayed
+// far beyond the hedge delay must not set the query's latency — the
+// hedged sibling answers first and the answer is still exact.
+func TestHedgeMasksSlowReplica(t *testing.T) {
+	data := datasets.EEGN(71, 1200)
+	ext := series.NewExtractor(data, series.NormGlobal)
+	local, path := buildSaved(t, ext, 4, false)
+	cl, srvs, chaos := startReplicated(t, ext, path, [][]int{{0, 1}, {2, 3}}, 2, cluster.Options{
+		Timeout:    10 * time.Second,
+		HedgeDelay: 15 * time.Millisecond,
+	})
+	chaos.Set(hostOf(t, srvs[0]), cluster.ChaosRule{Delay: 3 * time.Second})
+
+	ctx := context.Background()
+	q := ext.ExtractCopy(200, testL)
+	start := time.Now()
+	got, err := cl.Search(ctx, q, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hedge did not mask the slow replica: query took %v", elapsed)
+	}
+	want, _ := local.SearchStats(q, 0.3)
+	if !sameMatches(want, got) {
+		t.Fatal("hedged query diverged")
+	}
+}
+
+// TestTransportRetryAtR1 proves the transport-level idempotent retry:
+// even unreplicated (R = 1), a connection refused before any request
+// byte is processed is retried once on the same node, absorbing the
+// transient blip a restarting listener causes.
+func TestTransportRetryAtR1(t *testing.T) {
+	data := datasets.EEGN(73, 1200)
+	ext := series.NewExtractor(data, series.NormGlobal)
+	local, path := buildSaved(t, ext, 4, false)
+	cl, srvs, chaos := startReplicated(t, ext, path, [][]int{{0, 1}, {2, 3}}, 1, cluster.Options{})
+
+	// Install the blip after open so the open handshake doesn't consume
+	// it: the next request to n0 is refused, the one after succeeds.
+	host := hostOf(t, srvs[0])
+	chaos.Set(host, cluster.ChaosRule{FailFirst: 1})
+
+	ctx := context.Background()
+	q := ext.ExtractCopy(300, testL)
+	got, err := cl.Search(ctx, q, 0.3)
+	if err != nil {
+		t.Fatalf("query across a transient refusal failed: %v", err)
+	}
+	want, _ := local.SearchStats(q, 0.3)
+	if !sameMatches(want, got) {
+		t.Fatal("retried query diverged")
+	}
+	if f := chaos.Faults(host); f != 1 {
+		t.Fatalf("expected exactly 1 injected fault, saw %d", f)
+	}
+	if h := chaos.Hits(host); h < 2 {
+		t.Fatalf("expected a retry after the refusal, saw %d requests", h)
+	}
+}
+
+// TestBreakerTripsAndRecovers walks one node through the full circuit:
+// closed → tripped after consecutive failures (the dead node stops
+// absorbing first attempts) → half-open after a successful health probe
+// → closed again once a real query succeeds.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	data := datasets.EEGN(79, 1200)
+	ext := series.NewExtractor(data, series.NormGlobal)
+	_, path := buildSaved(t, ext, 4, false)
+	// One replica group of two nodes; g0r0 is first in topology order,
+	// so while healthy it absorbs every first attempt.
+	cl, srvs, chaos := startReplicated(t, ext, path, [][]int{{0, 1, 2, 3}}, 2, cluster.Options{
+		BreakerFails: 2,
+	})
+	ctx := context.Background()
+	q := ext.ExtractCopy(500, testL)
+	host := hostOf(t, srvs[0])
+
+	search := func() {
+		t.Helper()
+		if _, err := cl.Search(ctx, q, 0.3); err != nil {
+			t.Fatalf("query failed: %v", err)
+		}
+	}
+	breakerOf := func(name string) string {
+		t.Helper()
+		for _, p := range cl.Health() {
+			if p.Name == name {
+				return p.Breaker
+			}
+		}
+		t.Fatalf("no peer %q in health view", name)
+		return ""
+	}
+
+	// Refuse g0r0: queries keep succeeding via its sibling, and after
+	// BreakerFails consecutive failures the circuit is open.
+	chaos.Set(host, cluster.ChaosRule{Refuse: true})
+	search()
+	search()
+	if st := breakerOf("g0r0"); st != "open" {
+		t.Fatalf("breaker after %d failed queries = %q, want open", 2, st)
+	}
+
+	// Tripped: the dead node must stop seeing first attempts.
+	quiet := chaos.Hits(host)
+	search()
+	search()
+	if h := chaos.Hits(host); h != quiet {
+		t.Fatalf("tripped node still queried: %d → %d requests", quiet, h)
+	}
+
+	// Recovery: the node answers again, a health sweep half-opens the
+	// circuit, and the next real query (first attempt goes to g0r0
+	// again) closes it.
+	chaos.Clear(host)
+	cl.Sweep(ctx)
+	if st := breakerOf("g0r0"); st != "half-open" {
+		t.Fatalf("breaker after successful probe = %q, want half-open", st)
+	}
+	search()
+	if st := breakerOf("g0r0"); st != "closed" {
+		t.Fatalf("breaker after successful trial query = %q, want closed", st)
+	}
+	if h := chaos.Hits(host); h == quiet {
+		t.Fatal("recovered node never re-attempted")
+	}
+
+	// The health view carries per-node staleness timestamps.
+	for _, p := range cl.Health() {
+		if p.CheckedAt.IsZero() {
+			t.Fatalf("peer %q has no staleness timestamp", p.Name)
+		}
+	}
+}
+
+// TestDegradedOpen: a cluster with R = 2 opens with one node dead (its
+// group still has a live owner) and answers correctly; with R = 1 the
+// same dead node refuses the open — no replica can cover its shards.
+func TestDegradedOpen(t *testing.T) {
+	data := datasets.EEGN(83, 1200)
+	ext := series.NewExtractor(data, series.NormGlobal)
+	local, path := buildSaved(t, ext, 4, false)
+
+	build := func(r int) (*cluster.Topology, []*httptest.Server) {
+		t.Helper()
+		topo := &cluster.Topology{Index: path, Replicas: r}
+		var srvs []*httptest.Server
+		for gi, run := range [][]int{{0, 1}, {2, 3}} {
+			for ri := 0; ri < r; ri++ {
+				name := fmt.Sprintf("g%dr%d", gi, ri)
+				n, err := cluster.OpenNode(&cluster.Topology{Index: path, Replicas: r,
+					Nodes: []cluster.NodeSpec{{Name: name, Addr: "placeholder", Shards: run}}}, name, ext, cluster.NodeOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { n.Close() })
+				srv := httptest.NewServer(server.NewNode(n))
+				t.Cleanup(srv.Close)
+				topo.Nodes = append(topo.Nodes, cluster.NodeSpec{Name: name, Addr: srv.URL, Shards: run})
+				srvs = append(srvs, srv)
+			}
+		}
+		return topo, srvs
+	}
+
+	// R = 2: kill g0r0 before the open. The open degrades, the dead
+	// node shows up down with a tripped breaker, and queries answer.
+	topo, srvs := build(2)
+	srvs[0].CloseClientConnections()
+	srvs[0].Close()
+	cl, err := cluster.OpenCoordinator(context.Background(), topo, ext, testL, cluster.Options{RefreshInterval: -1})
+	if err != nil {
+		t.Fatalf("degraded open refused: %v", err)
+	}
+	defer cl.Close()
+	peers := cl.Health()
+	if peers[0].Alive || peers[0].Breaker != "open" || peers[0].Error == "" {
+		t.Fatalf("dead node not reported: %+v", peers[0])
+	}
+	if !peers[1].Alive {
+		t.Fatalf("live replica reported dead: %+v", peers[1])
+	}
+	ctx := context.Background()
+	q := ext.ExtractCopy(600, testL)
+	want, _ := local.SearchStats(q, 0.3)
+	got, err := cl.Search(ctx, q, 0.3)
+	if err != nil {
+		t.Fatalf("query on degraded cluster: %v", err)
+	}
+	if !sameMatches(want, got) {
+		t.Fatal("degraded cluster diverged")
+	}
+
+	// R = 1: the same kill leaves shards 0-1 unowned; the open refuses.
+	topo1, srvs1 := build(1)
+	srvs1[0].CloseClientConnections()
+	srvs1[0].Close()
+	if _, err := cluster.OpenCoordinator(context.Background(), topo1, ext, testL, cluster.Options{RefreshInterval: -1}); err == nil {
+		t.Fatal("open with an uncovered shard group succeeded")
+	} else if !strings.Contains(err.Error(), "no reachable replica") {
+		t.Fatalf("unexpected open error: %v", err)
+	}
+}

@@ -1,0 +1,141 @@
+package cluster
+
+// Cached cluster membership. The background sweep (started by
+// OpenCoordinator, stopped by Close) is the single source of truth for
+// per-node liveness: it probes every remote node's /healthz on a fixed
+// interval, records up/down state with a staleness timestamp, and
+// half-opens tripped circuit breakers whose node answers again.
+// Coordinator.Health reads this cache — a /healthz hit on the
+// coordinator never blocks on N network probes, and the staleness
+// timestamp tells the consumer how fresh each fact is.
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// nodeState is one node's cached liveness fact plus its circuit
+// breaker. Methods are safe for concurrent use.
+type nodeState struct {
+	br *breaker
+
+	mu        sync.Mutex
+	alive     bool
+	errMsg    string
+	checkedAt time.Time // when the fact was last refreshed; zero = never
+}
+
+func newNodeState(breakerFails int) *nodeState {
+	return &nodeState{br: newBreaker(breakerFails)}
+}
+
+// setHealth records a liveness observation with the current time as
+// its staleness timestamp.
+func (s *nodeState) setHealth(alive bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.alive = alive
+	s.errMsg = ""
+	if err != nil {
+		s.errMsg = err.Error()
+	}
+	s.checkedAt = time.Now()
+}
+
+// healthSnapshot returns the cached fact.
+func (s *nodeState) healthSnapshot() (alive bool, errMsg string, checkedAt time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alive, s.errMsg, s.checkedAt
+}
+
+// Sweep probes every remote node's /healthz once, concurrently (each
+// under PingTimeout), and updates the cached membership view: up/down
+// state, staleness timestamps, and breaker recovery (a tripped node
+// that answers — and still serves the right index — half-opens).
+// The background refresher calls this on its interval; tests and
+// callers wanting a fresh view now can call it directly.
+func (c *Coordinator) Sweep(ctx context.Context) {
+	done := make(chan struct{}, len(c.owners))
+	for _, ow := range c.owners {
+		if ow.node != nil {
+			// Local backends are alive by construction; refresh the
+			// timestamp so staleness reflects the sweep, not the open.
+			ow.st.setHealth(true, nil)
+			done <- struct{}{}
+			continue
+		}
+		//tsvet:ignore network-bound health probes must not occupy CPU executor workers
+		go func(ow *owner) {
+			defer func() { done <- struct{}{} }()
+			c.probe(ctx, ow)
+		}(ow)
+	}
+	for range c.owners {
+		<-done
+	}
+}
+
+// probe refreshes one remote node's cached state.
+func (c *Coordinator) probe(ctx context.Context, ow *owner) {
+	rm, ok := ow.b.(*remote)
+	if !ok {
+		return
+	}
+	pctx, cancel := context.WithTimeout(ctx, c.pingTimeout)
+	defer cancel()
+	h, err := rm.health(pctx)
+	if err != nil {
+		ow.st.setHealth(false, err)
+		// A node the sweep cannot reach must not absorb first-attempt
+		// latency on the next query.
+		ow.st.br.trip()
+		return
+	}
+	// A node that answers but serves the wrong index (restarted with a
+	// different file, misconfigured replacement) must not rejoin.
+	if err := c.verifyRemote(h, ow); err != nil {
+		ow.st.setHealth(false, err)
+		ow.st.br.trip()
+		return
+	}
+	rm.windows = h.Windows
+	ow.st.setHealth(true, nil)
+	ow.st.br.probeOK()
+}
+
+// sweepLoop is the background membership refresher.
+func (c *Coordinator) sweepLoop(ctx context.Context, interval time.Duration) {
+	defer close(c.sweepDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.Sweep(ctx)
+		}
+	}
+}
+
+// Health returns the cached per-node membership view: liveness as of
+// each node's CheckedAt timestamp (maintained by the background sweep
+// and by open-time dialing — never probed inline here), plus circuit
+// breaker state. Use Sweep first to force a fresh view.
+func (c *Coordinator) Health() []PeerStatus {
+	out := make([]PeerStatus, len(c.owners))
+	for i, ow := range c.owners {
+		alive, errMsg, checkedAt := ow.st.healthSnapshot()
+		brState, fails := ow.st.br.snapshot()
+		out[i] = PeerStatus{
+			Name: ow.spec.Name, Addr: ow.spec.Addr,
+			Shards: ow.b.ShardIDs(), Windows: ow.b.Windows(),
+			Alive: alive, Error: errMsg,
+			Breaker: brState.String(), ConsecFails: fails,
+			CheckedAt: checkedAt,
+		}
+	}
+	return out
+}

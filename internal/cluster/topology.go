@@ -92,22 +92,40 @@ type NodeSpec struct {
 }
 
 // Topology is the static cluster layout: the saved TSSH v3 index every
-// node opens its slice of, and the node → shard-set assignment. The
-// assignment must partition the index's shards exactly — validated
-// against the real shard count when a coordinator or node opens it.
+// node opens its slice of, the node → shard-set assignment, and the
+// replication factor. With Replicas R ≥ 2, every shard must be owned
+// by exactly R distinct nodes and owners of one shard must mirror each
+// other's whole shard set — assignments form replica groups of R
+// interchangeable nodes, the unit the coordinator fails over and
+// hedges across. The assignment's shard sets must partition the
+// index's shards exactly — validated against the real shard count when
+// a coordinator or node opens it.
 type Topology struct {
 	// Index is the path of the saved sharded index (TSSH v3). Relative
 	// paths are resolved against the topology file's directory by
 	// LoadTopology.
 	Index string     `json:"index"`
 	Nodes []NodeSpec `json:"nodes"`
+	// Replicas is the replication factor R: how many distinct nodes own
+	// every shard (0 means 1, the unreplicated default).
+	Replicas int `json:"replicas,omitempty"`
+}
+
+// R returns the effective replication factor (Replicas, defaulting
+// to 1).
+func (t *Topology) R() int {
+	if t.Replicas <= 0 {
+		return 1
+	}
+	return t.Replicas
 }
 
 // ParseTopology decodes and validates a topology document. Coverage of
 // the index's full shard range needs the shard count, which only the
 // index file knows, so only per-document invariants are checked here:
-// unique non-empty names, non-empty addresses and shard sets, and no
-// shard assigned to two nodes.
+// unique non-empty names, non-empty addresses and shard sets, and a
+// well-formed replicated assignment (exactly R owners per listed
+// shard, owners mirroring whole shard sets).
 func ParseTopology(r io.Reader) (*Topology, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -119,7 +137,6 @@ func ParseTopology(r io.Reader) (*Topology, error) {
 		return nil, fmt.Errorf("cluster: topology lists no nodes")
 	}
 	names := make(map[string]bool, len(t.Nodes))
-	owner := make(map[int]string)
 	for i, n := range t.Nodes {
 		if n.Name == "" {
 			return nil, fmt.Errorf("cluster: topology node %d has no name", i)
@@ -134,18 +151,9 @@ func ParseTopology(r io.Reader) (*Topology, error) {
 		if len(n.Shards) == 0 {
 			return nil, fmt.Errorf("cluster: topology node %q serves no shards", n.Name)
 		}
-		for _, id := range n.Shards {
-			// The range-string parser already refuses negatives; the
-			// JSON-array form must too, or checkCoverage would index a
-			// slice with the bad id instead of reporting it.
-			if id < 0 {
-				return nil, fmt.Errorf("cluster: topology node %q serves negative shard %d", n.Name, id)
-			}
-			if prev, dup := owner[id]; dup {
-				return nil, fmt.Errorf("cluster: shard %d assigned to both %q and %q", id, prev, n.Name)
-			}
-			owner[id] = n.Name
-		}
+	}
+	if err := t.validateAssignment(-1); err != nil {
+		return nil, err
 	}
 	return &t, nil
 }
@@ -178,23 +186,94 @@ func (t *Topology) Node(name string) (NodeSpec, error) {
 	return NodeSpec{}, fmt.Errorf("cluster: topology has no node %q", name)
 }
 
-// checkCoverage verifies the assignment partitions [0, total) exactly.
-// The negative-id check repeats ParseTopology's so topologies built
-// programmatically (never parsed) fail cleanly too.
+// checkCoverage verifies the replicated assignment covers [0, total)
+// exactly: every shard of the index owned by exactly R nodes, no shard
+// out of range. The full validation repeats ParseTopology's so
+// topologies built programmatically (never parsed) fail cleanly too.
 func (t *Topology) checkCoverage(total int) error {
-	seen := make([]string, total)
+	if err := t.validateAssignment(total); err != nil {
+		return err
+	}
+	seen := make([]bool, total)
 	for _, n := range t.Nodes {
 		for _, id := range n.Shards {
-			if id < 0 || id >= total {
-				return fmt.Errorf("cluster: node %q serves shard %d, index has %d", n.Name, id, total)
-			}
-			seen[id] = n.Name
+			seen[id] = true
 		}
 	}
-	for id, name := range seen {
-		if name == "" {
+	for id, ok := range seen {
+		if !ok {
 			return fmt.Errorf("cluster: shard %d of %d assigned to no node", id, total)
 		}
 	}
 	return nil
+}
+
+// validateAssignment checks the shape of the node → shard assignment
+// under the topology's replication factor: no node lists a shard
+// twice, every listed shard has exactly R distinct owners, and owners
+// of one shard mirror each other's whole shard set (replica groups).
+// total ≥ 0 additionally range-checks the ids (open time; parse time
+// passes -1 because only the index file knows the real shard count).
+func (t *Topology) validateAssignment(total int) error {
+	if t.Replicas < 0 {
+		return fmt.Errorf("cluster: topology replicas %d; the factor must be at least 1", t.Replicas)
+	}
+	r := t.R()
+	if r > len(t.Nodes) {
+		return fmt.Errorf("cluster: replication factor %d exceeds the %d listed node(s)", r, len(t.Nodes))
+	}
+	owners := map[int][]string{} // shard id → owning node names
+	keys := map[string]string{}  // node name → canonical shard-set key
+	for _, n := range t.Nodes {
+		mine := make(map[int]bool, len(n.Shards))
+		for _, id := range n.Shards {
+			// The range-string parser already refuses negatives; the
+			// JSON-array and programmatic forms must too, or coverage
+			// would index a slice with the bad id instead of reporting
+			// it.
+			if id < 0 {
+				return fmt.Errorf("cluster: topology node %q serves negative shard %d", n.Name, id)
+			}
+			if total >= 0 && id >= total {
+				return fmt.Errorf("cluster: node %q serves shard %d, index has %d", n.Name, id, total)
+			}
+			if mine[id] {
+				return fmt.Errorf("cluster: node %q lists shard %d twice", n.Name, id)
+			}
+			mine[id] = true
+			owners[id] = append(owners[id], n.Name)
+		}
+		keys[n.Name] = shardSetKey(n.Shards)
+	}
+	for id, who := range owners {
+		if len(who) != r {
+			if r == 1 && len(who) == 2 {
+				return fmt.Errorf("cluster: shard %d assigned to both %q and %q", id, who[0], who[1])
+			}
+			return fmt.Errorf("cluster: shard %d has %d owner(s) (%v), replication factor %d requires exactly %d",
+				id, len(who), who, r, r)
+		}
+		for _, name := range who[1:] {
+			if keys[name] != keys[who[0]] {
+				return fmt.Errorf("cluster: nodes %q and %q both serve shard %d but with different shard sets; replicas must mirror whole shard sets",
+					who[0], name, id)
+			}
+		}
+	}
+	return nil
+}
+
+// shardSetKey canonicalizes a shard list for replica-group comparison
+// and grouping.
+func shardSetKey(ids []int) string {
+	s := append([]int(nil), ids...)
+	sort.Ints(s)
+	var b strings.Builder
+	for i, id := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(id))
+	}
+	return b.String()
 }

@@ -6,8 +6,6 @@ import (
 	"reflect"
 	"strings"
 	"testing"
-
-	"twinsearch/internal/shard"
 )
 
 func TestParseShardRanges(t *testing.T) {
@@ -65,11 +63,46 @@ func TestParseTopology(t *testing.T) {
 		"unknown fields": `{"nodes":[{"name":"a","addr":"x","shards":[0],"weight":2}]}`,
 		"bad shards":     `{"nodes":[{"name":"a","addr":"x","shards":true}]}`,
 		"negative shard": `{"nodes":[{"name":"a","addr":"x","shards":[-1,0]}]}`,
+
+		// Replicated assignments.
+		"negative replicas": `{"replicas":-1,"nodes":[{"name":"a","addr":"x","shards":[0]}]}`,
+		"R exceeds nodes":   `{"replicas":3,"nodes":[{"name":"a","addr":"x","shards":[0]},{"name":"b","addr":"y","shards":[0]}]}`,
+		"under-replicated":  `{"replicas":2,"nodes":[{"name":"a","addr":"x","shards":[0]},{"name":"b","addr":"y","shards":[0]},{"name":"c","addr":"z","shards":[1]}]}`,
+		"over-replicated":   `{"replicas":2,"nodes":[{"name":"a","addr":"x","shards":[0]},{"name":"b","addr":"y","shards":[0]},{"name":"c","addr":"z","shards":[0]}]}`,
+		"mismatched replica sets": `{"replicas":2,"nodes":[
+			{"name":"a","addr":"w","shards":[0,1]},{"name":"b","addr":"x","shards":[0,2]},
+			{"name":"c","addr":"y","shards":[1,2]}]}`,
 	}
 	for name, doc := range bad {
 		if _, err := ParseTopology(strings.NewReader(doc)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+
+	// A well-formed replicated document parses: two mirrored pairs.
+	replicated := `{"replicas":2,"nodes":[
+		{"name":"a1","addr":"http://h1:1","shards":"0-1"},
+		{"name":"a2","addr":"http://h2:2","shards":[0,1]},
+		{"name":"b1","addr":"http://h3:3","shards":[2]},
+		{"name":"b2","addr":"http://h4:4","shards":[2]}]}`
+	topo2, err := ParseTopology(strings.NewReader(replicated))
+	if err != nil {
+		t.Fatalf("replicated topology rejected: %v", err)
+	}
+	if topo2.R() != 2 {
+		t.Fatalf("R() = %d, want 2", topo2.R())
+	}
+}
+
+// TestValidateAssignmentDuplicateOwner covers the programmatic path:
+// one node listing the same shard twice must be refused even though
+// ShardList's JSON unmarshaler normally collapses duplicates before
+// validation sees them.
+func TestValidateAssignmentDuplicateOwner(t *testing.T) {
+	topo := &Topology{Nodes: []NodeSpec{{Name: "a", Addr: "x", Shards: []int{0, 0}}}}
+	err := topo.validateAssignment(-1)
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate shard on one node: err = %v", err)
 	}
 }
 
@@ -112,8 +145,8 @@ func TestCheckCoverage(t *testing.T) {
 }
 
 func TestSplitBudget(t *testing.T) {
-	c := &Coordinator{windows: 100, backends: []backendRef{
-		{b: fakeWindows{n: 50}}, {b: fakeWindows{n: 30}}, {b: fakeWindows{n: 20}},
+	c := &Coordinator{windows: 100, groups: []*group{
+		{windows: 50}, {windows: 30}, {windows: 20},
 	}}
 	for _, budget := range []int{1, 7, 100, 250} {
 		shares := c.splitBudget(budget)
@@ -135,12 +168,3 @@ func TestSplitBudget(t *testing.T) {
 		}
 	}
 }
-
-// fakeWindows is a Backend stub for budget math: only Windows works
-// (the embedded nil interface panics on anything else).
-type fakeWindows struct {
-	shard.Backend
-	n int
-}
-
-func (f fakeWindows) Windows() int { return f.n }

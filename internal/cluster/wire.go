@@ -9,6 +9,8 @@ package cluster
 // byte-identical differential guarantees rely on.
 
 import (
+	"time"
+
 	"twinsearch/internal/core"
 	"twinsearch/internal/series"
 )
@@ -95,12 +97,18 @@ type NodeHealth struct {
 }
 
 // PeerStatus is one row of a coordinator's view of its nodes, surfaced
-// through the coordinator's /healthz.
+// through the coordinator's /healthz. Liveness comes from the cached
+// membership view the background sweep maintains; CheckedAt is the
+// staleness timestamp of that fact (zero: never checked), and Breaker /
+// ConsecFails expose the node's circuit state.
 type PeerStatus struct {
-	Name    string `json:"name"`
-	Addr    string `json:"addr"`
-	Shards  []int  `json:"shard_ids"`
-	Windows int    `json:"windows"`
-	Alive   bool   `json:"alive"`
-	Error   string `json:"error,omitempty"`
+	Name        string    `json:"name"`
+	Addr        string    `json:"addr"`
+	Shards      []int     `json:"shard_ids"`
+	Windows     int       `json:"windows"`
+	Alive       bool      `json:"alive"`
+	Error       string    `json:"error,omitempty"`
+	Breaker     string    `json:"breaker,omitempty"`
+	ConsecFails int       `json:"consec_fails,omitempty"`
+	CheckedAt   time.Time `json:"checked_at,omitzero"`
 }

@@ -1,0 +1,180 @@
+package harness
+
+// FigureFailover — beyond the paper: latency and availability of the
+// replicated cluster tier under injected faults. One saved 4-shard
+// index is served by two replica groups × 2 owners (R = 2) over
+// in-process HTTP nodes; a Chaos transport injects the faults at the
+// wire seam, so the coordinator's failover, hedging, and breaker logic
+// run exactly as in production. Scenarios: all nodes healthy, one
+// replica dead (connections refused), and one replica slow (fixed
+// added latency), each with hedging off and on. Reported per cell:
+// p50/p99 query latency and the error count — the availability claim
+// is that 1-dead completes every query.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"sort"
+	"time"
+
+	"twinsearch/internal/cluster"
+	"twinsearch/internal/core"
+	"twinsearch/internal/exec"
+	"twinsearch/internal/series"
+	"twinsearch/internal/shard"
+)
+
+// failoverHedgeDelay approximates a healthy p99 on loopback; the slow
+// rule dwarfs it so the hedged sibling always wins the slow unit.
+const (
+	failoverHedgeDelay = 2 * time.Millisecond
+	failoverSlowDelay  = 25 * time.Millisecond
+)
+
+func (r *Runner) FigureFailover() []Row {
+	const shards = 4
+	d := r.EEG()
+	r.logf("Failover experiment: %s (R=2, chaos transport)", d.Name)
+	ext := r.extractor(d, series.NormGlobal)
+	queries := r.workload(d, ext, DefaultL)
+	eps := d.DefaultEpsNorm
+
+	ix, err := shard.Build(ext, shard.Config{
+		Config: core.Config{L: DefaultL}, Shards: shards, Executor: exec.New(r.Workers)})
+	if err != nil {
+		r.logf("  build failed (%v)", err)
+		return nil
+	}
+	f, err := os.CreateTemp("", "twinsearch-failover-*.tsidx")
+	if err != nil {
+		r.logf("  temp index file unavailable (%v)", err)
+		return nil
+	}
+	path := f.Name()
+	if _, err := ix.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		r.logf("  save failed (%v)", err)
+		return nil
+	}
+	f.Close()
+	defer os.Remove(path)
+
+	// Two replica groups × two owners, every owner its own node process
+	// (in-process HTTP). The nodes stay up for the whole figure; the
+	// chaos rules change per scenario.
+	topo := &cluster.Topology{Index: path, Replicas: 2}
+	groups := [][]int{{0, 1}, {2, 3}}
+	var cleanup []func()
+	release := func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}
+	var hosts []string
+	for gi, run := range groups {
+		for ri := 0; ri < 2; ri++ {
+			name := fmt.Sprintf("g%dr%d", gi, ri)
+			topo.Nodes = append(topo.Nodes, cluster.NodeSpec{Name: name, Addr: "pending", Shards: run})
+		}
+	}
+	for i := range topo.Nodes {
+		n, err := cluster.OpenNode(topo, topo.Nodes[i].Name, ext, cluster.NodeOptions{Workers: r.Workers})
+		if err != nil {
+			r.logf("  node open failed (%v)", err)
+			release()
+			return nil
+		}
+		srv := httptest.NewServer(cluster.NewNodeRPC(n))
+		topo.Nodes[i].Addr = srv.URL
+		cleanup = append(cleanup, func() { n.Close() }, srv.Close)
+		u, err := url.Parse(srv.URL)
+		if err != nil {
+			r.logf("  bad node URL (%v)", err)
+			release()
+			return nil
+		}
+		hosts = append(hosts, u.Host)
+	}
+	defer release()
+
+	chaos := cluster.NewChaos(nil)
+	// victim g0r0 is first in topology order, so while healthy it
+	// absorbs its group's first attempts — the fault is on the hot path.
+	victim := hosts[0]
+
+	scenarios := []struct {
+		name string
+		rule *cluster.ChaosRule
+	}{
+		{"healthy", nil},
+		{"1-dead", &cluster.ChaosRule{Refuse: true}},
+		{"1-slow", &cluster.ChaosRule{Delay: failoverSlowDelay}},
+	}
+
+	var rows []Row
+	for _, hedged := range []bool{false, true} {
+		hedge := time.Duration(0)
+		label := "hedge=off"
+		if hedged {
+			hedge = failoverHedgeDelay
+			label = "hedge=on"
+		}
+		for _, sc := range scenarios {
+			// A fresh coordinator per cell: breaker and health state from
+			// one scenario must not leak into the next measurement.
+			cl, err := cluster.OpenCoordinator(context.Background(), topo, ext, DefaultL, cluster.Options{
+				Workers:         r.Workers,
+				HedgeDelay:      hedge,
+				RefreshInterval: -1,
+				Client:          &http.Client{Transport: chaos},
+			})
+			if err != nil {
+				r.logf("  %s/%s: coordinator failed (%v)", sc.name, label, err)
+				continue
+			}
+			if sc.rule != nil {
+				chaos.Set(victim, *sc.rule)
+			}
+			p50, p99, avg, errs := measureTail(cl, queries, eps)
+			chaos.Clear(victim)
+			cl.Close()
+			r.logf("  %-8s %s: p50 %.3f ms, p99 %.3f ms, %d error(s)", sc.name, label, p50, p99, errs)
+			rows = append(rows, Row{Figure: "failover", Dataset: d.Name, Method: "TS-Index",
+				Param: sc.name + "/" + label, AvgQueryMs: avg, P50Ms: p50, P99Ms: p99, Errors: errs})
+		}
+	}
+	return rows
+}
+
+// measureTail runs the workload through the coordinator and returns
+// per-query p50/p99/mean latency in milliseconds plus the error count.
+func measureTail(cl *cluster.Coordinator, queries [][]float64, eps float64) (p50, p99, avg float64, errs int) {
+	ctx := context.Background()
+	lat := make([]float64, 0, len(queries))
+	var sum float64
+	for _, q := range queries {
+		start := time.Now()
+		_, _, err := cl.SearchStats(ctx, q, eps)
+		ms := time.Since(start).Seconds() * 1000
+		if err != nil {
+			errs++
+			continue
+		}
+		lat = append(lat, ms)
+		sum += ms
+	}
+	if len(lat) == 0 {
+		return 0, 0, 0, errs
+	}
+	sort.Float64s(lat)
+	quantile := func(p float64) float64 {
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	return quantile(0.50), quantile(0.99), sum / float64(len(lat)), errs
+}

@@ -32,6 +32,13 @@ type Row struct {
 	AvgCandidates float64
 	BuildMs       float64
 	MemBytes      int
+
+	// Latency-distribution fields, populated by the figures that report
+	// tails (failover): per-query p50/p99 and the count of queries that
+	// returned an error.
+	P50Ms  float64
+	P99Ms  float64
+	Errors int
 }
 
 // Runner executes the paper's experiments. The zero value is not usable;

@@ -36,6 +36,10 @@ func PrintTable(w io.Writer, rows []Row) {
 			printFigKernel(w, g)
 			continue
 		}
+		if k.fig == "failover" {
+			printFigFailover(w, g)
+			continue
+		}
 		fmt.Fprintf(w, "%-12s %-14s %14s %12s %14s\n",
 			"method", "param", "avg query ms", "avg results", "avg candidates")
 		for _, r := range g {
@@ -62,6 +66,17 @@ func printFigKernel(w io.Writer, g []Row) {
 	}
 }
 
+// printFigFailover renders the fault-injection rows with the latency
+// tail (p50/p99) and the availability column (errored queries).
+func printFigFailover(w io.Writer, g []Row) {
+	fmt.Fprintf(w, "%-12s %-20s %10s %10s %12s %8s\n",
+		"method", "scenario", "p50 ms", "p99 ms", "avg ms", "errors")
+	for _, r := range g {
+		fmt.Fprintf(w, "%-12s %-20s %10.3f %10.3f %12.3f %8d\n",
+			r.Method, r.Param, r.P50Ms, r.P99Ms, r.AvgQueryMs, r.Errors)
+	}
+}
+
 func humanBytes(b int) string {
 	switch {
 	case b >= 1<<30:
@@ -77,10 +92,10 @@ func humanBytes(b int) string {
 
 // PrintCSV renders rows as CSV for downstream plotting.
 func PrintCSV(w io.Writer, rows []Row) {
-	fmt.Fprintln(w, "figure,dataset,method,param,avg_query_ms,avg_results,avg_candidates,build_ms,mem_bytes")
+	fmt.Fprintln(w, "figure,dataset,method,param,avg_query_ms,avg_results,avg_candidates,build_ms,mem_bytes,p50_ms,p99_ms,errors")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s,%s,%s,%s,%.6f,%.2f,%.2f,%.3f,%d\n",
-			r.Figure, r.Dataset, r.Method, csvEscape(r.Param), r.AvgQueryMs, r.AvgResults, r.AvgCandidates, r.BuildMs, r.MemBytes)
+		fmt.Fprintf(w, "%s,%s,%s,%s,%.6f,%.2f,%.2f,%.3f,%d,%.6f,%.6f,%d\n",
+			r.Figure, r.Dataset, r.Method, csvEscape(r.Param), r.AvgQueryMs, r.AvgResults, r.AvgCandidates, r.BuildMs, r.MemBytes, r.P50Ms, r.P99Ms, r.Errors)
 	}
 }
 

@@ -107,17 +107,16 @@ func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
 		"workers": h.eng.Workers(),
 	}
 	cl := h.eng.Cluster()
-	// Release the engine lock before the peer probes: Health dials
-	// every remote node (up to PingTimeout each), and holding even a
-	// read lock that long would let one queued Append writer stall
-	// every new search behind a health check.
 	h.mu.RUnlock()
 	if cl != nil {
 		// Coordinator engines report the cluster view: which node owns
-		// which shards, and whether each peer answered a liveness probe
-		// just now.
+		// which shards and each node's cached liveness — maintained by
+		// the background membership sweep, never probed inline, so this
+		// endpoint answers in microseconds however many peers exist.
+		// Each row's checked_at says how fresh its fact is.
 		role = "coordinator"
-		body["nodes"] = cl.Health(r.Context())
+		body["nodes"] = cl.Health()
+		body["replicas"] = cl.Replicas()
 	}
 	body["role"] = role
 	writeJSON(w, http.StatusOK, body)

@@ -31,6 +31,15 @@ package shard
 //   - ctx cancels remaining work: queued work units are skipped and
 //     remote calls abandoned once ctx is done, and the call returns
 //     ctx.Err().
+//   - Replica interchangeability: two Backends opened over the same
+//     shard set of the same saved index are answer-equivalent — every
+//     method returns the same matches AND the same Stats counters for
+//     the same arguments, because a saved index freezes tree shape and
+//     traversal order. The cluster tier's failover and hedging rest on
+//     this: whichever replica answers a unit, the bytes are the same.
+//     Implementations must stay deterministic per (index bytes, shard
+//     set, query) — no randomized traversal, no time-dependent
+//     short-circuits.
 
 import (
 	"context"

@@ -178,12 +178,31 @@ type Options struct {
 	// topology entries served in-process (addr "local").
 	Topology string
 
-	// ClusterTimeout bounds every per-node RPC of a Topology engine; a
-	// node that cannot answer within it fails the query with an error
-	// naming it. 0 selects the cluster default (10s). The bound is per
-	// node and absolute: it also caps any longer deadline on the
-	// caller's context.
+	// ClusterTimeout bounds every per-node RPC of a Topology engine; an
+	// attempt that cannot answer within it fails over to the shard's
+	// next replica, and only when every replica is out does the query
+	// fail with an error naming the nodes. 0 selects the cluster
+	// default (10s). The bound is per attempt and absolute: it also
+	// caps any longer deadline on the caller's context.
 	ClusterTimeout time.Duration
+
+	// ClusterHedge, when positive, hedges each cluster query unit: the
+	// same unit goes to a second replica after this delay, the first
+	// response wins, the loser is canceled. Needs a replicated topology
+	// (Replicas ≥ 2) to have any effect. 0 disables hedging.
+	ClusterHedge time.Duration
+
+	// ClusterBreakerFails is the consecutive-failure run that trips a
+	// node's circuit breaker, dropping it to the back of the replica
+	// attempt order until a health probe sees it answer again. 0
+	// selects the cluster default (3).
+	ClusterBreakerFails int
+
+	// ClusterRefresh is the period of the coordinator's background
+	// membership sweep, the single source of truth for node liveness
+	// surfaced in /healthz. 0 selects the cluster default (2s);
+	// negative disables the sweep.
+	ClusterRefresh time.Duration
 
 	// iSAX knobs (MethodISAX).
 	Segments     int // PAA segments m (default 10)
@@ -345,7 +364,8 @@ func Open(data []float64, opt Options) (*Engine, error) {
 			return nil, err
 		}
 		cl, err := cluster.OpenCoordinator(context.Background(), topo, e.ext, opt.L, cluster.Options{
-			Timeout: opt.ClusterTimeout,
+			Timeout: opt.ClusterTimeout, HedgeDelay: opt.ClusterHedge,
+			BreakerFails: opt.ClusterBreakerFails, RefreshInterval: opt.ClusterRefresh,
 			Workers: opt.Workers, NoMMap: !opt.MMap, Prefetch: opt.Prefetch,
 		})
 		if err != nil {
