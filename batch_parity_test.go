@@ -33,10 +33,19 @@ func matchListsEq(a, b []Match) bool {
 // parityEngines opens one engine per search path over the same data and
 // normalization; every engine must answer every query identically.
 func parityEngines(t *testing.T, ts []float64, l int, norm NormMode) map[string]*Engine {
+	return parityEnginesMod(t, ts, l, norm, nil)
+}
+
+// parityEnginesMod is parityEngines with an Options hook applied to
+// every engine — the serving-cache differential tests use it to open
+// the same path set with the caches enabled.
+func parityEnginesMod(t *testing.T, ts []float64, l int, norm NormMode, mod func(*Options)) map[string]*Engine {
 	t.Helper()
-	base := Options{L: l, Norm: norm, NormSet: true}
 	open := func(o Options) *Engine {
 		t.Helper()
+		if mod != nil {
+			mod(&o)
+		}
 		eng, err := Open(ts, o)
 		if err != nil {
 			t.Fatal(err)
@@ -45,7 +54,7 @@ func parityEngines(t *testing.T, ts []float64, l int, norm NormMode) map[string]
 		return eng
 	}
 	engines := map[string]*Engine{
-		"unsharded": open(base),
+		"unsharded": open(Options{L: l, Norm: norm, NormSet: true}),
 		"sharded3":  open(Options{L: l, Norm: norm, NormSet: true, Shards: 3}),
 		"sharded5":  open(Options{L: l, Norm: norm, NormSet: true, Shards: 5}),
 		"byMean3":   open(Options{L: l, Norm: norm, NormSet: true, Shards: 3, PartitionByMean: true}),
@@ -59,7 +68,11 @@ func parityEngines(t *testing.T, ts []float64, l int, norm NormMode) map[string]
 	if err := src.SaveIndexFile(idx); err != nil {
 		t.Fatal(err)
 	}
-	mm, err := OpenSavedFile(ts, idx, Options{L: l, Norm: norm, NormSet: true, MMap: true})
+	mmOpt := Options{L: l, Norm: norm, NormSet: true, MMap: true}
+	if mod != nil {
+		mod(&mmOpt)
+	}
+	mm, err := OpenSavedFile(ts, idx, mmOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +86,11 @@ func parityEngines(t *testing.T, ts []float64, l int, norm NormMode) map[string]
 		t.Fatal(err)
 	}
 	topo := writeTopologyFor(t, shardedSrc, 4, 2)
-	cl, err := Open(ts, Options{L: l, Norm: norm, NormSet: true, Topology: topo, MMap: true})
+	clOpt := Options{L: l, Norm: norm, NormSet: true, Topology: topo, MMap: true}
+	if mod != nil {
+		mod(&clOpt)
+	}
+	cl, err := Open(ts, clOpt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,4 +1,4 @@
-package twinsearch
+package twinsearch_test
 
 // Benchmarks mirroring the paper's evaluation, one family per figure
 // (see DESIGN.md §4 for the mapping and EXPERIMENTS.md for recorded
@@ -15,6 +15,7 @@ import (
 	"math"
 	"testing"
 
+	"twinsearch"
 	"twinsearch/internal/core"
 	"twinsearch/internal/datasets"
 	"twinsearch/internal/exec"
@@ -574,7 +575,7 @@ func BenchmarkSkewedShardSearch(b *testing.B) {
 func BenchmarkBatchFusion(b *testing.B) {
 	ds := benchSetups[1]
 	raw := datasets.Queries(ds.data, 7, benchQueries, harness.DefaultL)
-	eng, err := Open(ds.data, Options{L: harness.DefaultL, Shards: 4})
+	eng, err := twinsearch.Open(ds.data, twinsearch.Options{L: harness.DefaultL, Shards: 4})
 	if err != nil {
 		b.Fatal(err)
 	}

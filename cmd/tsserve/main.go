@@ -56,6 +56,11 @@ func main() {
 		hedge       = flag.Duration("hedge", 0, "coordinator hedging delay: re-issue a query unit to a second replica after this long and take the first response (0 = off; needs a replicated topology)")
 		brkFails    = flag.Int("breaker-fails", 0, "consecutive failures that trip a node's circuit breaker, demoting it in the replica attempt order until a health probe recovers it (0 = 3 default)")
 		healthEvery = flag.Duration("health-interval", 0, "coordinator background health-sweep period feeding /healthz's cached membership view (0 = 2s default, negative = off)")
+		planCache   = flag.Int("plan-cache", -1, "prepared-query plan cache entries: repeated query bytes skip validation and normalization (-1 = default size, 0 = off)")
+		resultCache = flag.Int("result-cache-bytes", -1, "result cache byte budget: whole answers keyed by (query, params, path, epoch), invalidated by Append via the epoch (-1 = default 32MiB, 0 = off)")
+		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrently executing queries; past it requests queue up to -max-queue, then shed with 429 + Retry-After (0 = unlimited)")
+		maxQueue    = flag.Int("max-queue", 64, "admission control: requests allowed to wait for an in-flight slot before shedding (needs -max-inflight)")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint written on shed (429) responses")
 	)
 	flag.Parse()
 	if *seriesPath == "" {
@@ -79,6 +84,7 @@ func main() {
 			addrSet = true
 		}
 	})
+	srvCfg := server.Config{MaxInflight: *maxInflight, MaxQueue: *maxQueue, RetryAfter: *retryAfter}
 
 	switch *role {
 	case "node":
@@ -93,15 +99,17 @@ func main() {
 		opt := twinsearch.Options{L: *l, Norm: normMode, NormSet: true,
 			Workers: *workers, Topology: *topology, ClusterTimeout: *nodeTimeout,
 			ClusterHedge: *hedge, ClusterBreakerFails: *brkFails, ClusterRefresh: *healthEvery,
-			MMap: *mmapIndex, Prefetch: *prefetch}
-		serveEngine(data, opt, "", *addr)
+			MMap: *mmapIndex, Prefetch: *prefetch,
+			PlanCache: *planCache, ResultCacheBytes: *resultCache}
+		serveEngine(data, opt, "", *addr, srvCfg)
 	case "standalone":
 		if *mmapIndex && *loadIndex == "" {
 			fatal(fmt.Errorf("-mmap requires -loadindex (only a saved index can be mapped)"))
 		}
 		opt := twinsearch.Options{L: *l, Norm: normMode, NormSet: true, Shards: *shards,
-			PartitionByMean: *meanShards, Workers: *workers, MMap: *mmapIndex, Prefetch: *prefetch}
-		serveEngine(data, opt, *loadIndex, *addr)
+			PartitionByMean: *meanShards, Workers: *workers, MMap: *mmapIndex, Prefetch: *prefetch,
+			PlanCache: *planCache, ResultCacheBytes: *resultCache}
+		serveEngine(data, opt, *loadIndex, *addr, srvCfg)
 	default:
 		fatal(fmt.Errorf("unknown role %q", *role))
 	}
@@ -109,7 +117,7 @@ func main() {
 
 // serveEngine runs the standalone and coordinator roles: build or
 // reopen (or cluster-open) an engine and serve the public JSON API.
-func serveEngine(data []float64, opt twinsearch.Options, loadIndex, addr string) {
+func serveEngine(data []float64, opt twinsearch.Options, loadIndex, addr string, cfg server.Config) {
 	start := time.Now()
 	var eng *twinsearch.Engine
 	var err error
@@ -134,7 +142,7 @@ func serveEngine(data []float64, opt twinsearch.Options, loadIndex, addr string)
 			eng.NumSubsequences(), eng.L(), eng.Shards(), eng.Workers(),
 			time.Since(start).Round(time.Millisecond), mapped, addr)
 	}
-	h := server.New(eng)
+	h := server.NewWithConfig(eng, cfg)
 	serveUntilSignal(addr, h, h.BeginDrain, eng.Close)
 }
 

@@ -15,6 +15,7 @@ import (
 	"twinsearch/internal/arena"
 	"twinsearch/internal/core"
 	"twinsearch/internal/exec"
+	"twinsearch/internal/qcache"
 	"twinsearch/internal/series"
 	"twinsearch/internal/shard"
 )
@@ -106,7 +107,7 @@ func OpenSaved(data []float64, r io.Reader, opt Options) (*Engine, error) {
 	if opt.Method != MethodTSIndex {
 		return nil, ErrPersistUnsupported
 	}
-	e := &Engine{opt: opt, ext: series.NewExtractor(data, opt.Norm), ex: exec.New(opt.Workers)}
+	e := newEngine(data, opt)
 
 	br := bufio.NewReader(r)
 	magic, err := br.Peek(len(shard.Magic))
@@ -211,7 +212,7 @@ func engineFromArena(data []float64, ar *arena.Arena, opt Options) (*Engine, err
 		return nil, fmt.Errorf("twinsearch: saved index truncated (%d bytes)", len(buf))
 	}
 	magic, version := string(buf[:4]), binary.LittleEndian.Uint16(buf[4:])
-	e := &Engine{opt: opt, ext: series.NewExtractor(data, opt.Norm), ex: exec.New(opt.Workers)}
+	e := newEngine(data, opt)
 	savedL := 0
 	switch {
 	case magic == shard.Magic && version == shard.PersistVersion:
@@ -245,6 +246,13 @@ func engineFromArena(data []float64, ar *arena.Arena, opt Options) (*Engine, err
 // the shorter length are scanned directly. Exact. Requires
 // MethodTSIndex and a normalization other than NormPerSubsequence.
 func (e *Engine) SearchShorter(q []float64, eps float64) ([]Match, error) {
+	return e.SearchShorterCtx(context.Background(), q, eps)
+}
+
+// SearchShorterCtx is SearchShorter honoring cancellation (see
+// SearchCtx) — the serving tier routes admitted prefix queries through
+// it so queued work dies with the request.
+func (e *Engine) SearchShorterCtx(ctx context.Context, q []float64, eps float64) ([]Match, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -256,13 +264,26 @@ func (e *Engine) SearchShorter(q []float64, eps float64) ([]Match, error) {
 	if eps < 0 || math.IsNaN(eps) {
 		return nil, fmt.Errorf("twinsearch: invalid threshold %v", eps)
 	}
+	r, err := e.searchCached(qcache.PathPrefix, q, eps, 0, func() (qcache.Result, error) {
+		ms, err := e.searchShorterPreparedCtx(ctx, e.ext.TransformQuery(q), eps)
+		return qcache.Result{Matches: ms}, err
+	})
+	return r.Matches, err
+}
+
+// searchShorterPreparedCtx dispatches a transformed prefix query to the
+// engine's TS-Index backing.
+func (e *Engine) searchShorterPreparedCtx(ctx context.Context, tq []float64, eps float64) ([]Match, error) {
 	if e.cl != nil {
-		return e.cl.SearchPrefix(context.Background(), e.ext.TransformQuery(q), eps)
+		return e.cl.SearchPrefix(ctx, tq, eps)
 	}
 	if e.sh != nil {
-		return e.sh.SearchPrefix(e.ext.TransformQuery(q), eps)
+		return e.sh.SearchPrefixCtx(ctx, tq, eps)
 	}
-	return e.tsFrozen().SearchPrefix(e.ext.TransformQuery(q), eps)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.tsFrozen().SearchPrefix(tq, eps)
 }
 
 // SearchApprox probes at most leafBudget nearest leaves and returns a
@@ -272,6 +293,16 @@ func (e *Engine) SearchShorter(q []float64, eps float64) ([]Match, error) {
 // nearest leaves. Requires MethodTSIndex and a positive leafBudget;
 // Search is the exact counterpart.
 func (e *Engine) SearchApprox(q []float64, eps float64, leafBudget int) ([]Match, error) {
+	return e.SearchApproxCtx(context.Background(), q, eps, leafBudget)
+}
+
+// SearchApproxCtx is SearchApprox honoring cancellation (see
+// SearchCtx) — the serving tier routes admitted approximate queries
+// through it so queued work dies with the request. Note that on a
+// sharded engine the probed subset is scheduling-dependent, so a cached
+// answer reproduces one valid traversal, not necessarily the one a
+// fresh call would take.
+func (e *Engine) SearchApproxCtx(ctx context.Context, q []float64, eps float64, leafBudget int) ([]Match, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -284,18 +315,32 @@ func (e *Engine) SearchApprox(q []float64, eps float64, leafBudget int) ([]Match
 	if leafBudget <= 0 {
 		return nil, fmt.Errorf("twinsearch: leaf budget %d; SearchApprox needs a positive number of leaf probes", leafBudget)
 	}
-	if len(q) != e.opt.L {
-		return nil, fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)
+	tq, err := e.planQuery(q)
+	if err != nil {
+		return nil, err
 	}
+	r, err := e.searchCached(qcache.PathApprox, q, eps, float64(leafBudget), func() (qcache.Result, error) {
+		ms, err := e.searchApproxPreparedCtx(ctx, tq, eps, leafBudget)
+		return qcache.Result{Matches: ms}, err
+	})
+	return r.Matches, err
+}
+
+// searchApproxPreparedCtx dispatches a transformed approximate query to
+// the engine's TS-Index backing.
+func (e *Engine) searchApproxPreparedCtx(ctx context.Context, tq []float64, eps float64, leafBudget int) ([]Match, error) {
 	if e.cl != nil {
-		ms, _, err := e.cl.SearchApprox(context.Background(), e.ext.TransformQuery(q), eps, leafBudget)
+		ms, _, err := e.cl.SearchApprox(ctx, tq, eps, leafBudget)
 		return ms, err
 	}
 	if e.sh != nil {
-		ms, _ := e.sh.SearchApprox(e.ext.TransformQuery(q), eps, leafBudget)
-		return ms, nil
+		ms, _, err := e.sh.SearchApproxCtx(ctx, tq, eps, leafBudget)
+		return ms, err
 	}
-	ms, _ := e.tsFrozen().SearchApprox(e.ext.TransformQuery(q), eps, leafBudget)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ms, _ := e.tsFrozen().SearchApprox(tq, eps, leafBudget)
 	return ms, nil
 }
 
@@ -348,6 +393,11 @@ func (e *Engine) Append(values ...float64) error {
 	if e.sh == nil {
 		e.fzDirty.Store(true)
 	}
+	// The index content changed: bump the epoch before returning so no
+	// consumer that observed the Append can build a result-cache key an
+	// older answer satisfies (the server's /append handler relies on the
+	// bump landing before its response is written).
+	e.epoch.Add(1)
 	return nil
 }
 

@@ -30,9 +30,18 @@ var closedGuardedTypes = map[string]map[string]bool{
 }
 
 // closedGuardedCalls are receiver methods whose call counts as touching
-// the index (they dereference the fields internally).
+// the index (they dereference the fields internally). The unexported
+// dispatch helpers behind the serving-tier entry points are listed so
+// any new exported method routing through them — including via the
+// result cache's run closure — must still check closed first.
 var closedGuardedCalls = map[string]bool{
-	"tsFrozen": true,
+	"tsFrozen":                 true,
+	"searchCached":             true,
+	"searchPreparedCtx":        true,
+	"searchStatsPreparedCtx":   true,
+	"searchTopKPreparedCtx":    true,
+	"searchShorterPreparedCtx": true,
+	"searchApproxPreparedCtx":  true,
 }
 
 func runClosedguard(pass *Pass) error {

@@ -64,6 +64,31 @@ func (e *Engine) Delegating() (int, error) { // want `exported method Delegating
 	return *e.tsFrozen(), nil
 }
 
+// searchCached mimics the serving-tier cache wrapper: index access is
+// hidden inside the run closure, so the wrapper itself is guarded.
+func (e *Engine) searchCached(run func() (int, error)) (int, error) { return run() }
+
+// searchPreparedCtx mimics the post-validation dispatch helper.
+func (e *Engine) searchPreparedCtx(q []float64) ([]int, error) { return nil, nil }
+
+// SearchCached routes through the cache wrapper without a guard.
+func (e *Engine) SearchCached(q []float64) (int, error) { // want `exported method SearchCached touches index state \(searchCached\(\)\) without checking e\.closed`
+	return e.searchCached(func() (int, error) { return 0, nil })
+}
+
+// SearchCachedGuarded is the guarded shape: no diagnostic.
+func (e *Engine) SearchCachedGuarded(q []float64) (int, error) {
+	if e.closed.Load() {
+		return 0, errClosed
+	}
+	return e.searchCached(func() (int, error) { return 0, nil })
+}
+
+// SearchPreparedCtx dispatches without a guard.
+func (e *Engine) SearchPreparedCtx(q []float64) ([]int, error) { // want `exported method SearchPreparedCtx touches index state \(searchPreparedCtx\(\)\) without checking e\.closed`
+	return e.searchPreparedCtx(q)
+}
+
 // Collection mimics the multi-series wrapper.
 type Collection struct {
 	closed  atomic.Bool

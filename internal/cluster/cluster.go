@@ -217,6 +217,7 @@ func OpenCoordinator(ctx context.Context, topo *Topology, ext *series.Extractor,
 						spec.Name, h.TotalShards, h.Partition, total))
 				}
 				rm.windows = h.Windows
+				ow.st.epoch.Store(h.Epoch)
 				ow.st.setHealth(true, nil)
 			}
 		}

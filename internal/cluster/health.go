@@ -12,6 +12,7 @@ package cluster
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,6 +20,11 @@ import (
 // breaker. Methods are safe for concurrent use.
 type nodeState struct {
 	br *breaker
+
+	// epoch caches the index mutation counter the node last reported in
+	// /healthz (see NodeHealth.Epoch) — read by Coordinator.Epoch on
+	// every cached search, refreshed by the membership sweep.
+	epoch atomic.Uint64
 
 	mu        sync.Mutex
 	alive     bool
@@ -101,6 +107,7 @@ func (c *Coordinator) probe(ctx context.Context, ow *owner) {
 		return
 	}
 	rm.windows = h.Windows
+	ow.st.epoch.Store(h.Epoch)
 	ow.st.setHealth(true, nil)
 	ow.st.br.probeOK()
 }
@@ -135,7 +142,36 @@ func (c *Coordinator) Health() []PeerStatus {
 			Alive: alive, Error: errMsg,
 			Breaker: brState.String(), ConsecFails: fails,
 			CheckedAt: checkedAt,
+			Epoch:     ow.epochView(),
 		}
 	}
 	return out
+}
+
+// epochView is the owner's current index epoch: live for in-process
+// nodes, the sweep-cached value for remote ones.
+func (ow *owner) epochView() uint64 {
+	if ow.node != nil {
+		return ow.node.Epoch()
+	}
+	return ow.st.epoch.Load()
+}
+
+// Epoch composes the cluster's index mutation counter from the
+// per-node view: replicas of one group serve identical subsets, so a
+// group's epoch is the max any owner reported, and the cluster epoch
+// sums the groups (any node mutating bumps the total — the monotonic
+// "index changed" signal result-cache keys embed, see Engine.Epoch).
+func (c *Coordinator) Epoch() uint64 {
+	var total uint64
+	for _, g := range c.groups {
+		var hi uint64
+		for _, ow := range g.owners {
+			if e := ow.epochView(); e > hi {
+				hi = e
+			}
+		}
+		total += hi
+	}
+	return total
 }

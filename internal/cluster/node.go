@@ -98,8 +98,16 @@ func (n *Node) Health() NodeHealth {
 		Partition:   partitionName(n.Sub.PartitionByMean()),
 		HeapBytes:   n.Sub.MemoryBytes(),
 		MappedBytes: n.Sub.MappedBytes(),
+		Epoch:       n.Epoch(),
 	}
 }
+
+// Epoch reports the node's index mutation counter (see Engine.Epoch).
+// Shard subsets are opened read-only from a saved index file, so the
+// counter stays 0 for the node's lifetime today; it is reported anyway
+// so coordinators compose cluster epochs through one code path and
+// cache invalidation keeps working the day nodes learn to mutate.
+func (n *Node) Epoch() uint64 { return 0 }
 
 func partitionName(byMean bool) string {
 	if byMean {

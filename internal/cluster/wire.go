@@ -94,6 +94,10 @@ type NodeHealth struct {
 	Partition   string `json:"partition"`
 	HeapBytes   int    `json:"heap_bytes"`
 	MappedBytes int    `json:"mapped_bytes"`
+	// Epoch is the node's index mutation counter (see Engine.Epoch);
+	// coordinators compose per-node epochs into the cluster epoch that
+	// keys serving-tier result caches.
+	Epoch uint64 `json:"epoch"`
 }
 
 // PeerStatus is one row of a coordinator's view of its nodes, surfaced
@@ -111,4 +115,5 @@ type PeerStatus struct {
 	Breaker     string    `json:"breaker,omitempty"`
 	ConsecFails int       `json:"consec_fails,omitempty"`
 	CheckedAt   time.Time `json:"checked_at,omitzero"`
+	Epoch       uint64    `json:"epoch"`
 }

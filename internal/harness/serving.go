@@ -1,0 +1,197 @@
+package harness
+
+// FigureServing — beyond the paper: the serving tier's caching and
+// admission behavior (internal/qcache + internal/server). Three cells
+// over the EEG workload:
+//
+//   - cold: every query's first arrival at a cache-enabled engine —
+//     full traversals, answers filling the plan and result caches.
+//   - hot: the same workload repeated — every query served from the
+//     result cache, so the hit path is a striped-map lookup plus one
+//     match-slice copy. The serving claim is hot p50 ≥10× below cold.
+//   - overload: an admission-controlled HTTP server (MaxInflight 2,
+//     MaxQueue 2) hammered by far more concurrent clients than it
+//     admits — the Errors column counts 429 sheds, the latencies are
+//     the admitted requests'. The claim is that overload sheds instead
+//     of queueing unboundedly.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twinsearch"
+	"twinsearch/internal/datasets"
+	"twinsearch/internal/server"
+)
+
+const (
+	servingHotPasses      = 5
+	servingOverloadConc   = 16 // concurrent clients, ≫ inflight+queue
+	servingOverloadRounds = 8  // requests per client
+)
+
+func (r *Runner) FigureServing() []Row {
+	d := r.EEG()
+	r.logf("Serving experiment: %s (plan + result caches, admission)", d.Name)
+	// Raw-space queries: the engine applies normalization itself, unlike
+	// the method-level figures that pre-transform via Runner.workload.
+	queries := datasets.Queries(d.Data, r.Seed+7, r.Queries, DefaultL)
+	eps := d.DefaultEpsNorm
+
+	eng, err := twinsearch.Open(d.Data, twinsearch.Options{
+		L: DefaultL, PlanCache: -1, ResultCacheBytes: -1, Workers: r.Workers})
+	if err != nil {
+		r.logf("  engine open failed (%v)", err)
+		return nil
+	}
+	defer eng.Close()
+
+	var rows []Row
+	p50, p99, avg, errs := measureServing(eng, queries, eps, 1)
+	r.logf("  cold: p50 %.3f ms, p99 %.3f ms", p50, p99)
+	rows = append(rows, Row{Figure: "serving", Dataset: d.Name, Method: "TS-Index",
+		Param: "cold", AvgQueryMs: avg, P50Ms: p50, P99Ms: p99, Errors: errs})
+
+	p50, p99, avg, errs = measureServing(eng, queries, eps, servingHotPasses)
+	st := eng.ServingStats()
+	r.logf("  hot:  p50 %.3f ms, p99 %.3f ms (%d hit(s), %d miss(es))",
+		p50, p99, st.Result.Hits, st.Result.Misses)
+	rows = append(rows, Row{Figure: "serving", Dataset: d.Name, Method: "TS-Index",
+		Param: "hot", AvgQueryMs: avg, P50Ms: p50, P99Ms: p99, Errors: errs})
+
+	if row, ok := r.servingOverload(d, queries, eps); ok {
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// measureServing runs the workload through the engine `passes` times
+// and returns per-query p50/p99/mean latency in milliseconds plus the
+// error count.
+func measureServing(eng *twinsearch.Engine, queries [][]float64, eps float64, passes int) (p50, p99, avg float64, errs int) {
+	var lat []float64
+	var sum float64
+	for p := 0; p < passes; p++ {
+		for _, q := range queries {
+			start := time.Now()
+			_, err := eng.Search(q, eps)
+			ms := time.Since(start).Seconds() * 1000
+			if err != nil {
+				errs++
+				continue
+			}
+			lat = append(lat, ms)
+			sum += ms
+		}
+	}
+	if len(lat) == 0 {
+		return 0, 0, 0, errs
+	}
+	sort.Float64s(lat)
+	quantile := func(p float64) float64 {
+		return lat[int(p*float64(len(lat)-1))]
+	}
+	return quantile(0.50), quantile(0.99), sum / float64(len(lat)), errs
+}
+
+// servingOverload drives an admission-controlled server far past its
+// capacity and reports the admitted requests' latency tail with the
+// shed count in the Errors column. The engine runs uncached and the
+// queries use a wide threshold, so every admitted request holds its
+// in-flight slot across a real traversal plus a many-match response —
+// long enough that the burst actually stacks up even on one CPU.
+func (r *Runner) servingOverload(d *Dataset, queries [][]float64, eps float64) (Row, bool) {
+	eps *= 20 // wide threshold: thousands of matches per answer
+	eng, err := twinsearch.Open(d.Data, twinsearch.Options{L: DefaultL, Workers: r.Workers})
+	if err != nil {
+		r.logf("  overload: engine open failed (%v)", err)
+		return Row{}, false
+	}
+	defer eng.Close()
+	srv := httptest.NewServer(server.NewWithConfig(eng, server.Config{
+		MaxInflight: 2, MaxQueue: 2, RetryAfter: time.Second}))
+	defer srv.Close()
+
+	type searchReq struct {
+		Query []float64 `json:"query"`
+		Eps   float64   `json:"eps"`
+	}
+	var (
+		mu   sync.Mutex
+		lat  []float64
+		sum  float64
+		shed atomic.Int64
+		wg   sync.WaitGroup
+	)
+	// Clients rendezvous at a round gate so each burst of
+	// servingOverloadConc requests genuinely arrives together —
+	// loopback queries are fast enough that unsynchronized clients
+	// drift apart and never exceed the in-flight cap.
+	rounds := make([]chan struct{}, servingOverloadRounds)
+	for i := range rounds {
+		rounds[i] = make(chan struct{})
+	}
+	//tsvet:ignore round pacer for the overload clients, not executor work
+	go func() {
+		for _, gate := range rounds {
+			close(gate)
+			time.Sleep(5 * time.Millisecond) // let the burst drain
+		}
+	}()
+	for c := 0; c < servingOverloadConc; c++ {
+		wg.Add(1)
+		//tsvet:ignore overload clients are network-bound HTTP callers, not executor work
+		go func(c int) {
+			defer wg.Done()
+			client := srv.Client()
+			for i, gate := range rounds {
+				<-gate
+				q := queries[(c+i)%len(queries)]
+				body, _ := json.Marshal(searchReq{Query: q, Eps: eps})
+				start := time.Now()
+				resp, err := client.Post(srv.URL+"/search", "application/json", bytes.NewReader(body))
+				ms := time.Since(start).Seconds() * 1000
+				if err != nil {
+					continue
+				}
+				// Drain the body: the server streams the match list, and
+				// the admission slot is held until the write completes.
+				_, _ = io.Copy(io.Discard, resp.Body)
+				ms = time.Since(start).Seconds() * 1000
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusTooManyRequests:
+					shed.Add(1)
+				case http.StatusOK:
+					mu.Lock()
+					lat = append(lat, ms)
+					sum += ms
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if len(lat) == 0 {
+		r.logf("  overload: no request was admitted")
+		return Row{}, false
+	}
+	sort.Float64s(lat)
+	quantile := func(p float64) float64 {
+		return lat[int(p*float64(len(lat)-1))]
+	}
+	p50, p99 := quantile(0.50), quantile(0.99)
+	r.logf("  overload: p50 %.3f ms, p99 %.3f ms, %d shed (429) of %d sent",
+		p50, p99, shed.Load(), servingOverloadConc*servingOverloadRounds)
+	return Row{Figure: "serving", Dataset: d.Name, Method: "TS-Index", Param: "overload",
+		AvgQueryMs: sum / float64(len(lat)), P50Ms: p50, P99Ms: p99,
+		Errors: int(shed.Load())}, true
+}

@@ -36,7 +36,7 @@ func PrintTable(w io.Writer, rows []Row) {
 			printFigKernel(w, g)
 			continue
 		}
-		if k.fig == "failover" {
+		if k.fig == "failover" || k.fig == "serving" {
 			printFigFailover(w, g)
 			continue
 		}
@@ -243,6 +243,26 @@ func ShapeReport(rows []Row) []string {
 					kv.BuildMs < is.BuildMs && kv.BuildMs < ts.BuildMs,
 					fmt.Sprintf("KV %.0f ms, iSAX %.0f ms, TS %.0f ms", kv.BuildMs, is.BuildMs, ts.BuildMs))
 			}
+		}
+	}
+
+	// Serving tier (beyond the paper): the result cache must turn a
+	// repeated query into a lookup — hot p50 an order of magnitude below
+	// cold — and overload must shed with 429 instead of queueing.
+	if rs := byFig["serving"]; len(rs) > 0 {
+		per := map[string]Row{}
+		for _, r := range rs {
+			per[r.Param] = r
+		}
+		cold, okC := per["cold"]
+		hot, okH := per["hot"]
+		if okC && okH && hot.P50Ms > 0 {
+			check("Serving: cache-hit p50 ≥10x below cold p50", hot.P50Ms*10 <= cold.P50Ms,
+				fmt.Sprintf("cold %.3f ms vs hot %.3f ms (%.0fx)", cold.P50Ms, hot.P50Ms, cold.P50Ms/hot.P50Ms))
+		}
+		if ov, ok := per["overload"]; ok {
+			check("Serving: overload sheds with 429", ov.Errors > 0,
+				fmt.Sprintf("%d request(s) shed, admitted p99 %.3f ms", ov.Errors, ov.P99Ms))
 		}
 	}
 

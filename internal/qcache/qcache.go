@@ -1,0 +1,343 @@
+// Package qcache holds the serving-tier caches: a plan cache of
+// validated, transformed queries and an epoch-keyed result cache of
+// whole answers. Production traffic against a twin-subsequence index
+// is highly repetitive — the same query bytes, eps, and k arrive over
+// and over — so the engine caches the rewritten form of a query (skip
+// validation + normalization on repeat) and the full result set (skip
+// the traversal entirely) until the index changes.
+//
+// Both caches are striped LRU maps: a key is routed to one of a fixed
+// number of stripes by an FNV-1a hash, so the hot path takes one
+// stripe mutex, never a global one, and concurrent lookups of
+// different queries proceed in parallel. Keys are the exact query
+// bytes (plus parameters), compared by Go's string equality — a hash
+// collision can cost a miss, never a wrong answer.
+//
+// Invalidation is structural, not scan-based: result keys embed the
+// engine's index epoch, a counter bumped on every mutation. An Append
+// bumps the epoch, every subsequent lookup builds a key no stored
+// entry can match, and the stale entries age out of the LRU under the
+// byte budget. Nothing is ever walked or purged inline on the hot
+// path.
+package qcache
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"twinsearch/internal/core"
+	"twinsearch/internal/series"
+)
+
+// stripeCount is the lock-striping factor of both caches. 16 stripes
+// keep mutex contention negligible at serving concurrency (requests
+// for distinct queries hash to distinct stripes with high probability)
+// while the per-stripe LRU lists stay long enough to approximate a
+// global LRU.
+const stripeCount = 16
+
+// stripeOf routes a key to its stripe: FNV-1a over the key bytes.
+func stripeOf(key string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % stripeCount)
+}
+
+// Stats is a point-in-time snapshot of one cache's counters. Hits,
+// misses, and evictions are cumulative since construction; Entries and
+// Bytes are current occupancy.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	Bytes     int
+}
+
+// QueryKey encodes a raw query into the cache key string both caches
+// share: the little-endian IEEE-754 bit patterns of the values,
+// concatenated. Two queries collide only if every float64 is
+// bit-identical — exactly the condition under which validation,
+// transformation, and (at a fixed epoch and parameter set) the answer
+// are identical too.
+func QueryKey(q []float64) string {
+	b := make([]byte, 8*len(q))
+	for i, v := range q {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	return string(b)
+}
+
+// Path tags the search path a cached result answers — part of the
+// result key, so a range search and a top-k over the same query bytes
+// can never alias.
+type Path byte
+
+// Result-cache path tags, one per cached Engine search path.
+const (
+	PathSearch Path = 's' // Search / SearchCtx
+	PathStats  Path = 't' // SearchStats / SearchStatsCtx
+	PathTopK   Path = 'k' // SearchTopK / SearchTopKCtx
+	PathPrefix Path = 'p' // SearchShorter / SearchShorterCtx
+	PathApprox Path = 'a' // SearchApprox / SearchApproxCtx
+)
+
+// ResultKey builds the result-cache key for one request: path tag,
+// index epoch, two parameter slots (eps / float64(k) / leaf budget;
+// unused slots are 0), then the raw query bytes. The epoch lives in
+// the key so invalidation is a key mismatch — after a mutation no
+// lookup can reach a pre-mutation entry.
+func ResultKey(path Path, epoch uint64, a, b float64, q []float64) string {
+	buf := make([]byte, 1+8+8+8+8*len(q))
+	buf[0] = byte(path)
+	binary.LittleEndian.PutUint64(buf[1:], epoch)
+	binary.LittleEndian.PutUint64(buf[9:], math.Float64bits(a))
+	binary.LittleEndian.PutUint64(buf[17:], math.Float64bits(b))
+	for i, v := range q {
+		binary.LittleEndian.PutUint64(buf[25+i*8:], math.Float64bits(v))
+	}
+	return string(buf)
+}
+
+// PlanCache is the striped LRU of prepared queries: raw query bytes →
+// the validated query mapped into the engine's value space. A hit
+// skips length/finiteness validation and normalization. Entries are
+// immutable once stored — callers must treat the returned slice as
+// read-only (every search path already does).
+type PlanCache struct {
+	perCap  int // max entries per stripe
+	stripes [stripeCount]planStripe
+
+	hits, misses, evictions atomic.Uint64
+}
+
+type planStripe struct {
+	mu sync.Mutex
+	ll *list.List // front = most recently used
+	m  map[string]*list.Element
+}
+
+type planEntry struct {
+	key      string
+	prepared []float64
+}
+
+// NewPlan builds a plan cache bounded to about `entries` prepared
+// queries (rounded up to a multiple of the stripe count).
+func NewPlan(entries int) *PlanCache {
+	if entries < stripeCount {
+		entries = stripeCount
+	}
+	c := &PlanCache{perCap: (entries + stripeCount - 1) / stripeCount}
+	for i := range c.stripes {
+		c.stripes[i].ll = list.New()
+		c.stripes[i].m = make(map[string]*list.Element)
+	}
+	return c
+}
+
+// Get returns the prepared form of the query behind key, if cached.
+// The returned slice is shared — read-only by contract.
+func (c *PlanCache) Get(key string) ([]float64, bool) {
+	s := &c.stripes[stripeOf(key)]
+	s.mu.Lock()
+	el, ok := s.m[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	p := el.Value.(*planEntry).prepared
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return p, true
+}
+
+// Put stores a prepared query, evicting the stripe's least recently
+// used entry past the capacity.
+func (c *PlanCache) Put(key string, prepared []float64) {
+	s := &c.stripes[stripeOf(key)]
+	s.mu.Lock()
+	if el, ok := s.m[key]; ok {
+		// Racing fills of the same query store identical plans; keep
+		// the incumbent and refresh its recency.
+		s.ll.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.m[key] = s.ll.PushFront(&planEntry{key: key, prepared: prepared})
+	var evicted uint64
+	for s.ll.Len() > c.perCap {
+		old := s.ll.Back()
+		s.ll.Remove(old)
+		delete(s.m, old.Value.(*planEntry).key)
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// Stats snapshots the cache counters and occupancy.
+func (c *PlanCache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		st.Entries += len(s.m)
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Result is one cached answer: the match set and, for the stats-
+// reporting paths, the traversal counters that came with it (counters
+// are part of the answer, so a cache hit reproduces them exactly).
+type Result struct {
+	Matches  []series.Match
+	Stats    core.Stats
+	HasStats bool
+}
+
+// matchBytes is the accounting cost of one Match (two words) and
+// resultOverhead the fixed per-entry cost charged for the list node,
+// map slot, and headers — approximate, but it keeps the byte budget
+// honest for small results, whose footprint is dominated by the key.
+const (
+	matchBytes     = 16
+	resultOverhead = 128
+)
+
+func entryBytes(key string, r Result) int {
+	return len(key) + len(r.Matches)*matchBytes + resultOverhead
+}
+
+// ResultCache is the striped, byte-bounded LRU of full answers, keyed
+// by ResultKey (path, epoch, params, query bytes).
+type ResultCache struct {
+	perBytes int // byte budget per stripe
+	stripes  [stripeCount]resultStripe
+
+	hits, misses, evictions atomic.Uint64
+}
+
+type resultStripe struct {
+	mu    sync.Mutex
+	ll    *list.List
+	m     map[string]*list.Element
+	bytes int
+}
+
+type resultEntry struct {
+	key string
+	val Result
+}
+
+// NewResult builds a result cache bounded to about maxBytes of stored
+// results (split evenly across stripes).
+func NewResult(maxBytes int) *ResultCache {
+	if maxBytes < stripeCount {
+		maxBytes = stripeCount
+	}
+	c := &ResultCache{perBytes: (maxBytes + stripeCount - 1) / stripeCount}
+	for i := range c.stripes {
+		c.stripes[i].ll = list.New()
+		c.stripes[i].m = make(map[string]*list.Element)
+	}
+	return c
+}
+
+// Get returns a copy of the cached answer for key, if present. The
+// match slice is copied so no caller can mutate the stored entry;
+// nil-ness is preserved (an empty answer round-trips as nil, exactly
+// as a fresh traversal reports it).
+func (c *ResultCache) Get(key string) (Result, bool) {
+	s := &c.stripes[stripeOf(key)]
+	s.mu.Lock()
+	el, ok := s.m[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return Result{}, false
+	}
+	s.ll.MoveToFront(el)
+	val := el.Value.(*resultEntry).val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	out := Result{Stats: val.Stats, HasStats: val.HasStats}
+	if val.Matches != nil {
+		out.Matches = make([]series.Match, len(val.Matches))
+		copy(out.Matches, val.Matches)
+	}
+	return out, true
+}
+
+// Put stores an answer under key, evicting least recently used entries
+// past the stripe's byte budget. An answer larger than the whole
+// stripe budget is not stored (it would evict everything and then be
+// evicted itself on the next Put).
+func (c *ResultCache) Put(key string, r Result) {
+	cost := entryBytes(key, r)
+	if cost > c.perBytes {
+		return
+	}
+	// Snapshot the matches: the caller keeps ownership of its slice.
+	stored := Result{Stats: r.Stats, HasStats: r.HasStats}
+	if r.Matches != nil {
+		stored.Matches = make([]series.Match, len(r.Matches))
+		copy(stored.Matches, r.Matches)
+	}
+	s := &c.stripes[stripeOf(key)]
+	s.mu.Lock()
+	if el, ok := s.m[key]; ok {
+		// Racing fills under one key store answers for the same
+		// (query, params, epoch) — keep the incumbent.
+		s.ll.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.m[key] = s.ll.PushFront(&resultEntry{key: key, val: stored})
+	s.bytes += cost
+	var evicted uint64
+	for s.bytes > c.perBytes {
+		old := s.ll.Back()
+		s.ll.Remove(old)
+		e := old.Value.(*resultEntry)
+		delete(s.m, e.key)
+		s.bytes -= entryBytes(e.key, e.val)
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// Stats snapshots the cache counters and occupancy.
+func (c *ResultCache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		st.Entries += len(s.m)
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}

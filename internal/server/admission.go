@@ -1,0 +1,117 @@
+package server
+
+// Admission control for the query endpoints: a counting semaphore of
+// in-flight searches plus a bounded wait queue in front of it. Under
+// overload the server sheds with 429 + Retry-After instead of stacking
+// unbounded goroutines on the executor — tail latency stays bounded
+// and the client gets an actionable signal. Queued requests hold no
+// engine resources and die with their context, so a disconnecting
+// client frees its slot immediately. Draining (BeginDrain) is checked
+// before admission: a draining server answers 503 without consuming
+// queue capacity.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the serving tier of a Handler. The zero value disables
+// admission control entirely (New's behavior: every request runs).
+type Config struct {
+	// MaxInflight caps concurrently executing queries (/search, /topk).
+	// 0 disables admission control.
+	MaxInflight int
+	// MaxQueue is how many requests may wait for an in-flight slot
+	// beyond MaxInflight before the server sheds with 429. 0 means no
+	// waiting: every request past MaxInflight sheds immediately.
+	MaxQueue int
+	// RetryAfter is the hint written in the Retry-After header of shed
+	// responses. 0 selects one second.
+	RetryAfter time.Duration
+}
+
+// errOverloaded is the body of a shed response.
+var errOverloaded = errors.New("server overloaded: admission queue full; retry later")
+
+// admission is the runtime state behind Config: sem holds one token
+// per executing query, queued counts waiters, shed counts 429s.
+type admission struct {
+	sem        chan struct{} // nil = admission control off
+	maxQueue   int
+	retryAfter time.Duration
+
+	queued atomic.Int64
+	shed   atomic.Uint64
+}
+
+func newAdmission(cfg Config) *admission {
+	a := &admission{maxQueue: cfg.MaxQueue, retryAfter: cfg.RetryAfter}
+	if a.retryAfter <= 0 {
+		a.retryAfter = time.Second
+	}
+	if cfg.MaxInflight > 0 {
+		a.sem = make(chan struct{}, cfg.MaxInflight)
+	}
+	return a
+}
+
+// acquire admits the request (nil), sheds it (errOverloaded), or gives
+// up because the caller's context ended while waiting (its ctx.Err()).
+// Every nil return must be paired with a release.
+func (a *admission) acquire(ctx context.Context) error {
+	if a.sem == nil {
+		return nil
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	// All in-flight slots busy: join the bounded queue. The counter is
+	// claim-then-check so concurrent arrivals cannot overshoot the cap.
+	if a.queued.Add(1) > int64(a.maxQueue) {
+		a.queued.Add(-1)
+		a.shed.Add(1)
+		return errOverloaded
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	if a.sem == nil {
+		return
+	}
+	<-a.sem
+}
+
+// admissionStats is the /stats view of the admission state.
+type admissionStats struct {
+	Enabled     bool   `json:"enabled"`
+	MaxInflight int    `json:"max_inflight,omitempty"`
+	MaxQueue    int    `json:"max_queue,omitempty"`
+	Inflight    int    `json:"inflight"`
+	QueueDepth  int64  `json:"queue_depth"`
+	Shed        uint64 `json:"shed"`
+}
+
+func (a *admission) snapshot() admissionStats {
+	st := admissionStats{
+		MaxQueue:   a.maxQueue,
+		QueueDepth: a.queued.Load(),
+		Shed:       a.shed.Load(),
+	}
+	if a.sem != nil {
+		st.Enabled = true
+		st.MaxInflight = cap(a.sem)
+		st.Inflight = len(a.sem)
+	}
+	return st
+}

@@ -3,6 +3,7 @@
 // service would actually consume the index:
 //
 //	GET  /healthz               → {"status":"ok", ...engine info}
+//	GET  /stats                 → serving-tier counters (caches, admission, epoch)
 //	POST /search                → {"query":[...], "eps":0.3}
 //	POST /topk                  → {"query":[...], "k":5}
 //	POST /append                → {"values":[...]}   (TS-Index only)
@@ -10,6 +11,9 @@
 //
 // Search runs concurrently (the underlying engines are read-safe);
 // Append is serialized against searches by the handler's RW-mutex.
+// With Config.MaxInflight set, the query endpoints run behind
+// admission control: a bounded queue in front of the executor fan-out,
+// shedding with 429 + Retry-After past the limit (see admission.go).
 package server
 
 import (
@@ -21,6 +25,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"twinsearch"
 )
@@ -30,13 +35,21 @@ type Handler struct {
 	mu    sync.RWMutex
 	eng   *twinsearch.Engine
 	mux   *http.ServeMux
+	adm   *admission
 	drain atomic.Bool
 }
 
-// New wraps an engine.
+// New wraps an engine with no admission control (every request runs);
+// see NewWithConfig.
 func New(eng *twinsearch.Engine) *Handler {
-	h := &Handler{eng: eng, mux: http.NewServeMux()}
+	return NewWithConfig(eng, Config{})
+}
+
+// NewWithConfig wraps an engine with the given serving-tier config.
+func NewWithConfig(eng *twinsearch.Engine, cfg Config) *Handler {
+	h := &Handler{eng: eng, mux: http.NewServeMux(), adm: newAdmission(cfg)}
 	h.mux.HandleFunc("/healthz", h.health)
+	h.mux.HandleFunc("/stats", h.stats)
 	h.mux.HandleFunc("/search", h.search)
 	h.mux.HandleFunc("/topk", h.topk)
 	h.mux.HandleFunc("/append", h.append)
@@ -50,13 +63,34 @@ func New(eng *twinsearch.Engine) *Handler {
 // race Engine.Close's unmap.
 func (h *Handler) BeginDrain() { h.drain.Store(true) }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Drain is checked before
+// admission: a draining server answers 503 without consuming queue
+// capacity, and only the observability endpoints stay open.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if h.drain.Load() && r.URL.Path != "/healthz" {
+	if h.drain.Load() && r.URL.Path != "/healthz" && r.URL.Path != "/stats" {
 		writeErr(w, http.StatusServiceUnavailable, errDraining)
 		return
 	}
 	h.mux.ServeHTTP(w, r)
+}
+
+// admit runs the request through admission control, writing the shed
+// or cancellation response itself when the request may not proceed.
+// On true the caller must defer h.adm.release().
+func (h *Handler) admit(w http.ResponseWriter, r *http.Request) bool {
+	err := h.adm.acquire(r.Context())
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, errOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(int((h.adm.retryAfter+time.Second-1)/time.Second)))
+		writeErr(w, http.StatusTooManyRequests, err)
+	default:
+		// The client's context ended while queued; it is gone, but
+		// finish the exchange coherently.
+		writeErr(w, http.StatusServiceUnavailable, err)
+	}
+	return false
 }
 
 var errDraining = errors.New("server is draining for shutdown")
@@ -105,6 +139,10 @@ func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
 		// server handles — sharded fan-out units, batch work, and
 		// approximate probes all schedule onto these workers.
 		"workers": h.eng.Workers(),
+		// The index mutation counter result-cache keys embed; consumers
+		// caching answers can invalidate on "epoch changed". /stats has
+		// the full serving-tier counter set.
+		"epoch": h.eng.Epoch(),
 	}
 	cl := h.eng.Cluster()
 	h.mu.RUnlock()
@@ -127,6 +165,23 @@ func partitionName(byMean bool) string {
 		return "mean"
 	}
 	return "range"
+}
+
+// stats serves the serving-tier observability snapshot: cache
+// hit/miss/eviction counters, admission queue depth and shed count,
+// and the index epoch. Drain-exempt like /healthz — operators read it
+// precisely while the server is unhappy.
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	h.mu.RLock()
+	ss := h.eng.ServingStats()
+	h.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"epoch":        ss.Epoch,
+		"plan_cache":   ss.Plan,
+		"result_cache": ss.Result,
+		"admission":    h.adm.snapshot(),
+		"draining":     h.drain.Load(),
+	})
 }
 
 type searchRequest struct {
@@ -166,6 +221,10 @@ func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
+	if !h.admit(w, r) {
+		return
+	}
+	defer h.adm.release()
 	// r.Context() flows into the fan-out: a client that disconnects (or
 	// a proxy that times out) cancels the remaining work units instead
 	// of burning executor time on an unwanted answer.
@@ -204,6 +263,10 @@ func (h *Handler) topk(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
+	if !h.admit(w, r) {
+		return
+	}
+	defer h.adm.release()
 	h.mu.RLock()
 	ms, err := h.eng.SearchTopKCtx(r.Context(), req.Query, req.K)
 	h.mu.RUnlock()
@@ -228,15 +291,20 @@ func (h *Handler) append(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
+	// Append bumps the engine's epoch before returning, and the epoch is
+	// read under the same write lock — by the time any client sees this
+	// response, no pre-append cached result can be served (its key
+	// embeds the old epoch).
 	h.mu.Lock()
 	err := h.eng.Append(req.Values...)
 	n := h.eng.SeriesLen()
+	epoch := h.eng.Epoch()
 	h.mu.Unlock()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"series_len": n})
+	writeJSON(w, http.StatusOK, map[string]interface{}{"series_len": n, "epoch": epoch})
 }
 
 func (h *Handler) subsequence(w http.ResponseWriter, r *http.Request) {

@@ -26,6 +26,7 @@ package shard
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -540,9 +541,21 @@ func (h *startHeap) Pop() interface{} {
 // (shard, subtree) units and the tail windows that exist only at the
 // shorter length are scanned once, here.
 func (s *Index) SearchPrefix(q []float64, eps float64) ([]series.Match, error) {
-	tree, err := s.SearchPrefixTreeCtx(nil, q, eps)
+	return s.SearchPrefixCtx(nil, q, eps)
+}
+
+// SearchPrefixCtx is SearchPrefix honoring cancellation: ctx flows into
+// the fanned-out tree traversal, and the tail scan is skipped when the
+// context has already ended. A nil ctx never cancels.
+func (s *Index) SearchPrefixCtx(ctx context.Context, q []float64, eps float64) ([]series.Match, error) {
+	tree, err := s.SearchPrefixTreeCtx(ctx, q, eps)
 	if err != nil {
 		return nil, err
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	// The merged list is in position order and the tail starts extend it.
 	return core.ScanPrefixTail(s.ext, s.l, q, eps, tree), nil

@@ -44,6 +44,7 @@ import (
 	"twinsearch/internal/exec"
 	"twinsearch/internal/isax"
 	"twinsearch/internal/kvindex"
+	"twinsearch/internal/qcache"
 	"twinsearch/internal/series"
 	"twinsearch/internal/shard"
 	"twinsearch/internal/store"
@@ -204,6 +205,30 @@ type Options struct {
 	// negative disables the sweep.
 	ClusterRefresh time.Duration
 
+	// PlanCache sizes the prepared-query plan cache: an LRU keyed by
+	// the raw query bytes that stores the validated query mapped into
+	// the engine's value space, so a repeated query skips validation
+	// and normalization and goes straight to index dispatch. 0
+	// disables the cache (the default — library callers pay nothing
+	// unless they opt in); a negative value selects
+	// DefaultPlanCacheEntries; a positive value is the entry bound.
+	// Serving tiers (tsserve) enable it by default.
+	PlanCache int
+
+	// ResultCacheBytes sizes the result cache: whole answers keyed by
+	// (query bytes, parameters, search path, index epoch), bounded to
+	// this many bytes with LRU eviction. A hit returns the cached
+	// matches — byte-identical to a fresh traversal — without touching
+	// the index. Invalidation is structural: every Append bumps the
+	// engine's epoch (see Epoch), so stale entries become unreachable
+	// by key mismatch and age out under the byte budget; nothing is
+	// scanned. 0 disables (default), negative selects
+	// DefaultResultCacheBytes, positive is the byte bound. Only the
+	// raw-query entry points consult it (Search/SearchStats/SearchTopK/
+	// SearchShorter/SearchApprox and their Ctx forms); SearchPrepared
+	// and the batch paths always traverse.
+	ResultCacheBytes int
+
 	// iSAX knobs (MethodISAX).
 	Segments     int // PAA segments m (default 10)
 	LeafCapacity int // leaf capacity (default 10,000)
@@ -260,12 +285,51 @@ type Engine struct {
 	// releases it. nil for every heap-resident engine.
 	ar *arena.Arena
 
+	// Serving-tier caches (nil when disabled): plan holds prepared
+	// queries keyed by raw query bytes, res holds whole answers keyed
+	// by (query, params, path, epoch). See Options.PlanCache /
+	// Options.ResultCacheBytes.
+	plan *qcache.PlanCache
+	res  *qcache.ResultCache
+
+	// epoch is the index mutation counter result-cache keys embed:
+	// bumped on every Append (and on Close), never on re-freeze (the
+	// logical content is unchanged). Cluster engines compose their
+	// epoch from per-node values instead — see Epoch.
+	epoch atomic.Uint64
+
 	// closed guards use-after-Close: every search/mutation entry point
 	// fails with ErrClosed instead of reaching arenas that may point
 	// into an unmapped region. closeMu makes concurrent Close calls
 	// idempotent.
 	closed  atomic.Bool
 	closeMu sync.Mutex
+}
+
+// Serving-tier cache defaults, selected by negative Options.PlanCache /
+// Options.ResultCacheBytes (and by tsserve's flag defaults).
+const (
+	DefaultPlanCacheEntries = 4096
+	DefaultResultCacheBytes = 32 << 20
+)
+
+// newEngine builds the common engine shell every open path shares:
+// extractor, executor, and the serving-tier caches the options select.
+func newEngine(data []float64, opt Options) *Engine {
+	e := &Engine{opt: opt, ext: series.NewExtractor(data, opt.Norm), ex: exec.New(opt.Workers)}
+	if n := opt.PlanCache; n != 0 {
+		if n < 0 {
+			n = DefaultPlanCacheEntries
+		}
+		e.plan = qcache.NewPlan(n)
+	}
+	if b := opt.ResultCacheBytes; b != 0 {
+		if b < 0 {
+			b = DefaultResultCacheBytes
+		}
+		e.res = qcache.NewResult(b)
+	}
+	return e
 }
 
 // ErrClosed is returned by every search, append, and save entry point
@@ -291,6 +355,10 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed.Store(true)
+	// Close is a cache-relevant mutation too: bump the epoch so any
+	// result-cache write racing the close can never be read back (its
+	// key embeds the pre-close epoch).
+	e.epoch.Add(1)
 	var firstErr error
 	if e.cl != nil {
 		firstErr = e.cl.Close()
@@ -354,7 +422,7 @@ func Open(data []float64, opt Options) (*Engine, error) {
 	if resolveShards(opt.Shards) > 1 && opt.Method != MethodTSIndex {
 		return nil, fmt.Errorf("twinsearch: Options.Shards requires MethodTSIndex, got %v", opt.Method)
 	}
-	e := &Engine{opt: opt, ext: series.NewExtractor(data, opt.Norm), ex: exec.New(opt.Workers)}
+	e := newEngine(data, opt)
 	if opt.Topology != "" {
 		if opt.Method != MethodTSIndex {
 			return nil, fmt.Errorf("twinsearch: Options.Topology requires MethodTSIndex, got %v", opt.Method)
@@ -444,7 +512,61 @@ func (e *Engine) SearchCtx(ctx context.Context, q []float64, eps float64) ([]Mat
 	if err != nil {
 		return nil, err
 	}
-	return e.searchPreparedCtx(ctx, tq, eps)
+	r, err := e.searchCached(qcache.PathSearch, q, eps, 0, func() (qcache.Result, error) {
+		ms, err := e.searchPreparedCtx(ctx, tq, eps)
+		return qcache.Result{Matches: ms}, err
+	})
+	return r.Matches, err
+}
+
+// Stats carries the traversal counters of one TS-Index search: nodes
+// visited and pruned, leaves reached, candidate windows verified, and
+// results found — the observability surface SearchStats reports.
+type Stats = core.Stats
+
+// SearchStats is Search plus the traversal counters of the answer. On
+// sharded and cluster engines the counters are summed across work
+// units (each partition's tree packs differently, so the values differ
+// from a single index's; the match set does not). Requires
+// MethodTSIndex.
+func (e *Engine) SearchStats(q []float64, eps float64) ([]Match, Stats, error) {
+	return e.SearchStatsCtx(context.Background(), q, eps)
+}
+
+// SearchStatsCtx is SearchStats honoring cancellation (see SearchCtx).
+func (e *Engine) SearchStatsCtx(ctx context.Context, q []float64, eps float64) ([]Match, Stats, error) {
+	if e.closed.Load() {
+		return nil, Stats{}, ErrClosed
+	}
+	if e.opt.Method != MethodTSIndex {
+		return nil, Stats{}, errors.New("twinsearch: SearchStats requires MethodTSIndex")
+	}
+	tq, err := e.validateQuery(q, eps)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	r, err := e.searchCached(qcache.PathStats, q, eps, 0, func() (qcache.Result, error) {
+		ms, st, err := e.searchStatsPreparedCtx(ctx, tq, eps)
+		return qcache.Result{Matches: ms, Stats: st, HasStats: true}, err
+	})
+	return r.Matches, r.Stats, err
+}
+
+// searchStatsPreparedCtx dispatches a validated, transformed query to
+// the stats-reporting traversal of whichever TS-Index backing the
+// engine has.
+func (e *Engine) searchStatsPreparedCtx(ctx context.Context, tq []float64, eps float64) ([]Match, Stats, error) {
+	if e.cl != nil {
+		return e.cl.SearchStats(ctx, tq, eps)
+	}
+	if e.sh != nil {
+		return e.sh.SearchStatsCtx(ctx, tq, eps)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
+	ms, st := e.tsFrozen().SearchStats(tq, eps)
+	return ms, st, nil
 }
 
 // validateQuery runs the full raw-query validation and returns the
@@ -452,24 +574,127 @@ func (e *Engine) SearchCtx(ctx context.Context, q []float64, eps float64) ([]Mat
 // per query so the transformed query is shared by every (query, shard)
 // work unit instead of being recomputed inside each worker.
 func (e *Engine) validateQuery(q []float64, eps float64) ([]float64, error) {
+	if eps < 0 || math.IsNaN(eps) {
+		return nil, fmt.Errorf("twinsearch: invalid threshold %v", eps)
+	}
+	return e.planQuery(q)
+}
+
+// planQuery validates a raw query (length, finiteness) and maps it
+// into the engine's value space, consulting the plan cache when one is
+// configured: a hit skips both the validation pass and the transform
+// (cached plans were stored post-validation, and the transform is a
+// pure function of the query bytes — the global normalization
+// parameters are frozen at Open, so a plan never goes stale). The
+// returned slice is shared on a hit and must be treated as read-only;
+// every search path already does.
+func (e *Engine) planQuery(q []float64) ([]float64, error) {
 	if len(q) != e.opt.L {
 		return nil, fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)
 	}
-	if eps < 0 || math.IsNaN(eps) {
-		return nil, fmt.Errorf("twinsearch: invalid threshold %v", eps)
+	var key string
+	if e.plan != nil {
+		key = qcache.QueryKey(q)
+		if tq, ok := e.plan.Get(key); ok {
+			return tq, nil
+		}
 	}
 	for i, v := range q {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return nil, fmt.Errorf("twinsearch: non-finite query value %v at position %d", v, i)
 		}
 	}
-	return e.ext.TransformQuery(q), nil
+	tq := e.ext.TransformQuery(q)
+	if e.plan != nil {
+		e.plan.Put(key, tq)
+	}
+	return tq, nil
+}
+
+// searchCached serves one raw-query search from the result cache when
+// enabled: the key embeds the search path, both parameters, the raw
+// query bytes, and the index epoch read *before* the traversal starts,
+// so an answer computed against one index version can never be served
+// for another — invalidation is a key mismatch, never a scan. Errors
+// (including cancellations) are never cached.
+func (e *Engine) searchCached(path qcache.Path, q []float64, a, b float64, run func() (qcache.Result, error)) (qcache.Result, error) {
+	if e.res == nil {
+		return run()
+	}
+	epoch := e.Epoch()
+	key := qcache.ResultKey(path, epoch, a, b, q)
+	if r, ok := e.res.Get(key); ok {
+		return r, nil
+	}
+	r, err := run()
+	if err != nil {
+		return r, err
+	}
+	e.res.Put(key, r)
+	return r, nil
+}
+
+// Epoch returns the engine's index mutation counter: a monotonically
+// increasing value bumped by every Append (and by Close), stable
+// across searches and re-freezes. Result-cache keys embed it, so any
+// consumer caching answers can use "epoch changed" as the invalidation
+// signal. Cluster engines compose the epoch from the coordinator's
+// per-node view.
+func (e *Engine) Epoch() uint64 {
+	if e.cl != nil {
+		return e.cl.Epoch()
+	}
+	return e.epoch.Load()
+}
+
+// CacheCounters is one serving-tier cache's observability snapshot.
+type CacheCounters struct {
+	Enabled   bool   `json:"enabled"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int    `json:"bytes,omitempty"` // result cache only
+}
+
+// ServingStats is the engine's serving-tier observability snapshot:
+// the index epoch plus both caches' counters — the payload behind the
+// server's /stats endpoint.
+type ServingStats struct {
+	Epoch  uint64        `json:"epoch"`
+	Plan   CacheCounters `json:"plan_cache"`
+	Result CacheCounters `json:"result_cache"`
+}
+
+// ServingStats snapshots the serving-tier caches and epoch. Cheap:
+// counter loads plus one short mutex hold per cache stripe.
+func (e *Engine) ServingStats() ServingStats {
+	out := ServingStats{Epoch: e.Epoch()}
+	if e.plan != nil {
+		s := e.plan.Stats()
+		out.Plan = CacheCounters{Enabled: true, Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Entries: s.Entries}
+	}
+	if e.res != nil {
+		s := e.res.Stats()
+		out.Result = CacheCounters{Enabled: true, Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Entries: s.Entries, Bytes: s.Bytes}
+	}
+	return out
 }
 
 // SearchPrepared is Search for queries already expressed in the engine's
 // normalized value space (e.g. returned by PrepareQuery, or sampled from
 // the normalized series). Most callers want Search.
 func (e *Engine) SearchPrepared(q []float64, eps float64) ([]Match, error) {
+	return e.SearchPreparedCtx(context.Background(), q, eps)
+}
+
+// SearchPreparedCtx is SearchPrepared honoring cancellation (see
+// SearchCtx) — the serving tier routes admitted prepared-space queries
+// through it so queued work dies with the request. Prepared-space
+// queries bypass the result cache: its keys are raw query bytes, and a
+// prepared query with the same bits as a raw one must not alias its
+// answer.
+func (e *Engine) SearchPreparedCtx(ctx context.Context, q []float64, eps float64) ([]Match, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -482,7 +707,7 @@ func (e *Engine) SearchPrepared(q []float64, eps float64) ([]Match, error) {
 	if eps < 0 || math.IsNaN(eps) {
 		return nil, fmt.Errorf("twinsearch: invalid threshold %v", eps)
 	}
-	return e.searchPreparedCtx(context.Background(), q, eps)
+	return e.searchPreparedCtx(ctx, q, eps)
 }
 
 // searchPreparedCtx dispatches a validated, transformed query. Only the
@@ -534,16 +759,27 @@ func (e *Engine) SearchTopKCtx(ctx context.Context, q []float64, k int) ([]Match
 	if len(q) != e.opt.L {
 		return nil, fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)
 	}
+	tq := e.ext.TransformQuery(q)
+	r, err := e.searchCached(qcache.PathTopK, q, float64(k), 0, func() (qcache.Result, error) {
+		ms, err := e.searchTopKPreparedCtx(ctx, tq, k)
+		return qcache.Result{Matches: ms}, err
+	})
+	return r.Matches, err
+}
+
+// searchTopKPreparedCtx dispatches a transformed top-k query to the
+// engine's TS-Index backing.
+func (e *Engine) searchTopKPreparedCtx(ctx context.Context, tq []float64, k int) ([]Match, error) {
 	if e.cl != nil {
-		return e.cl.SearchTopK(ctx, e.ext.TransformQuery(q), k)
+		return e.cl.SearchTopK(ctx, tq, k)
 	}
 	if e.sh != nil {
-		return e.sh.SearchTopKCtx(ctx, e.ext.TransformQuery(q), k, math.Inf(1))
+		return e.sh.SearchTopKCtx(ctx, tq, k, math.Inf(1))
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return e.tsFrozen().SearchTopK(e.ext.TransformQuery(q), k), nil
+	return e.tsFrozen().SearchTopK(tq, k), nil
 }
 
 // Subsequence returns a copy of the indexed (normalized) window at
