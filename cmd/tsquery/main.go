@@ -14,6 +14,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"twinsearch"
+	"twinsearch/internal/obs"
 	"twinsearch/internal/store"
 )
 
@@ -46,6 +48,7 @@ func main() {
 		indexLen   = flag.Int("indexlen", 0, "index at this length instead of the query length; shorter queries then use the prefix search (TS-Index only)")
 		shards     = flag.Int("shards", 0, "index partitions built and searched in parallel (0 = one index, -1 = one per CPU; TS-Index only)")
 		meanShards = flag.Bool("meanshards", false, "partition shards by window mean instead of contiguous ranges (tighter per-shard bounds; needs -shards above 1)")
+		trace      = flag.Bool("trace", false, "record the query's span trace and pretty-print it after the matches (with -remote, asks the server via ?trace=1)")
 	)
 	flag.Parse()
 	if *seriesPath == "" && !(*remote != "" && *qFile != "") {
@@ -86,7 +89,7 @@ func main() {
 		if *approx > 0 || *indexLen > 0 || *saveIndex != "" || *loadIndex != "" {
 			fatal(fmt.Errorf("-remote queries use the server's index; -approx, -indexlen, -saveindex, and -loadindex do not apply"))
 		}
-		queryRemote(*remote, q, *eps, *topk, *maxShow)
+		queryRemote(*remote, q, *eps, *topk, *maxShow, *trace)
 		return
 	}
 
@@ -155,17 +158,26 @@ func main() {
 		fmt.Printf("persisted index to %s\n", *saveIndex)
 	}
 
+	// -trace installs a root span in the context; the engine's layers
+	// grow the tree under it, printed after the matches.
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *trace {
+		tr = obs.NewTrace("tsquery")
+		ctx = obs.WithSpan(ctx, tr.Root)
+	}
+
 	queryStart := time.Now()
 	var matches []twinsearch.Match
 	switch {
 	case *topk > 0:
-		matches, err = eng.SearchTopK(q, *topk)
+		matches, err = eng.SearchTopKCtx(ctx, q, *topk)
 	case *approx > 0:
-		matches, err = eng.SearchApprox(q, *eps, *approx)
+		matches, err = eng.SearchApproxCtx(ctx, q, *eps, *approx)
 	case len(q) < eng.L():
-		matches, err = eng.SearchShorter(q, *eps)
+		matches, err = eng.SearchShorterCtx(ctx, q, *eps)
 	default:
-		matches, err = eng.Search(q, *eps)
+		matches, err = eng.SearchCtx(ctx, q, *eps)
 	}
 	if err != nil {
 		fatal(err)
@@ -177,6 +189,7 @@ func main() {
 		for _, m := range matches {
 			fmt.Printf("  start=%-10d chebyshev=%.6f\n", m.Start, m.Dist)
 		}
+		printTrace(tr)
 		return
 	}
 	fmt.Printf("%d twins at eps=%g in %v\n", len(matches), *eps, elapsed.Round(time.Microsecond))
@@ -187,16 +200,31 @@ func main() {
 		}
 		fmt.Printf("  start=%d\n", m.Start)
 	}
+	printTrace(tr)
+}
+
+// printTrace finishes and pretty-prints a local trace (nil = -trace was
+// not given).
+func printTrace(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	tr.Finish()
+	fmt.Println("trace:")
+	obs.WriteTree(os.Stdout, tr.Root)
 }
 
 // queryRemote sends the query to a running tsserve's public JSON API
 // (/search or /topk) and prints the matches like a local run would. It
 // works against any role that serves the public API — a standalone
 // server or a cluster coordinator.
-func queryRemote(base string, q []float64, eps float64, topk, maxShow int) {
+func queryRemote(base string, q []float64, eps float64, topk, maxShow int, trace bool) {
 	path, body := "/search", map[string]interface{}{"query": q, "eps": eps}
 	if topk > 0 {
 		path, body = "/topk", map[string]interface{}{"query": q, "k": topk}
+	}
+	if trace {
+		path += "?trace=1"
 	}
 	raw, err := json.Marshal(body)
 	if err != nil {
@@ -223,6 +251,7 @@ func queryRemote(base string, q []float64, eps float64, topk, maxShow int) {
 			Start int      `json:"start"`
 			Dist  *float64 `json:"dist"`
 		} `json:"matches"`
+		Trace *obs.Span `json:"trace"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		fatal(err)
@@ -238,6 +267,7 @@ func queryRemote(base string, q []float64, eps float64, topk, maxShow int) {
 			}
 			fmt.Printf("  start=%-10d chebyshev=%.6f\n", m.Start, d)
 		}
+		printRemoteTrace(out.Trace)
 		return
 	}
 	fmt.Printf("%d twins at eps=%g via %s in %v\n", out.Count, eps, base, elapsed.Round(time.Microsecond))
@@ -248,6 +278,17 @@ func queryRemote(base string, q []float64, eps float64, topk, maxShow int) {
 		}
 		fmt.Printf("  start=%d\n", m.Start)
 	}
+	printRemoteTrace(out.Trace)
+}
+
+// printRemoteTrace pretty-prints the server's span tree when the
+// response carried one (?trace=1).
+func printRemoteTrace(s *obs.Span) {
+	if s == nil {
+		return
+	}
+	fmt.Println("trace:")
+	obs.WriteTree(os.Stdout, s)
 }
 
 func fatal(err error) {

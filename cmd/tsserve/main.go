@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"os"
 	"os/signal"
@@ -61,6 +62,10 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "admission control: max concurrently executing queries; past it requests queue up to -max-queue, then shed with 429 + Retry-After (0 = unlimited)")
 		maxQueue    = flag.Int("max-queue", 64, "admission control: requests allowed to wait for an in-flight slot before shedding (needs -max-inflight)")
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint written on shed (429) responses")
+		traceSample = flag.Int("trace-sample", 0, "trace 1 in N queries into the metrics/slowlog pipeline (0 = off; ?trace=1 forces a trace per request regardless)")
+		slowThresh  = flag.Duration("slowlog-threshold", 100*time.Millisecond, "queries at least this slow are recorded in the slow-query log at /debug/slowlog")
+		slowSize    = flag.Int("slowlog-size", 128, "slow-query log ring-buffer capacity (0 = off)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; drain-exempt when on)")
 	)
 	flag.Parse()
 	if *seriesPath == "" {
@@ -91,7 +96,7 @@ func main() {
 		if *topology == "" || *nodeName == "" {
 			fatal(fmt.Errorf("-role node requires -topology and -name"))
 		}
-		serveNode(data, normMode, *topology, *nodeName, *addr, addrSet, *workers, *prefetch)
+		serveNode(data, normMode, *topology, *nodeName, *addr, addrSet, *workers, *prefetch, *pprofOn)
 	case "coordinator":
 		if *topology == "" {
 			fatal(fmt.Errorf("-role coordinator requires -topology"))
@@ -100,24 +105,44 @@ func main() {
 			Workers: *workers, Topology: *topology, ClusterTimeout: *nodeTimeout,
 			ClusterHedge: *hedge, ClusterBreakerFails: *brkFails, ClusterRefresh: *healthEvery,
 			MMap: *mmapIndex, Prefetch: *prefetch,
-			PlanCache: *planCache, ResultCacheBytes: *resultCache}
-		serveEngine(data, opt, "", *addr, srvCfg)
+			PlanCache: *planCache, ResultCacheBytes: *resultCache,
+			TraceSample: *traceSample, SlowLogSize: *slowSize, SlowLogThreshold: *slowThresh}
+		serveEngine(data, opt, "", *addr, srvCfg, *pprofOn)
 	case "standalone":
 		if *mmapIndex && *loadIndex == "" {
 			fatal(fmt.Errorf("-mmap requires -loadindex (only a saved index can be mapped)"))
 		}
 		opt := twinsearch.Options{L: *l, Norm: normMode, NormSet: true, Shards: *shards,
 			PartitionByMean: *meanShards, Workers: *workers, MMap: *mmapIndex, Prefetch: *prefetch,
-			PlanCache: *planCache, ResultCacheBytes: *resultCache}
-		serveEngine(data, opt, *loadIndex, *addr, srvCfg)
+			PlanCache: *planCache, ResultCacheBytes: *resultCache,
+			TraceSample: *traceSample, SlowLogSize: *slowSize, SlowLogThreshold: *slowThresh}
+		serveEngine(data, opt, *loadIndex, *addr, srvCfg, *pprofOn)
 	default:
 		fatal(fmt.Errorf("unknown role %q", *role))
 	}
 }
 
+// withPprof optionally mounts net/http/pprof's handlers ahead of h.
+// They are routed before the role handler's own mux, so profiling works
+// identically for all three roles and stays reachable while the server
+// drains (the drain gate lives inside h).
+func withPprof(h http.Handler, on bool) http.Handler {
+	if !on {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
+}
+
 // serveEngine runs the standalone and coordinator roles: build or
 // reopen (or cluster-open) an engine and serve the public JSON API.
-func serveEngine(data []float64, opt twinsearch.Options, loadIndex, addr string, cfg server.Config) {
+func serveEngine(data []float64, opt twinsearch.Options, loadIndex, addr string, cfg server.Config, pprofOn bool) {
 	start := time.Now()
 	var eng *twinsearch.Engine
 	var err error
@@ -143,12 +168,12 @@ func serveEngine(data []float64, opt twinsearch.Options, loadIndex, addr string,
 			time.Since(start).Round(time.Millisecond), mapped, addr)
 	}
 	h := server.NewWithConfig(eng, cfg)
-	serveUntilSignal(addr, h, h.BeginDrain, eng.Close)
+	serveUntilSignal(addr, withPprof(h, pprofOn), h.BeginDrain, eng.Close)
 }
 
 // serveNode runs the node role: selectively open the assigned shard
 // subset and serve the shard RPC.
-func serveNode(data []float64, norm series.NormMode, topoPath, name, addr string, addrSet bool, workers int, prefetch bool) {
+func serveNode(data []float64, norm series.NormMode, topoPath, name, addr string, addrSet bool, workers int, prefetch, pprofOn bool) {
 	topo, err := cluster.LoadTopology(topoPath)
 	if err != nil {
 		fatal(err)
@@ -178,7 +203,7 @@ func serveNode(data []float64, norm series.NormMode, topoPath, name, addr string
 		name, n.Sub.ShardIDs(), n.Sub.Windows(), series.NumSubsequences(ext.Len(), n.Sub.L()),
 		n.Sub.MappedBytes(), time.Since(start).Round(time.Millisecond), addr)
 	h := server.NewNode(n)
-	serveUntilSignal(addr, h, h.BeginDrain, n.Close)
+	serveUntilSignal(addr, withPprof(h, pprofOn), h.BeginDrain, n.Close)
 }
 
 // listenAddrOf turns a topology dial URL into a listen address

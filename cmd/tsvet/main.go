@@ -1,6 +1,6 @@
 // Command tsvet is the project's invariant checker: it runs the
 // internal/analysis suite (unsafeview, frozenwrite, nogoroutine,
-// ctxflow, closedguard) over twinsearch packages.
+// ctxflow, closedguard, obsflow) over twinsearch packages.
 //
 // Two modes share the same analyzers:
 //

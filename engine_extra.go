@@ -264,10 +264,12 @@ func (e *Engine) SearchShorterCtx(ctx context.Context, q []float64, eps float64)
 	if eps < 0 || math.IsNaN(eps) {
 		return nil, fmt.Errorf("twinsearch: invalid threshold %v", eps)
 	}
-	r, err := e.searchCached(qcache.PathPrefix, q, eps, 0, func() (qcache.Result, error) {
+	ctx, qo := e.beginQuery(ctx, qpPrefix)
+	r, err := e.searchCached(ctx, qcache.PathPrefix, q, eps, 0, func() (qcache.Result, error) {
 		ms, err := e.searchShorterPreparedCtx(ctx, e.ext.TransformQuery(q), eps)
 		return qcache.Result{Matches: ms}, err
 	})
+	e.endQuery(qo, err)
 	return r.Matches, err
 }
 
@@ -315,14 +317,17 @@ func (e *Engine) SearchApproxCtx(ctx context.Context, q []float64, eps float64, 
 	if leafBudget <= 0 {
 		return nil, fmt.Errorf("twinsearch: leaf budget %d; SearchApprox needs a positive number of leaf probes", leafBudget)
 	}
-	tq, err := e.planQuery(q)
+	ctx, qo := e.beginQuery(ctx, qpApprox)
+	tq, err := e.validateQueryCtx(ctx, q, eps)
 	if err != nil {
+		e.endQuery(qo, err)
 		return nil, err
 	}
-	r, err := e.searchCached(qcache.PathApprox, q, eps, float64(leafBudget), func() (qcache.Result, error) {
+	r, err := e.searchCached(ctx, qcache.PathApprox, q, eps, float64(leafBudget), func() (qcache.Result, error) {
 		ms, err := e.searchApproxPreparedCtx(ctx, tq, eps, leafBudget)
 		return qcache.Result{Matches: ms}, err
 	})
+	e.endQuery(qo, err)
 	return r.Matches, err
 }
 

@@ -4,9 +4,9 @@
 // so the real package is unavailable; the types here keep the analyzers
 // source-compatible with it should it ever land).
 //
-// The suite encodes the engine's five load-bearing invariants — rules
-// PRs 3–5 established by convention and differential test, now enforced
-// mechanically on every build:
+// The suite encodes the engine's six load-bearing invariants — rules
+// PRs 3–5 and 10 established by convention and differential test, now
+// enforced mechanically on every build:
 //
 //   - unsafeview: unsafe stays inside internal/arena, and every view
 //     constructed there is dominated by a bounds/alignment check.
@@ -21,6 +21,8 @@
 //     tiers never call them at all.
 //   - closedguard: exported Engine/Collection methods that can touch
 //     index state check the closed flag before doing so.
+//   - obsflow: exported *Ctx entry points that start an observability
+//     span end it on every return path (defer sp.End() preferred).
 //
 // A finding can be suppressed with an explicit escape hatch:
 //

@@ -155,6 +155,7 @@ type fixtureEnv struct {
 	fset       *token.FileSet
 	checked    map[string]*checkedPkg
 	stdExports map[string]string
+	std        types.Importer
 }
 
 type checkedPkg struct {
@@ -210,15 +211,22 @@ func (e *fixtureEnv) load(pkgPath string) (*checkedPkg, error) {
 		return nil, err
 	}
 
-	imp := importer.ForCompiler(e.fset, "gc", func(path string) (io.ReadCloser, error) {
-		file, ok := e.stdExports[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(file)
-	})
+	// The gc importer is shared across the whole env: it caches the
+	// *types.Package per stdlib path, so a sibling fixture and its
+	// importer agree on type identity (obs's context.Context IS
+	// obsflow's context.Context). A per-load importer would mint
+	// distinct package instances and fail cross-fixture type checks.
+	if e.std == nil {
+		e.std = importer.ForCompiler(e.fset, "gc", func(path string) (io.ReadCloser, error) {
+			file, ok := e.stdExports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		})
+	}
 	conf := types.Config{
-		Importer: &fixtureImporter{env: e, std: imp},
+		Importer: &fixtureImporter{env: e, std: e.std},
 	}
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},

@@ -10,5 +10,6 @@ func Suite() []*Analyzer {
 		Nogoroutine,
 		Ctxflow,
 		Closedguard,
+		Obsflow,
 	}
 }

@@ -38,10 +38,14 @@ func TestClosedguard(t *testing.T) {
 	analysistest.Run(t, testdata(t), analysis.Closedguard, "twinsearch")
 }
 
+func TestObsflow(t *testing.T) {
+	analysistest.Run(t, testdata(t), analysis.Obsflow, "obsflow")
+}
+
 // TestSuiteComplete pins the shipped analyzer set: CI runs exactly
-// these five, so a new invariant must be registered to count.
+// these six, so a new invariant must be registered to count.
 func TestSuiteComplete(t *testing.T) {
-	want := []string{"unsafeview", "frozenwrite", "nogoroutine", "ctxflow", "closedguard"}
+	want := []string{"unsafeview", "frozenwrite", "nogoroutine", "ctxflow", "closedguard", "obsflow"}
 	suite := analysis.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

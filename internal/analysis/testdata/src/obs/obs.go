@@ -1,0 +1,26 @@
+// Package obs is a fixture stub of internal/obs: just enough surface
+// (Span, StartSpan, SpanFrom, StartChild, End) for obsflow fixtures to
+// type-check against.
+package obs
+
+import "context"
+
+// Span mimics the real span node.
+type Span struct{}
+
+// StartChild mimics span creation off a parent.
+func (s *Span) StartChild(name string) *Span { return &Span{} }
+
+// Set mimics attribute recording.
+func (s *Span) Set(key string, v interface{}) {}
+
+// End mimics closing the span.
+func (s *Span) End() {}
+
+// StartSpan mimics the context-based entry: (ctx, span).
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{}
+}
+
+// SpanFrom mimics span extraction from a context.
+func SpanFrom(ctx context.Context) *Span { return nil }

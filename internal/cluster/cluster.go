@@ -46,6 +46,7 @@ import (
 
 	"twinsearch/internal/core"
 	"twinsearch/internal/exec"
+	"twinsearch/internal/obs"
 	"twinsearch/internal/series"
 	"twinsearch/internal/shard"
 )
@@ -406,13 +407,20 @@ func (c *Coordinator) SearchStats(ctx context.Context, q []float64, eps float64)
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
+	msp := obs.SpanFrom(ctx).StartChild("merge")
 	lists := make([][]series.Match, len(per))
 	var st core.Stats
 	for i, r := range per {
 		lists[i] = r.ms
 		st = shard.AddStats(st, r.st)
 	}
-	return shard.MergeByStart(lists), st, nil
+	ms := shard.MergeByStart(lists)
+	if msp != nil {
+		msp.Set("groups", len(lists))
+		msp.Set("results", len(ms))
+		msp.End()
+	}
+	return ms, st, nil
 }
 
 // SearchTopK returns the k nearest across the cluster in (dist, start)
@@ -717,9 +725,10 @@ func (r *remote) Search(ctx context.Context, q []float64, eps float64) ([]series
 // SearchStats implements shard.Backend.
 func (r *remote) SearchStats(ctx context.Context, q []float64, eps float64) ([]series.Match, core.Stats, error) {
 	var resp SearchResponse
-	if err := r.post(ctx, "/shard/search", SearchRequest{Query: q, Eps: eps}, &resp); err != nil {
+	if err := r.post(ctx, "/shard/search", SearchRequest{Query: q, Eps: eps, Trace: obs.SpanFrom(ctx) != nil}, &resp); err != nil {
 		return nil, core.Stats{}, err
 	}
+	obs.SpanFrom(ctx).Attach(resp.Trace)
 	var st core.Stats
 	if resp.Stats != nil {
 		st = *resp.Stats
@@ -729,7 +738,7 @@ func (r *remote) SearchStats(ctx context.Context, q []float64, eps float64) ([]s
 
 // SearchTopK implements shard.Backend.
 func (r *remote) SearchTopK(ctx context.Context, q []float64, k int, bound float64) ([]series.Match, error) {
-	req := TopKRequest{Query: q, K: k}
+	req := TopKRequest{Query: q, K: k, Trace: obs.SpanFrom(ctx) != nil}
 	if !math.IsInf(bound, 1) {
 		req.Bound = &bound
 	}
@@ -737,24 +746,27 @@ func (r *remote) SearchTopK(ctx context.Context, q []float64, k int, bound float
 	if err := r.post(ctx, "/shard/topk", req, &resp); err != nil {
 		return nil, err
 	}
+	obs.SpanFrom(ctx).Attach(resp.Trace)
 	return fromWire(resp.Matches), nil
 }
 
 // SearchPrefixTree implements shard.Backend.
 func (r *remote) SearchPrefixTree(ctx context.Context, q []float64, eps float64) ([]series.Match, error) {
 	var resp SearchResponse
-	if err := r.post(ctx, "/shard/prefix", SearchRequest{Query: q, Eps: eps}, &resp); err != nil {
+	if err := r.post(ctx, "/shard/prefix", SearchRequest{Query: q, Eps: eps, Trace: obs.SpanFrom(ctx) != nil}, &resp); err != nil {
 		return nil, err
 	}
+	obs.SpanFrom(ctx).Attach(resp.Trace)
 	return fromWire(resp.Matches), nil
 }
 
 // SearchApprox implements shard.Backend.
 func (r *remote) SearchApprox(ctx context.Context, q []float64, eps float64, leafBudget int) ([]series.Match, core.Stats, error) {
 	var resp SearchResponse
-	if err := r.post(ctx, "/shard/approx", ApproxRequest{Query: q, Eps: eps, LeafBudget: leafBudget}, &resp); err != nil {
+	if err := r.post(ctx, "/shard/approx", ApproxRequest{Query: q, Eps: eps, LeafBudget: leafBudget, Trace: obs.SpanFrom(ctx) != nil}, &resp); err != nil {
 		return nil, core.Stats{}, err
 	}
+	obs.SpanFrom(ctx).Attach(resp.Trace)
 	var st core.Stats
 	if resp.Stats != nil {
 		st = *resp.Stats

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"time"
 
+	"twinsearch/internal/obs"
 	"twinsearch/internal/shard"
 )
 
@@ -54,8 +55,21 @@ func (g *group) candidates() []*owner {
 func runUnit[T any](ctx context.Context, c *Coordinator, g *group, call func(ctx context.Context, b shard.Backend) (T, error)) (T, error) {
 	var zero T
 	cands := g.candidates()
+	// Traced queries grow one "unit" span per replica group; each
+	// attempt (primary, failover, hedge) becomes a child annotated with
+	// the node tried, the breaker state seen at launch, and the
+	// outcome. The winning attempt's context carries its span, so a
+	// remote node's returned subtree (or an in-process subset's shard
+	// spans) lands under the attempt that produced the answer.
+	usp := obs.SpanFrom(ctx).StartChild("unit")
+	if usp != nil {
+		usp.Set("shards", fmt.Sprint(g.shards))
+		usp.Set("replicas", len(cands))
+	}
+	defer usp.End()
 	type result struct {
 		ow  *owner
+		sp  *obs.Span
 		v   T
 		err error
 	}
@@ -70,18 +84,26 @@ func runUnit[T any](ctx context.Context, c *Coordinator, g *group, call func(ctx
 		}
 	}()
 	next := 0
-	launch := func() {
+	launch := func(kind string) {
 		ow := cands[next]
 		next++
+		asp := usp.StartChild("attempt")
+		if asp != nil {
+			asp.Set("node", ow.spec.Name)
+			asp.Set("kind", kind)
+			brState, _ := ow.st.br.snapshot()
+			asp.Set("breaker", brState.String())
+		}
 		actx, cancel := context.WithTimeout(ctx, c.timeout)
+		actx = obs.WithSpan(actx, asp)
 		cancels = append(cancels, cancel)
 		//tsvet:ignore network-bound replica attempts must not occupy CPU executor workers
 		go func() {
 			v, err := call(actx, ow.b)
-			resCh <- result{ow: ow, v: v, err: err}
+			resCh <- result{ow: ow, sp: asp, v: v, err: err}
 		}()
 	}
-	launch()
+	launch("primary")
 	var hedge <-chan time.Time
 	if c.hedgeDelay > 0 && next < len(cands) {
 		t := time.NewTimer(c.hedgeDelay)
@@ -96,6 +118,12 @@ func runUnit[T any](ctx context.Context, c *Coordinator, g *group, call func(ctx
 			pending--
 			if r.err == nil {
 				r.ow.st.success()
+				if r.sp != nil {
+					r.sp.Set("outcome", "ok")
+					r.sp.Set("won", true)
+					r.sp.End()
+					usp.Set("winner", r.ow.spec.Name)
+				}
 				return r.v, nil
 			}
 			if ctx.Err() != nil {
@@ -104,9 +132,14 @@ func runUnit[T any](ctx context.Context, c *Coordinator, g *group, call func(ctx
 				return zero, ctx.Err()
 			}
 			r.ow.st.failure()
+			if r.sp != nil {
+				r.sp.Set("outcome", "error")
+				r.sp.Set("error", r.err.Error())
+				r.sp.End()
+			}
 			attemptErrs = append(attemptErrs, fmt.Errorf("node %q: %w", r.ow.spec.Name, r.err))
 			if next < len(cands) {
-				launch()
+				launch("failover")
 				pending++
 			} else if pending == 0 {
 				return zero, fmt.Errorf("cluster: shards %v: all %d replica(s) failed: %w",
@@ -115,7 +148,7 @@ func runUnit[T any](ctx context.Context, c *Coordinator, g *group, call func(ctx
 		case <-hedge:
 			hedge = nil
 			if next < len(cands) {
-				launch()
+				launch("hedge")
 				pending++
 			}
 		case <-ctx.Done():

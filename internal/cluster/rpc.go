@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"twinsearch/internal/core"
+	"twinsearch/internal/obs"
 	"twinsearch/internal/series"
 )
 
@@ -105,8 +106,10 @@ func decodeRPC(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 
 // writeRPC writes a search result, translating errors: context endings
 // (the caller hung up or timed out) are 503, everything else is the
-// node refusing the request (400).
-func writeRPC(w http.ResponseWriter, ms []series.Match, st *core.Stats, err error) {
+// node refusing the request (400). tr, when non-nil, is the node's
+// finished span tree for the query, returned so the coordinator can
+// stitch the cross-node trace.
+func writeRPC(w http.ResponseWriter, ms []series.Match, st *core.Stats, err error, tr *obs.Trace) {
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -115,7 +118,25 @@ func writeRPC(w http.ResponseWriter, ms []series.Match, st *core.Stats, err erro
 		rpcError(w, status, err)
 		return
 	}
-	rpcJSON(w, http.StatusOK, SearchResponse{Matches: toWire(ms), Stats: st})
+	resp := SearchResponse{Matches: toWire(ms), Stats: st}
+	if tr != nil {
+		tr.Finish()
+		resp.Trace = tr.Root
+	}
+	rpcJSON(w, http.StatusOK, resp)
+}
+
+// traceCtx starts a node-local trace when the request asked for one
+// (req.Trace): the returned context carries the node's root span, so
+// the shard layer below annotates it, and writeRPC ships the finished
+// subtree back. StartUs values in it are relative to this node's own
+// trace start.
+func (h *NodeRPC) traceCtx(r *http.Request, want bool) (context.Context, *obs.Trace) {
+	if !want {
+		return r.Context(), nil
+	}
+	tr := obs.NewTrace("node:" + h.n.Name)
+	return obs.WithSpan(r.Context(), tr.Root), tr
 }
 
 func (h *NodeRPC) search(w http.ResponseWriter, r *http.Request) {
@@ -127,8 +148,9 @@ func (h *NodeRPC) search(w http.ResponseWriter, r *http.Request) {
 		rpcError(w, http.StatusBadRequest, err)
 		return
 	}
-	ms, st, err := h.n.Sub.SearchStats(r.Context(), req.Query, req.Eps)
-	writeRPC(w, ms, &st, err)
+	ctx, tr := h.traceCtx(r, req.Trace)
+	ms, st, err := h.n.Sub.SearchStats(ctx, req.Query, req.Eps)
+	writeRPC(w, ms, &st, err, tr)
 }
 
 func (h *NodeRPC) topk(w http.ResponseWriter, r *http.Request) {
@@ -148,8 +170,9 @@ func (h *NodeRPC) topk(w http.ResponseWriter, r *http.Request) {
 		}
 		bound = *req.Bound
 	}
-	ms, err := h.n.Sub.SearchTopK(r.Context(), req.Query, req.K, bound)
-	writeRPC(w, ms, nil, err)
+	ctx, tr := h.traceCtx(r, req.Trace)
+	ms, err := h.n.Sub.SearchTopK(ctx, req.Query, req.K, bound)
+	writeRPC(w, ms, nil, err, tr)
 }
 
 func (h *NodeRPC) prefix(w http.ResponseWriter, r *http.Request) {
@@ -163,8 +186,9 @@ func (h *NodeRPC) prefix(w http.ResponseWriter, r *http.Request) {
 		rpcError(w, http.StatusBadRequest, err)
 		return
 	}
-	ms, err := h.n.Sub.SearchPrefixTree(r.Context(), req.Query, req.Eps)
-	writeRPC(w, ms, nil, err)
+	ctx, tr := h.traceCtx(r, req.Trace)
+	ms, err := h.n.Sub.SearchPrefixTree(ctx, req.Query, req.Eps)
+	writeRPC(w, ms, nil, err, tr)
 }
 
 func (h *NodeRPC) approx(w http.ResponseWriter, r *http.Request) {
@@ -180,8 +204,9 @@ func (h *NodeRPC) approx(w http.ResponseWriter, r *http.Request) {
 		rpcError(w, http.StatusBadRequest, fmt.Errorf("leaf budget %d; a positive probe count is required", req.LeafBudget))
 		return
 	}
-	ms, st, err := h.n.Sub.SearchApprox(r.Context(), req.Query, req.Eps, req.LeafBudget)
-	writeRPC(w, ms, &st, err)
+	ctx, tr := h.traceCtx(r, req.Trace)
+	ms, st, err := h.n.Sub.SearchApprox(ctx, req.Query, req.Eps, req.LeafBudget)
+	writeRPC(w, ms, &st, err, tr)
 }
 
 // validateRPCQuery screens a full-length RPC query before it reaches

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"twinsearch/internal/core"
+	"twinsearch/internal/obs"
 	"twinsearch/internal/series"
 )
 
@@ -21,6 +22,11 @@ import (
 type SearchRequest struct {
 	Query []float64 `json:"query"` // engine value space
 	Eps   float64   `json:"eps"`
+	// Trace asks the node to record its own span tree for this query
+	// and return it in SearchResponse.Trace, so the coordinator can
+	// stitch one cross-node trace. Set automatically when the
+	// coordinator's context carries a span.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // TopKRequest asks for the node's k nearest (POST /shard/topk). Bound,
@@ -31,6 +37,7 @@ type TopKRequest struct {
 	Query []float64 `json:"query"`
 	K     int       `json:"k"`
 	Bound *float64  `json:"bound,omitempty"`
+	Trace bool      `json:"trace,omitempty"` // see SearchRequest.Trace
 }
 
 // ApproxRequest asks for an approximate search drawing at most
@@ -39,6 +46,7 @@ type ApproxRequest struct {
 	Query      []float64 `json:"query"`
 	Eps        float64   `json:"eps"`
 	LeafBudget int       `json:"leaf_budget"`
+	Trace      bool      `json:"trace,omitempty"` // see SearchRequest.Trace
 }
 
 // Match is one result on the wire. Dist is -1 for range-style results
@@ -55,6 +63,12 @@ type Match struct {
 type SearchResponse struct {
 	Matches []Match     `json:"matches"`
 	Stats   *core.Stats `json:"stats,omitempty"`
+	// Trace is the node's span subtree for this query, present only
+	// when the request asked for one. Its StartUs values are relative
+	// to the node's own trace start (clocks are not assumed
+	// synchronized); the coordinator grafts it under the replica-
+	// attempt span that won.
+	Trace *obs.Span `json:"trace,omitempty"`
 }
 
 // toWire converts engine matches to wire form.

@@ -111,6 +111,8 @@ func (ix *Index) SearchApproxShared(q []float64, eps float64, budget *LeafBudget
 			st.Candidates++
 			if ver.Verify(int(p)) {
 				out = append(out, series.Match{Start: int(p), Dist: -1})
+			} else {
+				st.Abandons++
 			}
 		}
 	}

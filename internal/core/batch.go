@@ -127,6 +127,8 @@ func (f *Frozen) SearchStatsBatchFrom(sub FrozenSubtree, qs [][]float64, eps flo
 				st[qi].Candidates++
 				if vers[qi].Verify(int(p)) {
 					out[qi] = append(out[qi], series.Match{Start: int(p), Dist: -1})
+				} else {
+					st[qi].Abandons++
 				}
 			}
 		}

@@ -89,6 +89,8 @@ func (ix *Index) SearchStatsFrom(sub Subtree, q []float64, eps float64) ([]serie
 			st.Candidates++
 			if ver.Verify(int(p)) {
 				out = append(out, series.Match{Start: int(p), Dist: -1})
+			} else {
+				st.Abandons++
 			}
 		}
 	}

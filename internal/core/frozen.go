@@ -286,6 +286,12 @@ func (f *Frozen) SearchStats(q []float64, eps float64) ([]series.Match, Stats) {
 	return out, st
 }
 
+// frozenStackCap sizes the explicit traversal stacks. A constant
+// capacity lets escape analysis keep the whole stack on the goroutine
+// stack for typical trees (fanout × depth rarely exceeds a few dozen
+// pending nodes); deeper trees spill to the heap transparently.
+const frozenStackCap = 256
+
 // SearchStatsFrom is the range-search work unit over the arena — the
 // frozen counterpart of Index.SearchStatsFrom, with the same contract:
 // matches in traversal order, Stats.Results left zero.
@@ -294,9 +300,14 @@ func (f *Frozen) SearchStatsFrom(sub FrozenSubtree, q []float64, eps float64) ([
 	if !sub.ok {
 		return nil, st
 	}
-	ver := series.NewVerifier(f.ext, q, eps)
+	// A by-value verifier and a constant-capacity stack keep this unit
+	// allocation-free until the first match (both stay on the caller's
+	// stack; the traversal stack only spills to the heap past
+	// frozenStackCap pending nodes).
+	ver := series.MakeVerifier(f.ext, q, eps)
 	var out []series.Match
-	stack := []int32{sub.id}
+	stack := make([]int32, 0, frozenStackCap)
+	stack = append(stack, sub.id)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -317,6 +328,8 @@ func (f *Frozen) SearchStatsFrom(sub FrozenSubtree, q []float64, eps float64) ([
 			st.Candidates++
 			if ver.Verify(int(p)) {
 				out = append(out, series.Match{Start: int(p), Dist: -1})
+			} else {
+				st.Abandons++
 			}
 		}
 	}
@@ -447,9 +460,10 @@ func (f *Frozen) SearchPrefixTreeFrom(sub FrozenSubtree, q []float64, eps float6
 		return nil
 	}
 	var out []series.Match
-	ver := series.NewVerifier(f.ext, q, eps)
+	ver := series.MakeVerifier(f.ext, q, eps)
 	l := len(q)
-	stack := []int32{sub.id}
+	stack := make([]int32, 0, frozenStackCap)
+	stack = append(stack, sub.id)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -522,6 +536,8 @@ func (f *Frozen) SearchApproxShared(q []float64, eps float64, budget *LeafBudget
 			st.Candidates++
 			if ver.Verify(int(p)) {
 				out = append(out, series.Match{Start: int(p), Dist: -1})
+			} else {
+				st.Abandons++
 			}
 		}
 	}

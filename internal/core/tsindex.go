@@ -77,12 +77,21 @@ type node struct {
 	leaf      bool
 }
 
-// Stats describes the work a search performed.
+// Stats describes the work a search performed. Abandons counts the
+// candidate windows whose point-by-point verification was cut short by
+// early abandoning (Chebyshev running max exceeded ε before the window
+// ended) — i.e. Candidates minus the windows verified to the end; since
+// every verified-to-the-end candidate under L∞ is a match, Abandons =
+// Candidates − Results for the range paths. It is tracked explicitly so
+// the trace layer can report kernel-level abandoning per shard, and so
+// the differential suites pin it identical across pointer/frozen/batch/
+// cluster forms.
 type Stats struct {
 	NodesVisited  int
 	NodesPruned   int
 	LeavesReached int
 	Candidates    int
+	Abandons      int
 	Results       int
 }
 

@@ -97,6 +97,7 @@ type Executor struct {
 	n      int
 	queues []queue
 	next   atomic.Uint64 // round-robin cursor for external submissions
+	steals atomic.Uint64 // lifetime cross-queue steals, for /metrics
 
 	mu        sync.Mutex
 	running   int             // live worker goroutines
@@ -122,6 +123,12 @@ func New(workers int) *Executor {
 // Workers returns the executor's worker limit.
 func (e *Executor) Workers() int { return e.n }
 
+// Steals returns the lifetime count of cross-queue steals: units a
+// worker popped from a peer's deque because its own ran dry. A high
+// rate relative to units run means skewed partitions (one hot shard
+// feeding everyone else).
+func (e *Executor) Steals() uint64 { return e.steals.Load() }
+
 var (
 	defaultOnce sync.Once
 	defaultExec *Executor
@@ -138,9 +145,15 @@ func Default() *Executor {
 // spawn transitively via Ctx.Go. Many groups may be in flight on one
 // executor; their units interleave over the same workers.
 type Group struct {
-	e  *Executor
-	wg sync.WaitGroup
+	e      *Executor
+	wg     sync.WaitGroup
+	steals atomic.Uint64 // units of this group stolen across queues
 }
+
+// Steals returns how many of the group's units were stolen by a worker
+// other than the one whose queue they were submitted to — the per-query
+// work-stealing figure the trace layer reports.
+func (g *Group) Steals() uint64 { return g.steals.Load() }
 
 // NewGroup returns an empty completion group on this executor.
 func (e *Executor) NewGroup() *Group { return &Group{e: e} }
@@ -237,6 +250,8 @@ func (e *Executor) grab(slot int) (task, bool) {
 	}
 	for i := 1; i < e.n; i++ {
 		if t, ok := e.queues[(slot+i)%e.n].popHead(); ok {
+			t.g.steals.Add(1)
+			e.steals.Add(1)
 			return t, true
 		}
 	}

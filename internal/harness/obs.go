@@ -1,0 +1,114 @@
+package harness
+
+// FigureObs — beyond the paper: the observability tier's cost
+// (internal/obs). Three cells over the EEG workload, all on uncached
+// engines so every query is a real traversal:
+//
+//   - off: tracing disabled — the baseline every production query pays.
+//     The claim (enforced at 0 allocs/op by BenchmarkTraceDisabled) is
+//     that the disabled path is free.
+//   - forced: every query carries a root span, as with ?trace=1 — the
+//     full span tree (validate, traverse with per-shard children,
+//     merge) is built and timed per query.
+//   - sampled-128: -trace-sample 128 — the production sampling
+//     configuration, where 1 in 128 queries pays the forced cost and
+//     the rest run the disabled path.
+//
+// Comparing off vs sampled-128 bounds the steady-state overhead of
+// leaving observability on; off vs forced prices a single trace.
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"twinsearch"
+	"twinsearch/internal/datasets"
+	"twinsearch/internal/obs"
+)
+
+const obsPasses = 3
+
+func (r *Runner) FigureObs() []Row {
+	d := r.EEG()
+	r.logf("Observability experiment: %s (trace off / forced / sampled)", d.Name)
+	queries := datasets.Queries(d.Data, r.Seed+9, r.Queries, DefaultL)
+	eps := d.DefaultEpsNorm
+
+	open := func(sample int) (*twinsearch.Engine, error) {
+		return twinsearch.Open(d.Data, twinsearch.Options{
+			L: DefaultL, Workers: r.Workers, TraceSample: sample})
+	}
+	eng, err := open(0)
+	if err != nil {
+		r.logf("  engine open failed (%v)", err)
+		return nil
+	}
+	defer eng.Close()
+
+	var rows []Row
+	cell := func(param string, e *twinsearch.Engine, traced bool) {
+		p50, p99, avg, res, errs := measureObs(e, queries, eps, traced)
+		r.logf("  %-11s p50 %.3f ms, p99 %.3f ms", param+":", p50, p99)
+		rows = append(rows, Row{Figure: "obs", Dataset: d.Name, Method: "TS-Index",
+			Param: param, AvgQueryMs: avg, AvgResults: res, P50Ms: p50, P99Ms: p99, Errors: errs})
+	}
+
+	cell("off", eng, false)
+	cell("forced", eng, true)
+
+	sampled, err := open(128)
+	if err != nil {
+		r.logf("  sampled engine open failed (%v)", err)
+		return rows
+	}
+	defer sampled.Close()
+	cell("sampled-128", sampled, false)
+	return rows
+}
+
+// measureObs runs the workload obsPasses times and returns per-query
+// p50/p99/mean latency in milliseconds plus the error count. With
+// traced set, each query carries its own forced root span, like
+// ?trace=1 does.
+func measureObs(eng *twinsearch.Engine, queries [][]float64, eps float64, traced bool) (p50, p99, avg, avgResults float64, errs int) {
+	// One untimed pass warms the engine (lazy frontier computation, page
+	// faults) so the first measured cell isn't charged the cold start the
+	// others skip.
+	for _, q := range queries {
+		if _, err := eng.SearchCtx(context.Background(), q, eps); err != nil {
+			errs++
+		}
+	}
+	var lat []float64
+	var sum, results float64
+	for p := 0; p < obsPasses; p++ {
+		for _, q := range queries {
+			ctx := context.Background()
+			var tr *obs.Trace
+			if traced {
+				tr = obs.NewTrace("bench")
+				ctx = obs.WithSpan(ctx, tr.Root)
+			}
+			start := time.Now()
+			ms, err := eng.SearchCtx(ctx, q, eps)
+			tr.Finish()
+			elapsed := time.Since(start).Seconds() * 1000
+			if err != nil {
+				errs++
+				continue
+			}
+			lat = append(lat, elapsed)
+			sum += elapsed
+			results += float64(len(ms))
+		}
+	}
+	if len(lat) == 0 {
+		return 0, 0, 0, 0, errs
+	}
+	sort.Float64s(lat)
+	quantile := func(p float64) float64 {
+		return lat[int(p*float64(len(lat)-1))]
+	}
+	return quantile(0.50), quantile(0.99), sum / float64(len(lat)), results / float64(len(lat)), errs
+}

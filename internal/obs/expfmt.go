@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+)
+
+// Exposition-format line shapes (Prometheus text format 0.0.4). Kept
+// deliberately simple — a line-oriented checker, not a full parser —
+// so tests and the CI smoke can validate /metrics without external
+// dependencies.
+var (
+	expTypeLine   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	expSampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)( [0-9]+)?$`)
+)
+
+// ValidateExposition checks that r holds well-formed Prometheus text
+// exposition output: every line is a comment, a valid `# TYPE` line, or
+// a valid sample; each sample's family was TYPE-declared first; and no
+// family is declared twice. Returns the first violation.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	declared := map[string]string{} // family -> kind
+	samples := 0
+	for n := 1; sc.Scan(); n++ {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# TYPE ") {
+				m := expTypeLine.FindStringSubmatch(line)
+				if m == nil {
+					return fmt.Errorf("line %d: malformed TYPE line: %q", n, line)
+				}
+				if _, dup := declared[m[1]]; dup {
+					return fmt.Errorf("line %d: family %s TYPE-declared twice", n, m[1])
+				}
+				declared[m[1]] = m[2]
+			}
+			// Other comments (# HELP, free-form) are legal.
+			continue
+		}
+		m := expSampleLine.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample line: %q", n, line)
+		}
+		fam := m[1]
+		// Histogram series carry _bucket/_sum/_count suffixes on the
+		// declared family name.
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(fam, suf)
+			if base != fam && declared[base] == "histogram" {
+				fam = base
+				break
+			}
+		}
+		if _, ok := declared[fam]; !ok {
+			return fmt.Errorf("line %d: sample %s has no preceding TYPE declaration", n, fam)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition output")
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+// Package obs is the engine's stdlib-only observability layer: per-query
+// span traces threaded through context.Context, a Prometheus-style
+// metrics registry (metrics.go), and a ring-buffer slow-query log
+// (slowlog.go).
+//
+// Tracing is opt-in per query. A caller that wants a trace creates one
+// with NewTrace and installs its root span into the context with
+// WithSpan; every instrumented layer below then grows the span tree via
+// StartSpan / StartChild. When no span is installed — the overwhelmingly
+// common case — StartSpan returns (ctx, nil) after a single allocation-
+// free ctx.Value lookup, and every *Span method is a nil-safe no-op, so
+// the disabled path costs nothing (enforced by BenchmarkTraceDisabled).
+//
+// Span trees serialize to JSON for the HTTP response envelope
+// (?trace=1), for cross-node stitching (a shard node returns its
+// subtree in the RPC response and the coordinator grafts it under the
+// replica-attempt span), and for the slow-query log. StartUs values are
+// microseconds relative to the span's own trace epoch; a remote subtree
+// is therefore relative to the *node's* trace start, not the
+// coordinator's — readers should treat remote timings as node-local.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed region of a query, with optional attributes and
+// child spans. The exported fields are the wire shape (JSON); Name,
+// StartUs and DurUs are stable once End has run. Methods are safe for
+// concurrent use and are no-ops on a nil receiver, so call sites never
+// need a tracing-enabled check.
+type Span struct {
+	Name     string         `json:"name"`
+	StartUs  int64          `json:"start_us"`           // microseconds since the trace epoch
+	DurUs    int64          `json:"dur_us"`             // microseconds; 0 until End
+	Attrs    map[string]any `json:"attrs,omitempty"`    // small scalar annotations
+	Children []*Span        `json:"children,omitempty"` // sub-spans, in start order
+
+	mu    sync.Mutex
+	t0    time.Time // this span's start instant (zero for decoded spans)
+	epoch time.Time // the trace epoch children stamp StartUs against
+}
+
+// Trace is one query's span tree: a root span plus the epoch every
+// StartUs in the tree is relative to.
+type Trace struct {
+	Root *Span
+	t0   time.Time
+}
+
+// NewTrace starts a trace whose root span carries name.
+func NewTrace(name string) *Trace {
+	t0 := time.Now()
+	return &Trace{
+		Root: &Span{Name: name, t0: t0, epoch: t0},
+		t0:   t0,
+	}
+}
+
+// Finish ends the root span. Idempotent in effect: a second call merely
+// restamps the duration.
+func (t *Trace) Finish() {
+	if t != nil {
+		t.Root.End()
+	}
+}
+
+// StartChild opens a sub-span under s and returns it. Nil-safe: a nil
+// receiver returns nil, so chains of StartChild/Set/End cost nothing
+// when tracing is off.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	now := time.Now()
+	c := &Span{Name: name, t0: now, epoch: s.epoch}
+	if !s.epoch.IsZero() {
+		c.StartUs = now.Sub(s.epoch).Microseconds()
+	}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End stamps the span's duration. Nil-safe; a span without a start
+// instant (decoded from the wire) is left untouched.
+func (s *Span) End() {
+	if s == nil || s.t0.IsZero() {
+		return
+	}
+	d := time.Since(s.t0).Microseconds()
+	s.mu.Lock()
+	s.DurUs = d
+	s.mu.Unlock()
+}
+
+// Set records one attribute on the span. Values should be small
+// scalars (string, int, float64, bool) so the tree stays cheap to
+// serialize. Nil-safe.
+func (s *Span) Set(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]any, 4)
+	}
+	s.Attrs[key] = v
+	s.mu.Unlock()
+}
+
+// Attach grafts child (typically a subtree decoded from a remote node)
+// under s. Nil-safe on both sides.
+func (s *Span) Attach(child *Span) {
+	if s == nil || child == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Children = append(s.Children, child)
+	s.mu.Unlock()
+}
+
+// Clone deep-copies the span tree under each span's lock — the snapshot
+// the slow-query log stores, safe to serialize while the original tree
+// is still being finished.
+func (s *Span) Clone() *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	c := &Span{Name: s.Name, StartUs: s.StartUs, DurUs: s.DurUs}
+	if len(s.Attrs) > 0 {
+		c.Attrs = make(map[string]any, len(s.Attrs))
+		for k, v := range s.Attrs {
+			c.Attrs[k] = v
+		}
+	}
+	kids := make([]*Span, len(s.Children))
+	copy(kids, s.Children)
+	s.mu.Unlock()
+	if len(kids) > 0 {
+		c.Children = make([]*Span, 0, len(kids))
+		for _, k := range kids {
+			c.Children = append(c.Children, k.Clone())
+		}
+	}
+	return c
+}
+
+// WriteTree pretty-prints the span tree, one line per span, indented by
+// depth — the renderer behind tsquery -trace.
+func WriteTree(w io.Writer, s *Span) {
+	writeTree(w, s, 0)
+}
+
+func writeTree(w io.Writer, s *Span, depth int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	name, start, dur := s.Name, s.StartUs, s.DurUs
+	attrs := make([]string, 0, len(s.Attrs))
+	for k, v := range s.Attrs {
+		attrs = append(attrs, fmt.Sprintf("%s=%v", k, v))
+	}
+	kids := make([]*Span, len(s.Children))
+	copy(kids, s.Children)
+	s.mu.Unlock()
+	sort.Strings(attrs)
+	for i := 0; i < depth; i++ {
+		io.WriteString(w, "  ")
+	}
+	fmt.Fprintf(w, "%s +%dus %dus", name, start, dur)
+	for _, a := range attrs {
+		io.WriteString(w, " "+a)
+	}
+	io.WriteString(w, "\n")
+	for _, k := range kids {
+		writeTree(w, k, depth+1)
+	}
+}
+
+// spanKey is the context key the current span travels under. A
+// zero-size key type keeps the disabled-path ctx.Value lookup
+// allocation-free.
+type spanKey struct{}
+
+// WithSpan installs s as the context's current span. Installing nil is
+// a no-op returning ctx unchanged.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFrom returns the context's current span, nil when the query is
+// untraced (or ctx itself is nil). Allocation-free.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's current span and returns a
+// context carrying it. When the query is untraced it returns
+// (ctx, nil) without allocating — the fast path every instrumented
+// layer takes by default.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	s := SpanFrom(ctx)
+	if s == nil {
+		return ctx, nil
+	}
+	c := s.StartChild(name)
+	return context.WithValue(ctx, spanKey{}, c), c
+}
+
+// Sampler implements 1-in-N trace sampling with a single atomic
+// counter. The zero value (or every <= 0) never samples.
+type Sampler struct {
+	every uint64
+	n     atomic.Uint64
+}
+
+// NewSampler returns a sampler firing once every `every` calls; every
+// <= 0 disables sampling.
+func NewSampler(every int) *Sampler {
+	s := &Sampler{}
+	if every > 0 {
+		s.every = uint64(every)
+	}
+	return s
+}
+
+// Sample reports whether this call is the 1-in-N sampled one.
+// Allocation-free; false without touching the counter when disabled.
+func (s *Sampler) Sample() bool {
+	if s == nil || s.every == 0 {
+		return false
+	}
+	return s.n.Add(1)%s.every == 0
+}

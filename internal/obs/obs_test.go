@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeBasics(t *testing.T) {
+	tr := NewTrace("query")
+	ctx := WithSpan(context.Background(), tr.Root)
+
+	ctx2, v := StartSpan(ctx, "validate")
+	if v == nil {
+		t.Fatal("StartSpan returned nil span under an active trace")
+	}
+	v.Set("plan_cache", "miss")
+	v.End()
+
+	_, tv := StartSpan(ctx2, "traverse")
+	tv.Set("nodes_visited", 7)
+	tv.End()
+	tr.Finish()
+
+	root := tr.Root
+	if len(root.Children) != 1 {
+		t.Fatalf("root children = %d, want 1", len(root.Children))
+	}
+	val := root.Children[0]
+	if val.Name != "validate" || val.Attrs["plan_cache"] != "miss" {
+		t.Fatalf("unexpected validate span: %+v", val)
+	}
+	if len(val.Children) != 1 || val.Children[0].Name != "traverse" {
+		t.Fatalf("traverse span not nested under validate: %+v", val.Children)
+	}
+	if root.DurUs < 0 {
+		t.Fatalf("root DurUs = %d", root.DurUs)
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	s.Set("k", 1)
+	s.End()
+	s.Attach(nil)
+	if c := s.StartChild("x"); c != nil {
+		t.Fatal("nil StartChild returned non-nil")
+	}
+	if s.Clone() != nil {
+		t.Fatal("nil Clone returned non-nil")
+	}
+	ctx, sp := StartSpan(context.Background(), "noop")
+	if sp != nil {
+		t.Fatal("StartSpan without a trace returned a span")
+	}
+	if SpanFrom(ctx) != nil {
+		t.Fatal("SpanFrom on plain context returned a span")
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	tr := NewTrace("q")
+	c := tr.Root.StartChild("shard[0]")
+	c.Set("leaves", 3)
+	c.End()
+	tr.Finish()
+
+	b, err := json.Marshal(tr.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "q" || len(back.Children) != 1 || back.Children[0].Name != "shard[0]" {
+		t.Fatalf("round trip lost structure: name=%q children=%d", back.Name, len(back.Children))
+	}
+	// Attaching a decoded subtree (the cross-node graft) must work and
+	// ending a decoded span must not fabricate timings.
+	host := NewTrace("coordinator")
+	host.Root.Attach(&back)
+	back.End()
+	if back.DurUs != back.Children[0].DurUs && back.Children[0].DurUs < 0 {
+		t.Fatal("decoded span timing mutated")
+	}
+	if len(host.Root.Children) != 1 {
+		t.Fatal("Attach failed")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := NewTrace("q")
+	c := tr.Root.StartChild("child")
+	c.Set("k", "v")
+	snap := tr.Root.Clone()
+	c.Set("k", "changed")
+	tr.Root.StartChild("late")
+	if snap.Children[0].Attrs["k"] != "v" {
+		t.Fatalf("clone shares attrs: %v", snap.Children[0].Attrs)
+	}
+	if len(snap.Children) != 1 {
+		t.Fatalf("clone shares children: %d", len(snap.Children))
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	tr := NewTrace("query")
+	c := tr.Root.StartChild("validate")
+	c.Set("plan_cache", "hit")
+	c.End()
+	tr.Finish()
+	var buf bytes.Buffer
+	WriteTree(&buf, tr.Root)
+	out := buf.String()
+	if !strings.Contains(out, "query") || !strings.Contains(out, "  validate") ||
+		!strings.Contains(out, "plan_cache=hit") {
+		t.Fatalf("unexpected render:\n%s", out)
+	}
+}
+
+func TestSampler(t *testing.T) {
+	if NewSampler(0).Sample() {
+		t.Fatal("disabled sampler fired")
+	}
+	var nilSampler *Sampler
+	if nilSampler.Sample() {
+		t.Fatal("nil sampler fired")
+	}
+	s := NewSampler(4)
+	fired := 0
+	for i := 0; i < 400; i++ {
+		if s.Sample() {
+			fired++
+		}
+	}
+	if fired != 100 {
+		t.Fatalf("1-in-4 sampler fired %d/400", fired)
+	}
+}
+
+func TestStartSpanDisabledAllocFree(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, sp := StartSpan(ctx, "x")
+		sp.Set("k", 1)
+		sp.End()
+		_ = c
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled StartSpan path allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestSlowLogRing(t *testing.T) {
+	l := NewSlowLog(3, time.Millisecond)
+	if l.Threshold() != time.Millisecond {
+		t.Fatal("threshold lost")
+	}
+	for i := 0; i < 5; i++ {
+		l.Add(SlowEntry{Path: "search", DurationMs: float64(i)})
+	}
+	got := l.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("ring kept %d entries, want 3", len(got))
+	}
+	// Newest first: durations 4, 3, 2.
+	for i, want := range []float64{4, 3, 2} {
+		if got[i].DurationMs != want {
+			t.Fatalf("entry %d duration = %v, want %v", i, got[i].DurationMs, want)
+		}
+	}
+	if l.Total() != 5 {
+		t.Fatalf("total = %d, want 5", l.Total())
+	}
+
+	var disabled *SlowLog = NewSlowLog(0, 0)
+	disabled.Add(SlowEntry{})
+	if disabled.Snapshot() != nil || disabled.Threshold() != 0 || disabled.Total() != 0 {
+		t.Fatal("disabled slowlog not inert")
+	}
+}

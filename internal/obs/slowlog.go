@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowEntry is one slow-query record: what ran, how long it took, and —
+// when the query was traced — a snapshot of its span tree.
+type SlowEntry struct {
+	Time       time.Time `json:"time"`
+	Path       string    `json:"path"`
+	DurationMs float64   `json:"duration_ms"`
+	Err        string    `json:"error,omitempty"`
+	Trace      *Span     `json:"trace,omitempty"`
+}
+
+// SlowLog is a fixed-size ring buffer of the most recent above-
+// threshold queries. The threshold check belongs to the caller and is
+// a plain duration compare before any lock or allocation, so the
+// fast path (queries under the threshold — almost all of them) costs
+// one branch. Add and Snapshot are safe for concurrent use.
+type SlowLog struct {
+	threshold time.Duration
+
+	mu      sync.Mutex
+	ring    []SlowEntry
+	next    int  // ring slot the next entry lands in
+	wrapped bool // ring has gone around at least once
+	total   uint64
+}
+
+// NewSlowLog returns a slow-query log keeping the last size entries
+// whose duration reached threshold. size <= 0 disables it (returns
+// nil; all methods are nil-safe).
+func NewSlowLog(size int, threshold time.Duration) *SlowLog {
+	if size <= 0 {
+		return nil
+	}
+	if threshold <= 0 {
+		threshold = 100 * time.Millisecond
+	}
+	return &SlowLog{threshold: threshold, ring: make([]SlowEntry, size)}
+}
+
+// Threshold returns the slow-query cutoff (0 when the log is disabled).
+// Callers compare against it before building an entry, keeping the
+// fast path allocation- and lock-free.
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Add records one slow query. Nil-safe.
+func (l *SlowLog) Add(e SlowEntry) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.ring[l.next] = e
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.wrapped = true
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+// Total returns how many slow queries have been recorded since start
+// (including ones the ring has since evicted).
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the retained entries, newest first. Nil-safe.
+func (l *SlowLog) Snapshot() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.wrapped {
+		n = len(l.ring)
+	}
+	out := make([]SlowEntry, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the most recent slot.
+		idx := l.next - 1 - i
+		if idx < 0 {
+			idx += len(l.ring)
+		}
+		out = append(out, l.ring[idx])
+	}
+	return out
+}

@@ -16,8 +16,14 @@ type Match struct {
 // result sets are directly comparable. Index traversals emit positions
 // in leaf order, which is arbitrary with respect to start position, so
 // this must be a real O(n log n) sort — loose thresholds can make the
-// result set a double-digit percentage of all windows.
+// result set a double-digit percentage of all windows. Empty and
+// single-element sets return before the sort.Slice call: its
+// interface conversion allocates, and the no-match fast path is held
+// to zero allocations (see BenchmarkTraceDisabled).
 func SortMatches(ms []Match) {
+	if len(ms) < 2 {
+		return
+	}
 	sort.Slice(ms, func(i, j int) bool { return ms[i].Start < ms[j].Start })
 }
 

@@ -25,7 +25,16 @@ type Verifier struct {
 // extractor ext. Reordering is applied for normalized modes, where the
 // |value| heuristic is meaningful; raw mode verifies sequentially.
 func NewVerifier(ext *Extractor, q []float64, eps float64) *Verifier {
-	v := &Verifier{q: q, eps: eps, ext: ext}
+	v := MakeVerifier(ext, q, eps)
+	return &v
+}
+
+// MakeVerifier is NewVerifier by value: core's traversal loops hold the
+// verifier on the stack, keeping the allocation-free query path
+// (BenchmarkTraceDisabled) allocation-free. Raw mode allocates nothing;
+// normalized modes still build the reordering permutation.
+func MakeVerifier(ext *Extractor, q []float64, eps float64) Verifier {
+	v := Verifier{q: q, eps: eps, ext: ext}
 	if ext.Mode() != NormNone {
 		v.order = DescendingMagnitudeOrder(q)
 	}

@@ -22,12 +22,15 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"twinsearch"
+	"twinsearch/internal/mbts/kernel"
+	"twinsearch/internal/obs"
 )
 
 // Handler is an http.Handler serving one engine.
@@ -37,6 +40,7 @@ type Handler struct {
 	mux   *http.ServeMux
 	adm   *admission
 	drain atomic.Bool
+	start time.Time
 }
 
 // New wraps an engine with no admission control (every request runs);
@@ -47,13 +51,34 @@ func New(eng *twinsearch.Engine) *Handler {
 
 // NewWithConfig wraps an engine with the given serving-tier config.
 func NewWithConfig(eng *twinsearch.Engine, cfg Config) *Handler {
-	h := &Handler{eng: eng, mux: http.NewServeMux(), adm: newAdmission(cfg)}
+	h := &Handler{eng: eng, mux: http.NewServeMux(), adm: newAdmission(cfg), start: time.Now()}
 	h.mux.HandleFunc("/healthz", h.health)
 	h.mux.HandleFunc("/stats", h.stats)
+	h.mux.HandleFunc("/metrics", h.metrics)
+	h.mux.HandleFunc("/debug/slowlog", h.slowlog)
 	h.mux.HandleFunc("/search", h.search)
 	h.mux.HandleFunc("/topk", h.topk)
 	h.mux.HandleFunc("/append", h.append)
 	h.mux.HandleFunc("/subsequence", h.subsequence)
+	// The serving tier owns admission and drain state, so their gauges
+	// register here rather than in the engine; scrape-time funcs mean
+	// the registry always reports the live values.
+	reg := eng.Metrics()
+	reg.GaugeFunc("twinsearch_admission_inflight", func() float64 {
+		return float64(h.adm.snapshot().Inflight)
+	})
+	reg.GaugeFunc("twinsearch_admission_queue_depth", func() float64 {
+		return float64(h.adm.snapshot().QueueDepth)
+	})
+	reg.CounterFunc("twinsearch_admission_shed_total", func() float64 {
+		return float64(h.adm.snapshot().Shed)
+	})
+	reg.GaugeFunc("twinsearch_draining", func() float64 {
+		if h.drain.Load() {
+			return 1
+		}
+		return 0
+	})
 	return h
 }
 
@@ -63,11 +88,22 @@ func NewWithConfig(eng *twinsearch.Engine, cfg Config) *Handler {
 // race Engine.Close's unmap.
 func (h *Handler) BeginDrain() { h.drain.Store(true) }
 
+// drainExempt lists the observability endpoints that keep answering
+// while the server drains — operators read them precisely when the
+// server is unhappy.
+func drainExempt(path string) bool {
+	switch path {
+	case "/healthz", "/stats", "/metrics", "/debug/slowlog":
+		return true
+	}
+	return false
+}
+
 // ServeHTTP implements http.Handler. Drain is checked before
 // admission: a draining server answers 503 without consuming queue
 // capacity, and only the observability endpoints stay open.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if h.drain.Load() && r.URL.Path != "/healthz" && r.URL.Path != "/stats" {
+	if h.drain.Load() && !drainExempt(r.URL.Path) {
 		writeErr(w, http.StatusServiceUnavailable, errDraining)
 		return
 	}
@@ -143,6 +179,12 @@ func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
 		// caching answers can invalidate on "epoch changed". /stats has
 		// the full serving-tier counter set.
 		"epoch": h.eng.Epoch(),
+		// Which distance-kernel implementation dispatch selected at
+		// startup (scalar, portable, or avx2) — the first thing to check
+		// when two machines disagree on throughput.
+		"kernel":         kernel.Active(),
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+		"uptime_seconds": int64(time.Since(h.start).Seconds()),
 	}
 	cl := h.eng.Cluster()
 	h.mu.RUnlock()
@@ -184,6 +226,30 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// metrics serves the engine's registry in Prometheus text exposition
+// format. Drain-exempt.
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = h.eng.Metrics().WritePrometheus(w)
+}
+
+// slowlog serves the slow-query ring buffer, newest first, each entry
+// carrying the query's full span tree. Drain-exempt. Empty (or
+// disabled: -slowlog-size 0) logs answer {"entries":[]}.
+func (h *Handler) slowlog(w http.ResponseWriter, r *http.Request) {
+	entries := h.eng.SlowLog().Snapshot()
+	if entries == nil {
+		entries = []obs.SlowEntry{}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"entries": entries})
+}
+
+// traceWanted reports whether the request forces a trace (?trace=1).
+func traceWanted(r *http.Request) bool {
+	v := r.URL.Query().Get("trace")
+	return v == "1" || v == "true"
+}
+
 type searchRequest struct {
 	Query []float64 `json:"query"`
 	Eps   float64   `json:"eps"`
@@ -197,6 +263,11 @@ type matchBody struct {
 type searchResponse struct {
 	Count   int         `json:"count"`
 	Matches []matchBody `json:"matches"`
+	// Trace is the query's span tree, present only when the request
+	// forced one with ?trace=1. On cluster topologies it is the stitched
+	// cross-node tree: coordinator spans with each node's subtree
+	// grafted under the replica attempt that won.
+	Trace *obs.Span `json:"trace,omitempty"`
 }
 
 func toBody(ms []twinsearch.Match) searchResponse {
@@ -221,7 +292,21 @@ func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	if !h.admit(w, r) {
+	// A forced trace (?trace=1) is created before admission so the time
+	// spent queued shows up as an "admission" span.
+	ctx := r.Context()
+	var tr *obs.Trace
+	if traceWanted(r) {
+		tr = obs.NewTrace("http /search")
+		ctx = obs.WithSpan(ctx, tr.Root)
+	}
+	var asp *obs.Span
+	if tr != nil {
+		asp = tr.Root.StartChild("admission")
+	}
+	ok := h.admit(w, r)
+	asp.End()
+	if !ok {
 		return
 	}
 	defer h.adm.release()
@@ -229,13 +314,18 @@ func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
 	// a proxy that times out) cancels the remaining work units instead
 	// of burning executor time on an unwanted answer.
 	h.mu.RLock()
-	ms, err := h.eng.SearchCtx(r.Context(), req.Query, req.Eps)
+	ms, err := h.eng.SearchCtx(ctx, req.Query, req.Eps)
 	h.mu.RUnlock()
 	if err != nil {
 		writeErr(w, searchStatus(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toBody(ms))
+	body := toBody(ms)
+	if tr != nil {
+		tr.Finish()
+		body.Trace = tr.Root
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // searchStatus maps engine errors to HTTP: context endings and
@@ -263,18 +353,35 @@ func (h *Handler) topk(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	if !h.admit(w, r) {
+	ctx := r.Context()
+	var tr *obs.Trace
+	if traceWanted(r) {
+		tr = obs.NewTrace("http /topk")
+		ctx = obs.WithSpan(ctx, tr.Root)
+	}
+	var asp *obs.Span
+	if tr != nil {
+		asp = tr.Root.StartChild("admission")
+	}
+	ok := h.admit(w, r)
+	asp.End()
+	if !ok {
 		return
 	}
 	defer h.adm.release()
 	h.mu.RLock()
-	ms, err := h.eng.SearchTopKCtx(r.Context(), req.Query, req.K)
+	ms, err := h.eng.SearchTopKCtx(ctx, req.Query, req.K)
 	h.mu.RUnlock()
 	if err != nil {
 		writeErr(w, searchStatus(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toBody(ms))
+	body := toBody(ms)
+	if tr != nil {
+		tr.Finish()
+		body.Trace = tr.Root
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 type appendRequest struct {

@@ -43,10 +43,12 @@ package shard
 
 import (
 	"context"
+	"fmt"
 	"math"
 
 	"twinsearch/internal/core"
 	"twinsearch/internal/exec"
+	"twinsearch/internal/obs"
 	"twinsearch/internal/series"
 )
 
@@ -143,18 +145,60 @@ func searchStatsUnits(ctx context.Context, ex *exec.Executor, frozen []*core.Fro
 	if canceled(ctx) {
 		return nil, core.Stats{}, ctx.Err()
 	}
+	sp := obs.SpanFrom(ctx)
 	if direct && len(frozen) == 1 {
+		tsp := sp.StartChild("traverse")
 		ms, st := frozen[0].SearchStats(q, eps)
+		setShardAttrs(tsp, st, 0)
+		tsp.End()
 		return ms, st, nil
 	}
 	g := ex.NewGroup()
+	tsp := sp.StartChild("traverse")
 	p := queueSearchUnits(g, ctx, frozen, fr(), byMean, q, eps)
 	g.Wait()
+	if tsp != nil {
+		// Per-shard counter subtrees are assembled after the barrier
+		// from the already-collected unit stats, so the hot work-unit
+		// closures stay untouched by tracing. Unit timings interleave
+		// across workers; the shard spans carry counters, not durations.
+		tsp.Set("steals", int(g.Steals()))
+		for i := range p.st {
+			var st core.Stats
+			for _, u := range p.st[i] {
+				st = addStats(st, u)
+			}
+			ssp := tsp.StartChild(fmt.Sprintf("shard[%d]", i))
+			setShardAttrs(ssp, st, len(p.st[i]))
+			ssp.End()
+		}
+	}
+	tsp.End()
 	if canceled(ctx) {
 		return nil, core.Stats{}, ctx.Err()
 	}
+	msp := sp.StartChild("merge")
 	ms, st := p.Resolve()
+	msp.End()
 	return ms, st, nil
+}
+
+// setShardAttrs annotates one shard's traversal span with its summed
+// counters. units == 0 means the whole-tree direct path. Nil-safe.
+func setShardAttrs(sp *obs.Span, st core.Stats, units int) {
+	if sp == nil {
+		return
+	}
+	if units > 0 {
+		sp.Set("units", units)
+	}
+	sp.Set("nodes_visited", st.NodesVisited)
+	sp.Set("nodes_pruned", st.NodesPruned)
+	sp.Set("leaves_reached", st.LeavesReached)
+	sp.Set("candidates", st.Candidates)
+	sp.Set("abandons", st.Abandons)
+	// Results is deliberately omitted: unit stats carry 0 until the
+	// merge resolves the final set; the root span reports it.
 }
 
 // searchTopKUnits runs one top-k search over frozen/fr with the shared

@@ -407,6 +407,7 @@ func addStats(a, b core.Stats) core.Stats {
 	a.NodesPruned += b.NodesPruned
 	a.LeavesReached += b.LeavesReached
 	a.Candidates += b.Candidates
+	a.Abandons += b.Abandons
 	a.Results += b.Results
 	return a
 }

@@ -1,0 +1,220 @@
+package twinsearch
+
+// Trace-path guarantees: the disabled path is allocation-free (the
+// engine's observability hooks must cost production queries nothing),
+// and a forced trace changes nothing about the answer — traced and
+// untraced runs of every search path are byte-identical.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"twinsearch/internal/datasets"
+	"twinsearch/internal/obs"
+)
+
+// traceBenchEngine builds the smallest engine whose SearchStatsCtx hot
+// path runs without allocating: raw values (NormNone skips the
+// transform copy when uncached), no caches, no sharding, tracing off.
+// The query sits far outside the indexed value range, so the MBTS bound
+// prunes at the root and the answer is empty — the path's only
+// remaining allocation (the result slice) never happens, making a
+// strict 0 allocs/op assertion possible.
+func traceBenchEngine(tb testing.TB) (*Engine, []float64) {
+	tb.Helper()
+	ts := datasets.RandomWalk(3, 600)
+	eng, err := Open(ts, Options{L: 100, Norm: NormNone, NormSet: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { eng.Close() })
+	q := make([]float64, 100)
+	for i := range q {
+		q[i] = ts[i] + 1e6
+	}
+	return eng, q
+}
+
+// TestSearchStatsCtxNoAllocs pins the disabled-trace contract exactly:
+// with tracing off, a stats query allocates nothing beyond its result
+// slice — with a root-pruned query, nothing at all.
+func TestSearchStatsCtxNoAllocs(t *testing.T) {
+	eng, q := traceBenchEngine(t)
+	ctx := context.Background()
+	// Warm once so any lazily-initialized state is paid for.
+	if _, _, err := eng.SearchStatsCtx(ctx, q, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, _, err := eng.SearchStatsCtx(ctx, q, 0.1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("SearchStatsCtx with tracing off: %.1f allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkTraceDisabled is the enforced form of the "disabled path is
+// free" claim: run with -benchmem, it must report 0 B/op beyond the
+// result slice. CI's bench smoke executes it.
+func BenchmarkTraceDisabled(b *testing.B) {
+	eng, q := traceBenchEngine(b)
+	ctx := context.Background()
+	if _, _, err := eng.SearchStatsCtx(ctx, q, 0.1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.SearchStatsCtx(ctx, q, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceForced prices a full per-query span tree against the
+// BenchmarkTraceDisabled baseline.
+func BenchmarkTraceForced(b *testing.B) {
+	eng, q := traceBenchEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := obs.NewTrace("bench")
+		ctx := obs.WithSpan(context.Background(), tr.Root)
+		if _, _, err := eng.SearchStatsCtx(ctx, q, 0.1); err != nil {
+			b.Fatal(err)
+		}
+		tr.Finish()
+	}
+}
+
+// TestTracedAnswersUnchanged is the differential guarantee: forcing a
+// trace must not perturb any search path's answer. Runs on a sharded
+// engine so the traced fan-out (per-shard spans, merge span) is
+// exercised, across every public Ctx search path.
+func TestTracedAnswersUnchanged(t *testing.T) {
+	ts := datasets.RandomWalk(7, 4000)
+	eng, err := Open(ts, Options{L: 100, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	q := append([]float64(nil), ts[500:600]...)
+	eps := 0.4
+
+	traced := func() context.Context {
+		tr := obs.NewTrace("diff")
+		return obs.WithSpan(context.Background(), tr.Root)
+	}
+	plain := context.Background()
+
+	check := func(name string, run func(ctx context.Context) (interface{}, error)) {
+		t.Helper()
+		want, err := run(plain)
+		if err != nil {
+			t.Fatalf("%s untraced: %v", name, err)
+		}
+		got, err := run(traced())
+		if err != nil {
+			t.Fatalf("%s traced: %v", name, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s: traced answer differs from untraced", name)
+		}
+	}
+
+	check("Search", func(ctx context.Context) (interface{}, error) {
+		return eng.SearchCtx(ctx, q, eps)
+	})
+	check("SearchStats", func(ctx context.Context) (interface{}, error) {
+		ms, st, err := eng.SearchStatsCtx(ctx, q, eps)
+		return struct {
+			Ms []Match
+			St interface{}
+		}{ms, st}, err
+	})
+	check("SearchTopK", func(ctx context.Context) (interface{}, error) {
+		return eng.SearchTopKCtx(ctx, q, 5)
+	})
+	check("SearchShorter", func(ctx context.Context) (interface{}, error) {
+		return eng.SearchShorterCtx(ctx, q[:60], eps)
+	})
+	check("SearchApprox", func(ctx context.Context) (interface{}, error) {
+		return eng.SearchApproxCtx(ctx, q, eps, 8)
+	})
+}
+
+// TestForcedTraceShape asserts the span tree a forced local query
+// produces actually contains the layers the trace claims to cover.
+func TestForcedTraceShape(t *testing.T) {
+	ts := datasets.RandomWalk(9, 4000)
+	eng, err := Open(ts, Options{L: 100, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	q := append([]float64(nil), ts[500:600]...)
+
+	tr := obs.NewTrace("q")
+	ctx := obs.WithSpan(context.Background(), tr.Root)
+	if _, _, err := eng.SearchStatsCtx(ctx, q, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+
+	names := map[string]int{}
+	var walk func(s *obs.Span)
+	walk = func(s *obs.Span) {
+		names[s.Name]++
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(tr.Root)
+	for _, want := range []string{"validate", "traverse", "merge"} {
+		if names[want] == 0 {
+			t.Fatalf("forced trace missing %q span; got %v", want, names)
+		}
+	}
+	if names["shard[0]"] == 0 || names["shard[2]"] == 0 {
+		t.Fatalf("forced trace missing per-shard spans; got %v", names)
+	}
+}
+
+// TestSamplerOwnedTrace checks 1-in-N sampling produces engine-owned
+// traces that feed the trace counter without any caller involvement.
+func TestSamplerOwnedTrace(t *testing.T) {
+	ts := datasets.RandomWalk(11, 900)
+	eng, err := Open(ts, Options{L: 100, TraceSample: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	q := append([]float64(nil), ts[:100]...)
+	for i := 0; i < 8; i++ {
+		if _, err := eng.SearchCtx(context.Background(), q, 0.3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := eng.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	count := -1.0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if n, ok := strings.CutPrefix(line, "twinsearch_traces_total "); ok {
+			if _, err := fmt.Sscanf(n, "%g", &count); err != nil {
+				t.Fatalf("bad trace counter line %q: %v", line, err)
+			}
+		}
+	}
+	// 8 queries at 1-in-2 sampling: exactly 4 engine-owned traces.
+	if count != 4 {
+		t.Fatalf("twinsearch_traces_total = %g after 8 queries sampled 1-in-2, want 4", count)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"twinsearch/internal/exec"
 	"twinsearch/internal/isax"
 	"twinsearch/internal/kvindex"
+	"twinsearch/internal/obs"
 	"twinsearch/internal/qcache"
 	"twinsearch/internal/series"
 	"twinsearch/internal/shard"
@@ -229,6 +230,26 @@ type Options struct {
 	// and the batch paths always traverse.
 	ResultCacheBytes int
 
+	// TraceSample enables 1-in-N per-query trace sampling: every Nth
+	// raw query (across all paths) records a span tree — validation,
+	// cache outcomes, per-shard traversal counters, cluster attempts —
+	// retained in the slow-query log when the query crosses its
+	// threshold. 0 disables sampling (the default); tracing can still
+	// be forced per query by installing a span in the context (the
+	// server does this for ?trace=1). The untraced path is
+	// allocation-free regardless of this knob.
+	TraceSample int
+
+	// SlowLogSize enables the slow-query log: a ring buffer of the N
+	// most recent queries whose latency reached SlowLogThreshold,
+	// surfaced at the server's GET /debug/slowlog and via
+	// Engine.SlowLog. 0 disables it (the default).
+	SlowLogSize int
+
+	// SlowLogThreshold is the latency at or above which a query enters
+	// the slow-query log. 0 selects 100ms. Ignored without SlowLogSize.
+	SlowLogThreshold time.Duration
+
 	// iSAX knobs (MethodISAX).
 	Segments     int // PAA segments m (default 10)
 	LeafCapacity int // leaf capacity (default 10,000)
@@ -298,6 +319,15 @@ type Engine struct {
 	// epoch from per-node values instead — see Epoch.
 	epoch atomic.Uint64
 
+	// Observability (internal/obs): met is the always-on metric set
+	// behind Engine.Metrics and GET /metrics; sampler decides which
+	// queries grow a span tree (Options.TraceSample); slow retains
+	// above-threshold queries (nil unless Options.SlowLogSize). See
+	// obs_engine.go.
+	met     *engineMetrics
+	sampler *obs.Sampler
+	slow    *obs.SlowLog
+
 	// closed guards use-after-Close: every search/mutation entry point
 	// fails with ErrClosed instead of reaching arenas that may point
 	// into an unmapped region. closeMu makes concurrent Close calls
@@ -329,6 +359,10 @@ func newEngine(data []float64, opt Options) *Engine {
 		}
 		e.res = qcache.NewResult(b)
 	}
+	e.met = newEngineMetrics()
+	e.sampler = obs.NewSampler(opt.TraceSample)
+	e.slow = obs.NewSlowLog(opt.SlowLogSize, opt.SlowLogThreshold)
+	e.registerEngineGauges()
 	return e
 }
 
@@ -440,6 +474,7 @@ func Open(data []float64, opt Options) (*Engine, error) {
 			return nil, err
 		}
 		e.cl = cl
+		e.registerClusterGauges()
 		return e, nil
 	}
 	var err error
@@ -508,14 +543,17 @@ func (e *Engine) SearchCtx(ctx context.Context, q []float64, eps float64) ([]Mat
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
-	tq, err := e.validateQuery(q, eps)
+	ctx, qo := e.beginQuery(ctx, qpSearch)
+	tq, err := e.validateQueryCtx(ctx, q, eps)
 	if err != nil {
+		e.endQuery(qo, err)
 		return nil, err
 	}
-	r, err := e.searchCached(qcache.PathSearch, q, eps, 0, func() (qcache.Result, error) {
+	r, err := e.searchCached(ctx, qcache.PathSearch, q, eps, 0, func() (qcache.Result, error) {
 		ms, err := e.searchPreparedCtx(ctx, tq, eps)
 		return qcache.Result{Matches: ms}, err
 	})
+	e.endQuery(qo, err)
 	return r.Matches, err
 }
 
@@ -541,14 +579,17 @@ func (e *Engine) SearchStatsCtx(ctx context.Context, q []float64, eps float64) (
 	if e.opt.Method != MethodTSIndex {
 		return nil, Stats{}, errors.New("twinsearch: SearchStats requires MethodTSIndex")
 	}
-	tq, err := e.validateQuery(q, eps)
+	ctx, qo := e.beginQuery(ctx, qpStats)
+	tq, err := e.validateQueryCtx(ctx, q, eps)
 	if err != nil {
+		e.endQuery(qo, err)
 		return nil, Stats{}, err
 	}
-	r, err := e.searchCached(qcache.PathStats, q, eps, 0, func() (qcache.Result, error) {
+	r, err := e.searchCached(ctx, qcache.PathStats, q, eps, 0, func() (qcache.Result, error) {
 		ms, st, err := e.searchStatsPreparedCtx(ctx, tq, eps)
 		return qcache.Result{Matches: ms, Stats: st, HasStats: true}, err
 	})
+	e.endQuery(qo, err)
 	return r.Matches, r.Stats, err
 }
 
@@ -565,7 +606,10 @@ func (e *Engine) searchStatsPreparedCtx(ctx context.Context, tq []float64, eps f
 	if err := ctx.Err(); err != nil {
 		return nil, Stats{}, err
 	}
+	_, tsp := obs.StartSpan(ctx, "traverse")
 	ms, st := e.tsFrozen().SearchStats(tq, eps)
+	setStatsAttrs(tsp, st)
+	tsp.End()
 	return ms, st, nil
 }
 
@@ -574,8 +618,15 @@ func (e *Engine) searchStatsPreparedCtx(ctx context.Context, tq []float64, eps f
 // per query so the transformed query is shared by every (query, shard)
 // work unit instead of being recomputed inside each worker.
 func (e *Engine) validateQuery(q []float64, eps float64) ([]float64, error) {
+	tq, _, err := e.validateQueryHit(q, eps)
+	return tq, err
+}
+
+// validateQueryHit is validateQuery also reporting whether the plan
+// came from the plan cache — the bit the trace layer annotates.
+func (e *Engine) validateQueryHit(q []float64, eps float64) ([]float64, bool, error) {
 	if eps < 0 || math.IsNaN(eps) {
-		return nil, fmt.Errorf("twinsearch: invalid threshold %v", eps)
+		return nil, false, fmt.Errorf("twinsearch: invalid threshold %v", eps)
 	}
 	return e.planQuery(q)
 }
@@ -588,27 +639,36 @@ func (e *Engine) validateQuery(q []float64, eps float64) ([]float64, error) {
 // parameters are frozen at Open, so a plan never goes stale). The
 // returned slice is shared on a hit and must be treated as read-only;
 // every search path already does.
-func (e *Engine) planQuery(q []float64) ([]float64, error) {
+func (e *Engine) planQuery(q []float64) ([]float64, bool, error) {
 	if len(q) != e.opt.L {
-		return nil, fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)
+		return nil, false, fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)
 	}
 	var key string
 	if e.plan != nil {
 		key = qcache.QueryKey(q)
 		if tq, ok := e.plan.Get(key); ok {
-			return tq, nil
+			return tq, true, nil
 		}
 	}
 	for i, v := range q {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("twinsearch: non-finite query value %v at position %d", v, i)
+			return nil, false, fmt.Errorf("twinsearch: non-finite query value %v at position %d", v, i)
 		}
+	}
+	// With no normalization the transform is the identity, so when no
+	// plan cache will retain tq past this call, serve q itself instead
+	// of a defensive copy: the traversal treats tq as read-only and is
+	// done with it before the caller regains control, and skipping the
+	// copy keeps the uncached raw-mode query path allocation-free
+	// (BenchmarkTraceDisabled).
+	if e.plan == nil && e.ext.Mode() == series.NormNone {
+		return q, false, nil
 	}
 	tq := e.ext.TransformQuery(q)
 	if e.plan != nil {
 		e.plan.Put(key, tq)
 	}
-	return tq, nil
+	return tq, false, nil
 }
 
 // searchCached serves one raw-query search from the result cache when
@@ -617,15 +677,19 @@ func (e *Engine) planQuery(q []float64) ([]float64, error) {
 // so an answer computed against one index version can never be served
 // for another — invalidation is a key mismatch, never a scan. Errors
 // (including cancellations) are never cached.
-func (e *Engine) searchCached(path qcache.Path, q []float64, a, b float64, run func() (qcache.Result, error)) (qcache.Result, error) {
+func (e *Engine) searchCached(ctx context.Context, path qcache.Path, q []float64, a, b float64, run func() (qcache.Result, error)) (qcache.Result, error) {
+	sp := obs.SpanFrom(ctx)
 	if e.res == nil {
+		sp.Set("result_cache", "off")
 		return run()
 	}
 	epoch := e.Epoch()
 	key := qcache.ResultKey(path, epoch, a, b, q)
 	if r, ok := e.res.Get(key); ok {
+		sp.Set("result_cache", "hit")
 		return r, nil
 	}
+	sp.Set("result_cache", "miss")
 	r, err := run()
 	if err != nil {
 		return r, err
@@ -731,6 +795,17 @@ func (e *Engine) searchPreparedCtx(ctx context.Context, q []float64, eps float64
 	case MethodISAX:
 		return e.isx.Search(q, eps), nil
 	default:
+		// Traced queries run the counter-reporting traversal so the
+		// span carries the same attrs the stats path records; the match
+		// set is identical either way, and the untraced fast path stays
+		// allocation-free.
+		if obs.SpanFrom(ctx) != nil {
+			_, tsp := obs.StartSpan(ctx, "traverse")
+			ms, st := e.tsFrozen().SearchStats(q, eps)
+			setStatsAttrs(tsp, st)
+			tsp.End()
+			return ms, nil
+		}
 		return e.tsFrozen().Search(q, eps), nil
 	}
 }
@@ -759,11 +834,13 @@ func (e *Engine) SearchTopKCtx(ctx context.Context, q []float64, k int) ([]Match
 	if len(q) != e.opt.L {
 		return nil, fmt.Errorf("twinsearch: query length %d, engine built for L=%d", len(q), e.opt.L)
 	}
+	ctx, qo := e.beginQuery(ctx, qpTopK)
 	tq := e.ext.TransformQuery(q)
-	r, err := e.searchCached(qcache.PathTopK, q, float64(k), 0, func() (qcache.Result, error) {
+	r, err := e.searchCached(ctx, qcache.PathTopK, q, float64(k), 0, func() (qcache.Result, error) {
 		ms, err := e.searchTopKPreparedCtx(ctx, tq, k)
 		return qcache.Result{Matches: ms}, err
 	})
+	e.endQuery(qo, err)
 	return r.Matches, err
 }
 
